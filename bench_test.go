@@ -1,0 +1,238 @@
+// Package swim_bench is the benchmark harness that regenerates every table
+// and figure of the paper's evaluation (one benchmark per artifact — see
+// DESIGN.md §4 for the index) plus the microbenchmarks backing the paper's
+// cost claims. Each experiment benchmark prints the regenerated rows/series
+// once, so `go test -bench=. -benchmem` doubles as the reproduction run.
+//
+// Scale: by default the harness forces SWIM_FAST workloads so the whole
+// suite completes on a laptop core in minutes. Set SWIM_FULL=1 (and
+// optionally SWIM_MC) to run the paper-scale workloads used for
+// EXPERIMENTS.md; the cmd/ binaries do the same with more control.
+package swim_bench
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"swim/internal/data"
+	"swim/internal/device"
+	"swim/internal/experiments"
+	"swim/internal/mapping"
+	"swim/internal/models"
+	"swim/internal/rng"
+	"swim/internal/tensor"
+)
+
+func TestMain(m *testing.M) {
+	if os.Getenv("SWIM_FULL") == "" && os.Getenv("SWIM_FAST") == "" {
+		os.Setenv("SWIM_FAST", "1")
+	}
+	os.Exit(m.Run())
+}
+
+var printOnce sync.Map
+
+func printSeries(key string, f func()) {
+	if _, done := printOnce.LoadOrStore(key, true); !done {
+		f()
+	}
+}
+
+// --- experiment benchmarks: one per paper artifact -------------------------
+
+// BenchmarkTable1 regenerates Table 1 (LeNet/MNIST: accuracy vs NWC for all
+// four methods across the σ grid).
+func BenchmarkTable1(b *testing.B) {
+	w := experiments.LeNetMNIST()
+	cfg := experiments.DefaultSweep()
+	sigmas := experiments.SigmaGrid()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := experiments.Table1(w, sigmas, cfg)
+		printSeries("table1", func() {
+			experiments.PrintTable1(os.Stdout, w, sigmas, cfg, res)
+			sw := res[experiments.SigmaTypical]["swim"]
+			for _, m := range []string{"magnitude", "random", "insitu"} {
+				s := experiments.SpeedupAt(sw, res[experiments.SigmaTypical][m], cfg.NWCs, 0.1)
+				fmt.Printf("speedup vs %-10s at NWC=0.1: %.0fx\n", m, s)
+			}
+		})
+	}
+}
+
+// BenchmarkFig1Correlation regenerates Fig. 1a/1b (accuracy drop vs weight
+// magnitude and vs second derivative).
+func BenchmarkFig1Correlation(b *testing.B) {
+	w := experiments.LeNetMNIST()
+	cfg := experiments.DefaultFig1()
+	if os.Getenv("SWIM_FULL") == "" {
+		cfg.NumWeights, cfg.Repeats, cfg.EvalN = 30, 3, 150
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig1(w, cfg)
+		printSeries("fig1", func() {
+			fmt.Printf("Fig1: Pearson(|w|, drop) = %+.3f  Pearson(d2f/dw2, drop) = %+.3f  Spearman = %+.3f\n",
+				res.PearsonMagnitude, res.PearsonHess, res.SpearmanHess)
+		})
+	}
+}
+
+func benchFig2(b *testing.B, key string, w *experiments.Workload) {
+	cfg := experiments.DefaultSweep()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig2(w, cfg)
+		printSeries(key, func() { experiments.PrintFig2(os.Stdout, w, cfg, res) })
+	}
+}
+
+// BenchmarkFig2ConvNet regenerates Fig. 2a (ConvNet / CIFAR-10).
+func BenchmarkFig2ConvNet(b *testing.B) { benchFig2(b, "fig2a", experiments.ConvNetCIFAR()) }
+
+// BenchmarkFig2ResNetCIFAR regenerates Fig. 2b (ResNet-18 / CIFAR-10).
+func BenchmarkFig2ResNetCIFAR(b *testing.B) { benchFig2(b, "fig2b", experiments.ResNetCIFAR()) }
+
+// BenchmarkFig2ResNetTiny regenerates Fig. 2c (ResNet-18 / Tiny ImageNet).
+func BenchmarkFig2ResNetTiny(b *testing.B) { benchFig2(b, "fig2c", experiments.ResNetTiny()) }
+
+// BenchmarkDeviceCalibration reproduces the §4.1 anchors (~10 write cycles
+// per weight, post-write-verify residual σ ≈ 0.03).
+func BenchmarkDeviceCalibration(b *testing.B) {
+	m := device.Default(4, 0.1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := m.Calibrate(20000, rng.New(uint64(i+1)))
+		printSeries("cal", func() {
+			fmt.Printf("calibration: %.2f cycles/weight, residual sigma %.4f (paper: ~10, ~0.03)\n",
+				s.MeanCycles, s.ResidualStd)
+		})
+	}
+}
+
+// --- ablation benchmarks (abl-p, abl-tie, abl-k, abl-approx) ----------------
+
+func BenchmarkAblateGranularity(b *testing.B) {
+	w := experiments.LeNetMNIST()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.AblateGranularity(w, experiments.SigmaHigh, 1.0, []float64{0.05, 0.25}, 3, 40)
+		printSeries("abl-p", func() { experiments.PrintGranularity(os.Stdout, w, 1.0, rows) })
+	}
+}
+
+func BenchmarkAblateTieBreak(b *testing.B) {
+	w := experiments.LeNetMNIST()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := experiments.AblateTieBreak(w, experiments.SigmaHigh, 0.1, 3, 41)
+		printSeries("abl-tie", func() {
+			fmt.Printf("tie-break ablation: with %s / without %s (%.1f%% tied)\n",
+				res.WithTie, res.WithoutTie, 100*res.TiedFraction)
+		})
+	}
+}
+
+func BenchmarkAblateDeviceBits(b *testing.B) {
+	w := experiments.LeNetMNIST()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.AblateDeviceBits(w, experiments.SigmaTypical, 0.1, []int{2, 4}, 3, 42)
+		printSeries("abl-k", func() {
+			experiments.PrintKBits(os.Stdout, w, experiments.SigmaTypical, 0.1, rows)
+		})
+	}
+}
+
+func BenchmarkHessianQuality(b *testing.B) {
+	w := experiments.LeNetMNIST()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rho := experiments.HessianQuality(w, 10, 43)
+		printSeries("abl-approx", func() {
+			fmt.Printf("diagonal-approximation ablation: Spearman(analytic, FD) = %.3f\n", rho)
+		})
+	}
+}
+
+// --- microbenchmarks backing the paper's cost claims ------------------------
+
+// BenchmarkGradientPass and BenchmarkHessianPass substantiate §3.3's claim
+// that the second-derivative pass "takes approximately the same amount of
+// time and memory as conventional gradient computation".
+func BenchmarkGradientPass(b *testing.B) {
+	net := models.LeNet(10, 4, rng.New(1))
+	x, y := lenetBatch(32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.ZeroGrad()
+		net.LossGrad(x, y, false)
+	}
+}
+
+func BenchmarkHessianPass(b *testing.B) {
+	net := models.LeNet(10, 4, rng.New(1))
+	x, y := lenetBatch(32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.ZeroHess()
+		net.AccumulateHessian(x, y)
+	}
+}
+
+// BenchmarkForwardLeNet measures plain inference (the unit of every accuracy
+// evaluation in the Monte-Carlo harness).
+func BenchmarkForwardLeNet(b *testing.B) {
+	net := models.LeNet(10, 4, rng.New(1))
+	x, _ := lenetBatch(32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Forward(x, false)
+	}
+}
+
+// BenchmarkWriteVerifyWeight measures the per-weight write-verify simulation.
+func BenchmarkWriteVerifyWeight(b *testing.B) {
+	m := device.Default(4, 0.1)
+	r := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.WriteVerify(i&15, r)
+	}
+}
+
+// BenchmarkMapNetwork measures programming a full LeNet onto devices.
+func BenchmarkMapNetwork(b *testing.B) {
+	net := models.LeNet(10, 4, rng.New(1))
+	dm := device.Default(4, 0.5)
+	table := dm.CycleTable(50, rng.New(2))
+	r := rng.New(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mapping.New(net, dm, table, r)
+	}
+}
+
+// BenchmarkMatMul measures the core kernel (256x256x256).
+func BenchmarkMatMul(b *testing.B) {
+	r := rng.New(1)
+	a := tensor.New(256, 256)
+	c := tensor.New(256, 256)
+	out := tensor.New(256, 256)
+	for i := range a.Data {
+		a.Data[i] = r.Gauss(0, 1)
+		c.Data[i] = r.Gauss(0, 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMulInto(out, a, c, false)
+	}
+	b.SetBytes(int64(8 * 256 * 256))
+}
+
+func lenetBatch(n int) (*tensor.Tensor, []int) {
+	ds := data.MNISTLike(n, n, 42)
+	return ds.TrainX, ds.TrainY
+}

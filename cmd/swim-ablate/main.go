@@ -1,0 +1,72 @@
+// Command swim-ablate runs the design-choice ablations DESIGN.md indexes:
+//
+//	granularity — Algorithm 1 granule size p (paper fixes p = 5%)
+//	tiebreak    — SWIM's magnitude tie-breaker on/off (paper §3.2)
+//	kbits       — bits per device K (paper fixes K = 4, Eq. 15)
+//	hessian     — analytic vs finite-difference second-derivative ranking
+//	              (the Eq. 4→5 diagonal approximation)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"swim/internal/experiments"
+	"swim/internal/mc"
+)
+
+func main() {
+	what := flag.String("what", "granularity", "granularity | tiebreak | kbits | hessian | all")
+	flag.Parse()
+
+	w := experiments.LeNetMNIST()
+	trials := mc.Trials(5)
+	run := map[string]func(){
+		"granularity": func() {
+			rows := experiments.AblateGranularity(w, experiments.SigmaHigh, 1.0,
+				[]float64{0.01, 0.05, 0.1, 0.25}, trials, 40)
+			experiments.PrintGranularity(os.Stdout, w, 1.0, rows)
+		},
+		"tiebreak": func() {
+			res := experiments.AblateTieBreak(w, experiments.SigmaHigh, 0.1, trials, 41)
+			fmt.Printf("Ablation: SWIM magnitude tie-breaker at NWC=%.1f (tied weights: %.1f%%)\n",
+				res.NWC, 100*res.TiedFraction)
+			fmt.Printf("  with tie-break    %s\n", res.WithTie)
+			fmt.Printf("  without tie-break %s\n", res.WithoutTie)
+		},
+		"kbits": func() {
+			rows := experiments.AblateDeviceBits(w, experiments.SigmaTypical, 0.1,
+				[]int{1, 2, 4}, trials, 42)
+			experiments.PrintKBits(os.Stdout, w, experiments.SigmaTypical, 0.1, rows)
+		},
+		"hessian": func() {
+			rho := experiments.HessianQuality(w, 40, 43)
+			fmt.Printf("Ablation: Eq. 4->5 diagonal approximation quality\n")
+			fmt.Printf("  Spearman(analytic second derivative, finite difference) = %.3f\n", rho)
+		},
+		"spatial": func() {
+			rows := experiments.AblateSpatial(w, experiments.SigmaHigh, 0.1, trials, 44)
+			experiments.PrintSpatial(os.Stdout, w, 0.1, rows)
+		},
+		"fisher": func() {
+			sw, fi := experiments.CompareFisher(w, experiments.SigmaHigh, 0.1, trials, 45)
+			fmt.Printf("Extension: ranking metric at NWC=0.1 (sigma=%.2f)\n", experiments.SigmaHigh)
+			fmt.Printf("  SWIM (Hessian diagonal)     %s\n", sw)
+			fmt.Printf("  empirical Fisher (grad^2)   %s\n", fi)
+		},
+	}
+	if *what == "all" {
+		for _, k := range []string{"granularity", "tiebreak", "kbits", "hessian", "spatial", "fisher"} {
+			run[k]()
+			fmt.Println()
+		}
+		return
+	}
+	f, ok := run[*what]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "swim-ablate: unknown ablation %q\n", *what)
+		os.Exit(2)
+	}
+	f()
+}

@@ -1,0 +1,29 @@
+// Command swim-fig1 regenerates the paper's Fig. 1: the correlation between
+// per-weight accuracy drop under perturbation and (a) weight magnitude —
+// weak — versus (b) the second derivative — strong (paper quotes Pearson
+// 0.83).
+//
+// Usage:
+//
+//	swim-fig1 [-weights N] [-repeats N] [-sigma S]
+package main
+
+import (
+	"flag"
+	"os"
+
+	"swim/internal/experiments"
+)
+
+func main() {
+	cfg := experiments.DefaultFig1()
+	flag.IntVar(&cfg.NumWeights, "weights", cfg.NumWeights, "weights to sample")
+	flag.IntVar(&cfg.Repeats, "repeats", cfg.Repeats, "Monte-Carlo repeats per weight")
+	flag.Float64Var(&cfg.SigmaPerturb, "sigma", cfg.SigmaPerturb, "perturbation std (weight LSB)")
+	flag.IntVar(&cfg.EvalN, "eval", cfg.EvalN, "evaluation subset size")
+	flag.Parse()
+
+	w := experiments.LeNetMNIST()
+	res := experiments.Fig1(w, cfg)
+	experiments.PrintFig1(os.Stdout, w, cfg, res)
+}

@@ -1,0 +1,48 @@
+// Command swim-fig2 regenerates one panel of the paper's Fig. 2: accuracy
+// versus normalized write cycles for all four methods at the high-variation
+// operating point.
+//
+// Usage:
+//
+//	swim-fig2 -panel a|b|c     (a: ConvNet/CIFAR, b: ResNet-18/CIFAR,
+//	                            c: ResNet-18/TinyImageNet)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"swim/internal/experiments"
+)
+
+func main() {
+	panel := flag.String("panel", "a", "figure panel: a, b or c")
+	trials := flag.Int("trials", 0, "Monte-Carlo trials (0 = default / SWIM_MC)")
+	sigma := flag.Float64("sigma", experiments.SigmaHigh,
+		"device variation before write-verify (deeper models reach the paper's drop regime at lower sigma)")
+	flag.Parse()
+
+	cfg := experiments.DefaultSweep()
+	if *trials > 0 {
+		cfg.Trials = *trials
+	}
+
+	var w *experiments.Workload
+	switch *panel {
+	case "a":
+		fmt.Println("training ConvNet on the CIFAR-like task...")
+		w = experiments.ConvNetCIFAR()
+	case "b":
+		fmt.Println("training ResNet-18 on the CIFAR-like task...")
+		w = experiments.ResNetCIFAR()
+	case "c":
+		fmt.Println("training ResNet-18 on the TinyImageNet-like task...")
+		w = experiments.ResNetTiny()
+	default:
+		fmt.Fprintf(os.Stderr, "swim-fig2: unknown panel %q (want a, b or c)\n", *panel)
+		os.Exit(2)
+	}
+	res := experiments.Fig2At(w, *sigma, cfg)
+	experiments.PrintFig2At(os.Stdout, w, *sigma, cfg, res)
+}

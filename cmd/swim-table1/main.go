@@ -1,0 +1,60 @@
+// Command swim-table1 regenerates the paper's Table 1: accuracy (mean ± std)
+// versus normalized write cycles for SWIM, magnitude-based selection, random
+// selection and in-situ training on LeNet/MNIST-like, across three device-σ
+// levels.
+//
+// Usage:
+//
+//	swim-table1 [-trials N] [-sigmas 0.5,0.75,1.0]
+//
+// Environment: SWIM_MC (trials), SWIM_FAST (CI-scale workloads).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"swim/internal/experiments"
+)
+
+func main() {
+	trials := flag.Int("trials", 0, "Monte-Carlo trials (0 = default / SWIM_MC)")
+	sigmaFlag := flag.String("sigmas", "", "comma-separated device sigma grid (default 0.5,0.75,1.0)")
+	flag.Parse()
+
+	cfg := experiments.DefaultSweep()
+	if *trials > 0 {
+		cfg.Trials = *trials
+	}
+	sigmas := experiments.SigmaGrid()
+	if *sigmaFlag != "" {
+		sigmas = nil
+		for _, s := range strings.Split(*sigmaFlag, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "swim-table1: bad sigma %q: %v\n", s, err)
+				os.Exit(2)
+			}
+			sigmas = append(sigmas, v)
+		}
+	}
+
+	fmt.Println("training LeNet on the MNIST-like task (cached per process)...")
+	w := experiments.LeNetMNIST()
+	res := experiments.Table1(w, sigmas, cfg)
+	experiments.PrintTable1(os.Stdout, w, sigmas, cfg, res)
+
+	// Headline speedups at the paper's NWC = 0.1 operating point.
+	nwcs := cfg.NWCs
+	for _, sigma := range sigmas {
+		sw := res[sigma]["swim"]
+		fmt.Printf("\nsigma %.2f speedups for matching SWIM@NWC=0.1 accuracy:\n", sigma)
+		for _, m := range []string{"magnitude", "random", "insitu"} {
+			s := experiments.SpeedupAt(sw, res[sigma][m], nwcs, 0.1)
+			fmt.Printf("  vs %-10s %.0fx\n", m, s)
+		}
+	}
+}

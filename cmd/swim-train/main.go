@@ -1,0 +1,95 @@
+// Command swim-train trains one of the paper's models on its synthetic task,
+// reports accuracy, and optionally saves/loads the learned state (gob state
+// dictionary via internal/serialize) so downstream tools can skip training.
+//
+// Usage:
+//
+//	swim-train -model lenet|convnet|resnet18 [-epochs N] [-save path]
+//	swim-train -model lenet -load path        # evaluate a saved state
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"swim/internal/data"
+	"swim/internal/models"
+	"swim/internal/nn"
+	"swim/internal/rng"
+	"swim/internal/serialize"
+	"swim/internal/train"
+)
+
+func main() {
+	model := flag.String("model", "lenet", "lenet | convnet | resnet18")
+	epochs := flag.Int("epochs", 8, "training epochs")
+	trainN := flag.Int("train", 2000, "training samples")
+	testN := flag.Int("test", 800, "test samples")
+	save := flag.String("save", "", "write trained state to this path")
+	load := flag.String("load", "", "load state from this path instead of training")
+	flag.Parse()
+
+	var (
+		net  *nn.Network
+		ds   *data.Dataset
+		bits int
+	)
+	r := rng.New(2)
+	switch *model {
+	case "lenet":
+		ds = data.MNISTLike(*trainN, *testN, 1)
+		net = models.LeNet(10, 4, r)
+		bits = 4
+	case "convnet":
+		ds = data.CIFARLike(*trainN, *testN, 11)
+		net = models.ConvNet(10, 8, 6, r)
+		bits = 6
+	case "resnet18":
+		ds = data.CIFARLike(*trainN, *testN, 21)
+		net = models.ResNet18(10, 8, 6, r)
+		bits = 6
+	default:
+		fmt.Fprintf(os.Stderr, "swim-train: unknown model %q\n", *model)
+		os.Exit(2)
+	}
+
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "swim-train:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := serialize.Load(f, net); err != nil {
+			fmt.Fprintln(os.Stderr, "swim-train:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("loaded %s from %s\n", *model, *load)
+	} else {
+		cfg := train.DefaultConfig()
+		cfg.Epochs = *epochs
+		cfg.LRDecayEvery = *epochs / 2
+		cfg.QATBits = bits
+		cfg.Log = os.Stdout
+		train.SGD(net, ds, cfg, r)
+	}
+
+	acc := train.Evaluate(net, ds.TestX, ds.TestY, 64)
+	fmt.Printf("%s: test accuracy %.2f%% (%d mapped weights, %d-bit)\n",
+		*model, acc, net.NumMappedWeights(), bits)
+
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "swim-train:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := serialize.Save(f, net); err != nil {
+			fmt.Fprintln(os.Stderr, "swim-train:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("state saved to %s\n", *save)
+	}
+}

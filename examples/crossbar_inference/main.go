@@ -1,0 +1,76 @@
+// crossbar_inference runs a trained classifier head on the structural
+// crossbar simulator (package crossbar): weights bit-sliced onto K-bit
+// devices in differential pairs, DAC-quantized inputs, analog column sums and
+// ADC-quantized outputs. It cross-checks the analog results against the
+// digital reference and shows how write-verifying the array tightens them —
+// connecting the paper's behavioural noise model (package mapping) to the
+// physical array it abstracts.
+//
+// Run with: go run ./examples/crossbar_inference
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"swim/internal/crossbar"
+	"swim/internal/data"
+	"swim/internal/device"
+	"swim/internal/nn"
+	"swim/internal/rng"
+	"swim/internal/train"
+)
+
+func main() {
+	// A linear classifier is exactly one crossbar array.
+	ds := data.MNISTLike(800, 400, 5)
+	r := rng.New(6)
+	net := nn.NewNetwork("linear", nn.NewSequential("trunk",
+		nn.NewFlatten(),
+		nn.NewLinear("fc", 28*28, 10, r),
+	), nn.NewSoftmaxCrossEntropy())
+	cfg := train.DefaultConfig()
+	cfg.Epochs = 4
+	train.SGD(net, ds, cfg, r)
+	fmt.Printf("digital reference accuracy: %.2f%%\n", train.Evaluate(net, ds.TestX, ds.TestY, 64))
+
+	fc := net.Trunk.Layers[1].(*nn.Linear)
+	dev := device.Default(6, 0.3)
+	fabric := crossbar.DefaultConfig(dev)
+
+	evalAnalog := func(a *crossbar.Array) float64 {
+		correct := 0
+		sample := 28 * 28
+		for i, label := range ds.TestY {
+			x := ds.TestX.Data[i*sample : (i+1)*sample]
+			y := a.MatVec(x)
+			best, bj := math.Inf(-1), 0
+			for j, v := range y {
+				if v > best {
+					best, bj = v, j
+				}
+			}
+			if bj == label {
+				correct++
+			}
+		}
+		return 100 * float64(correct) / float64(len(ds.TestY))
+	}
+
+	arr := crossbar.NewArray(fabric, fc.W.Data, rng.New(7))
+	out, in := arr.Shape()
+	fmt.Printf("array: %dx%d weights on %d tile(s), %d devices/weight (K=%d)\n",
+		out, in, arr.Tiles(), dev.NumDevices(), dev.DeviceBits)
+	fmt.Printf("analog accuracy, unverified writes (sigma=%.1f): %.2f%%\n", dev.Sigma, evalAnalog(arr))
+
+	// Write-verify the full array and re-measure.
+	wr := rng.New(8)
+	cycles := 0
+	for o := 0; o < out; o++ {
+		for i := 0; i < in; i++ {
+			cycles += arr.WriteVerify(o, i, wr)
+		}
+	}
+	fmt.Printf("analog accuracy after write-verify (%d cycles, %.1f/weight): %.2f%%\n",
+		cycles, float64(cycles)/float64(out*in), evalAnalog(arr))
+}

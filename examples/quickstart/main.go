@@ -1,0 +1,65 @@
+// Quickstart: the complete SWIM pipeline in one file.
+//
+// It trains a small quantized network, computes per-weight sensitivities with
+// the single-pass second-derivative backprop, maps the network onto simulated
+// NVM devices, and shows that write-verifying just the top 10% most sensitive
+// weights recovers almost all of the accuracy lost to programming noise —
+// the paper's headline result.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"swim/internal/data"
+	"swim/internal/device"
+	"swim/internal/mapping"
+	"swim/internal/models"
+	"swim/internal/rng"
+	"swim/internal/stat"
+	"swim/internal/swim"
+	"swim/internal/train"
+)
+
+func main() {
+	// 1. A trained, quantization-aware model (the paper's starting point).
+	fmt.Println("== 1. train a 4-bit LeNet on the MNIST-like task")
+	ds := data.MNISTLike(1200, 600, 1)
+	r := rng.New(2)
+	net := models.LeNet(10, 4, r)
+	cfg := train.DefaultConfig()
+	cfg.Epochs = 6
+	cfg.QATBits = 4
+	cfg.Log = os.Stdout
+	train.SGD(net, ds, cfg, r)
+	clean := train.Evaluate(net, ds.TestX, ds.TestY, 64)
+	fmt.Printf("clean accuracy: %.2f%%  (%d crossbar-mapped weights)\n\n", clean, net.NumMappedWeights())
+
+	// 2. Sensitivity: one forward + one second-derivative backward pass.
+	fmt.Println("== 2. compute per-weight sensitivities (Hessian diagonal)")
+	calX, calY := data.Subset(ds.TrainX, ds.TrainY, 512)
+	hess := swim.Sensitivity(net, calX, calY, 64)
+	weights := swim.FlatWeights(net)
+	sel := swim.NewSWIMSelector(hess, weights)
+	fmt.Printf("sensitivities computed for %d weights in a single pass\n\n", len(hess))
+
+	// 3. Map to devices and compare write budgets.
+	fmt.Println("== 3. program onto NVM devices (sigma = 1.0) and selectively write-verify")
+	dm := device.Default(4, 1.0)
+	table := dm.CycleTable(300, rng.New(99))
+	for _, nwc := range []float64{0, 0.1, 0.5, 1.0} {
+		var acc stat.Welford
+		base := rng.New(1234)
+		for t := 0; t < 6; t++ {
+			tr := base.Split()
+			mp := mapping.New(net, dm, table, tr)
+			swim.WriteVerifyToNWC(mp, sel.Order(tr), nwc, tr)
+			acc.Add(mp.Accuracy(ds.TestX, ds.TestY, 64))
+		}
+		fmt.Printf("NWC %.1f  accuracy %s\n", nwc, acc.String())
+	}
+	fmt.Println("\nwrite-verifying ~10% of weights (NWC 0.1) recovers nearly the full-")
+	fmt.Println("verify accuracy: that is SWIM's ~10x programming speedup.")
+}

@@ -1,0 +1,163 @@
+package crossbar
+
+import (
+	"math"
+	"testing"
+
+	"swim/internal/device"
+	"swim/internal/rng"
+	"swim/internal/tensor"
+)
+
+func randMat(r *rng.Source, m, n int) *tensor.Tensor {
+	t := tensor.New(m, n)
+	for i := range t.Data {
+		t.Data[i] = r.Gauss(0, 0.5)
+	}
+	return t
+}
+
+func TestValidate(t *testing.T) {
+	cfg := DefaultConfig(device.Default(6, 0.1))
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := cfg
+	bad.TileRows = 0
+	if bad.Validate() == nil {
+		t.Fatal("accepted zero tile rows")
+	}
+	bad = cfg
+	bad.ADCBits = 0
+	if bad.Validate() == nil {
+		t.Fatal("accepted zero ADC bits")
+	}
+}
+
+func TestTileCount(t *testing.T) {
+	cfg := DefaultConfig(device.Default(6, 0.05))
+	cfg.TileRows, cfg.TileCols = 64, 64
+	r := rng.New(1)
+	a := NewArray(cfg, randMat(r, 100, 200), r)
+	// 100 outs over 64-wide cols = 2; 200 ins over 64 rows = 4.
+	if a.Tiles() != 8 {
+		t.Fatalf("tiles = %d, want 8", a.Tiles())
+	}
+	out, in := a.Shape()
+	if out != 100 || in != 200 {
+		t.Fatalf("shape = %d,%d", out, in)
+	}
+}
+
+func TestMatVecApproximatesIdeal(t *testing.T) {
+	// With tiny device noise and generous converters, the analog MVM should
+	// track the exact product closely (relative error of a few percent).
+	dev := device.Default(6, 0.01)
+	cfg := DefaultConfig(dev)
+	cfg.DACBits, cfg.ADCBits = 10, 12
+	r := rng.New(2)
+	w := randMat(r, 16, 32)
+	a := NewArray(cfg, w, r)
+	x := make([]float64, 32)
+	for i := range x {
+		x[i] = r.Gauss(0, 1)
+	}
+	got := a.MatVec(x)
+	var refNorm, errNorm float64
+	for o := 0; o < 16; o++ {
+		ref := 0.0
+		for i := 0; i < 32; i++ {
+			ref += w.At(o, i) * x[i]
+		}
+		refNorm += ref * ref
+		d := got[o] - ref
+		errNorm += d * d
+	}
+	if rel := math.Sqrt(errNorm / refNorm); rel > 0.08 {
+		t.Fatalf("analog MVM relative error %.3f too large", rel)
+	}
+}
+
+func TestNoiseDegradesWithSigma(t *testing.T) {
+	r := rng.New(3)
+	w := randMat(r, 12, 24)
+	x := make([]float64, 24)
+	for i := range x {
+		x[i] = r.Gauss(0, 1)
+	}
+	relErr := func(sigma float64, seed uint64) float64 {
+		dev := device.Default(6, sigma)
+		cfg := DefaultConfig(dev)
+		cfg.DACBits, cfg.ADCBits = 12, 14
+		rr := rng.New(seed)
+		var errNorm, refNorm float64
+		for trial := 0; trial < 10; trial++ {
+			a := NewArray(cfg, w, rr)
+			got := a.MatVec(x)
+			for o := 0; o < 12; o++ {
+				ref := 0.0
+				for i := 0; i < 24; i++ {
+					ref += w.At(o, i) * x[i]
+				}
+				d := got[o] - ref
+				errNorm += d * d
+				refNorm += ref * ref
+			}
+		}
+		return math.Sqrt(errNorm / refNorm)
+	}
+	if relErr(0.3, 4) <= relErr(0.02, 5) {
+		t.Fatal("larger device sigma should mean larger MVM error")
+	}
+}
+
+func TestWriteVerifyImprovesAccuracyOfStoredWeights(t *testing.T) {
+	dev := device.Default(8, 0.3)
+	cfg := DefaultConfig(dev)
+	r := rng.New(6)
+	w := randMat(r, 8, 8)
+	a := NewArray(cfg, w, r)
+	cycles := 0
+	for o := 0; o < 8; o++ {
+		for i := 0; i < 8; i++ {
+			cycles += a.WriteVerify(o, i, r)
+		}
+	}
+	if cycles == 0 {
+		t.Fatal("write-verify billed no cycles")
+	}
+	// After verification every stored bit-slice is within tolerance of an
+	// integer level.
+	for d := range a.conduct {
+		for _, v := range a.conduct[d] {
+			frac := math.Abs(v - math.Round(v))
+			if frac > dev.Tolerance+1e-9 {
+				t.Fatalf("slice %d value %v off-level by %v", d, v, frac)
+			}
+		}
+	}
+}
+
+func TestDACZeroInput(t *testing.T) {
+	dev := device.Default(4, 0.05)
+	r := rng.New(7)
+	a := NewArray(DefaultConfig(dev), randMat(r, 4, 6), r)
+	out := a.MatVec(make([]float64, 6))
+	for _, v := range out {
+		if v != 0 {
+			t.Fatalf("zero input produced non-zero output %v", out)
+		}
+	}
+}
+
+func TestMatVecPanicsOnBadLength(t *testing.T) {
+	dev := device.Default(4, 0.05)
+	r := rng.New(8)
+	a := NewArray(DefaultConfig(dev), randMat(r, 4, 6), r)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("accepted wrong input length")
+		}
+	}()
+	a.MatVec(make([]float64, 5))
+}

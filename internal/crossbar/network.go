@@ -1,0 +1,160 @@
+package crossbar
+
+import (
+	"fmt"
+
+	"swim/internal/nn"
+	"swim/internal/rng"
+	"swim/internal/tensor"
+)
+
+// AnalogLinear is an inference-only fully connected layer whose weights live
+// on a crossbar Array; the bias adds digitally in the peripheral, as on real
+// nvCiM parts.
+type AnalogLinear struct {
+	name string
+	arr  *Array
+	bias []float64
+}
+
+// Name implements nn.Layer.
+func (a *AnalogLinear) Name() string { return a.name }
+
+// Forward implements nn.Layer.
+func (a *AnalogLinear) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	b := x.Shape[0]
+	out, in := a.arr.Shape()
+	y := tensor.New(b, out)
+	for bi := 0; bi < b; bi++ {
+		row := a.arr.MatVec(x.Data[bi*in : (bi+1)*in])
+		for j, v := range row {
+			y.Data[bi*out+j] = v + a.bias[j]
+		}
+	}
+	return y
+}
+
+// Backward implements nn.Layer (analog arrays are inference-only here).
+func (a *AnalogLinear) Backward(*tensor.Tensor) *tensor.Tensor {
+	panic("crossbar: analog layers are inference-only")
+}
+
+// BackwardSecond implements nn.Layer.
+func (a *AnalogLinear) BackwardSecond(*tensor.Tensor) *tensor.Tensor {
+	panic("crossbar: analog layers are inference-only")
+}
+
+// Params implements nn.Layer.
+func (a *AnalogLinear) Params() []*nn.Param { return nil }
+
+// Clone implements nn.Layer (shares the programmed array: cloning a chip
+// does not refabricate it).
+func (a *AnalogLinear) Clone() nn.Layer { return a }
+
+// AnalogConv2D runs a convolution by streaming im2col patches through the
+// crossbar (each output pixel is one analog matrix-vector product), exactly
+// the dataflow of ISAAC-style accelerators.
+type AnalogConv2D struct {
+	name string
+	arr  *Array
+	geom tensor.Conv2DGeom
+	outC int
+	bias []float64
+	cols *tensor.Tensor
+}
+
+// Name implements nn.Layer.
+func (a *AnalogConv2D) Name() string { return a.name }
+
+// Forward implements nn.Layer.
+func (a *AnalogConv2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	b := x.Shape[0]
+	g := a.geom
+	if a.cols == nil {
+		a.cols = tensor.New(g.ColRows(), g.ColCols())
+	}
+	out := tensor.New(b, a.outC, g.OutH, g.OutW)
+	sampleIn := g.InC * g.InH * g.InW
+	patch := make([]float64, g.ColRows())
+	nc := g.ColCols()
+	for bi := 0; bi < b; bi++ {
+		g.Im2ColInto(a.cols, x.Data[bi*sampleIn:(bi+1)*sampleIn])
+		for p := 0; p < nc; p++ {
+			for r := 0; r < g.ColRows(); r++ {
+				patch[r] = a.cols.Data[r*nc+p]
+			}
+			y := a.arr.MatVec(patch)
+			for oc := 0; oc < a.outC; oc++ {
+				out.Data[((bi*a.outC+oc)*g.OutH*g.OutW)+p] = y[oc] + a.bias[oc]
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements nn.Layer.
+func (a *AnalogConv2D) Backward(*tensor.Tensor) *tensor.Tensor {
+	panic("crossbar: analog layers are inference-only")
+}
+
+// BackwardSecond implements nn.Layer.
+func (a *AnalogConv2D) BackwardSecond(*tensor.Tensor) *tensor.Tensor {
+	panic("crossbar: analog layers are inference-only")
+}
+
+// Params implements nn.Layer.
+func (a *AnalogConv2D) Params() []*nn.Param { return nil }
+
+// Clone implements nn.Layer.
+func (a *AnalogConv2D) Clone() nn.Layer { return a }
+
+// BuildAnalog constructs an inference-only analog twin of net: every Linear
+// and Conv2D moves onto crossbar arrays programmed with unverified writes
+// under cfg's device model, while activation, pooling, normalization and
+// quantization layers stay digital. The returned network shares no weight
+// state with the original. Total tiles used is also reported.
+func BuildAnalog(net *nn.Network, cfg Config, r *rng.Source) (*nn.Network, int) {
+	tiles := 0
+	var convert func(l nn.Layer) nn.Layer
+	convert = func(l nn.Layer) nn.Layer {
+		switch v := l.(type) {
+		case *nn.Sequential:
+			out := make([]nn.Layer, len(v.Layers))
+			for i, child := range v.Layers {
+				out[i] = convert(child)
+			}
+			return nn.NewSequential(v.Name(), out...)
+		case *nn.Residual:
+			var short nn.Layer
+			if v.Shortcut != nil {
+				short = convert(v.Shortcut)
+			}
+			return nn.NewResidual(v.Name(), convert(v.Body), short)
+		case *nn.Linear:
+			arr := NewArray(cfg, v.W.Data, r)
+			tiles += arr.Tiles()
+			return &AnalogLinear{
+				name: v.Name() + ".analog",
+				arr:  arr,
+				bias: append([]float64(nil), v.B.Data.Data...),
+			}
+		case *nn.Conv2D:
+			arr := NewArray(cfg, v.W.Data, r)
+			tiles += arr.Tiles()
+			return &AnalogConv2D{
+				name: v.Name() + ".analog",
+				arr:  arr,
+				geom: v.Geom,
+				outC: v.OutC,
+				bias: append([]float64(nil), v.B.Data.Data...),
+			}
+		default:
+			return l.Clone()
+		}
+	}
+	trunk, ok := convert(net.Trunk).(*nn.Sequential)
+	if !ok {
+		panic(fmt.Sprintf("crossbar: unexpected trunk type %T", net.Trunk))
+	}
+	return nn.NewNetwork(net.Name+"-analog", trunk, nn.NewSoftmaxCrossEntropy()), tiles
+}

@@ -1,0 +1,81 @@
+package crossbar
+
+import (
+	"testing"
+
+	"swim/internal/data"
+	"swim/internal/device"
+	"swim/internal/models"
+	"swim/internal/rng"
+	"swim/internal/train"
+)
+
+func TestBuildAnalogLeNetMatchesDigitalAtLowNoise(t *testing.T) {
+	ds := data.MNISTLike(400, 150, 1)
+	r := rng.New(2)
+	net := models.LeNet(10, 4, r)
+	cfg := train.DefaultConfig()
+	cfg.Epochs = 2
+	cfg.QATBits = 4
+	train.SGD(net, ds, cfg, r)
+	digital := train.Evaluate(net, ds.TestX, ds.TestY, 64)
+
+	dev := device.Default(4, 0.02) // near-ideal devices
+	fab := DefaultConfig(dev)
+	fab.DACBits, fab.ADCBits = 10, 12
+	analog, tiles := BuildAnalog(net, fab, rng.New(3))
+	if tiles <= 0 {
+		t.Fatal("no tiles allocated")
+	}
+	aAcc := train.Evaluate(analog, ds.TestX, ds.TestY, 16)
+	if digital-aAcc > 3 {
+		t.Fatalf("analog twin %.2f%% far below digital %.2f%% at near-zero noise", aAcc, digital)
+	}
+}
+
+func TestBuildAnalogNoiseHurts(t *testing.T) {
+	ds := data.MNISTLike(400, 120, 1)
+	r := rng.New(2)
+	net := models.LeNet(10, 4, r)
+	cfg := train.DefaultConfig()
+	cfg.Epochs = 2
+	cfg.QATBits = 4
+	train.SGD(net, ds, cfg, r)
+
+	acc := func(sigma float64) float64 {
+		dev := device.Default(4, sigma)
+		analog, _ := BuildAnalog(net, DefaultConfig(dev), rng.New(4))
+		return train.Evaluate(analog, ds.TestX, ds.TestY, 16)
+	}
+	if lo, hi := acc(2.5), acc(0.05); lo >= hi {
+		t.Fatalf("heavy device noise should hurt analog accuracy: %.2f vs %.2f", lo, hi)
+	}
+}
+
+func TestAnalogLayersRefuseTraining(t *testing.T) {
+	dev := device.Default(4, 0.1)
+	r := rng.New(5)
+	net := models.LeNet(10, 4, r)
+	analog, _ := BuildAnalog(net, DefaultConfig(dev), r)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("backward through analog layer should panic")
+		}
+	}()
+	x := data.MNISTLike(4, 4, 9).TrainX
+	analog.LossGrad(x, []int{0, 1, 2, 3}, false)
+}
+
+func TestBuildAnalogSharesNoState(t *testing.T) {
+	dev := device.Default(4, 0.1)
+	r := rng.New(6)
+	net := models.LeNet(10, 4, r)
+	before := net.MappedParams()[0].Data.Clone()
+	BuildAnalog(net, DefaultConfig(dev), r)
+	after := net.MappedParams()[0].Data
+	for i := range before.Data {
+		if before.Data[i] != after.Data[i] {
+			t.Fatal("building the analog twin mutated the source network")
+		}
+	}
+}

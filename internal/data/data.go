@@ -1,0 +1,305 @@
+// Package data synthesizes the image-classification datasets used by the
+// experiment harnesses. The paper evaluates on MNIST, CIFAR-10 and Tiny
+// ImageNet; none of those can be downloaded in this offline reproduction, so
+// each is substituted by a procedurally generated task of matching geometry
+// (see DESIGN.md §3): every class owns a smooth random prototype built from
+// Gaussian blobs, and samples are random translations, contrast jitter and
+// pixel noise around the prototype. The tasks are learnable by the same
+// architectures, non-trivially hard (translation variance + noise), and —
+// crucially for SWIM — produce converged loss surfaces with the df/dw ≈ 0
+// property Eq. 3 relies on, exercising the identical code paths as the
+// paper's datasets.
+package data
+
+import (
+	"fmt"
+	"math"
+
+	"swim/internal/rng"
+	"swim/internal/tensor"
+)
+
+// Dataset is an in-memory image-classification dataset.
+type Dataset struct {
+	Name    string
+	C, H, W int
+	Classes int
+	TrainX  *tensor.Tensor // [Ntrain, C, H, W]
+	TrainY  []int
+	TestX   *tensor.Tensor // [Ntest, C, H, W]
+	TestY   []int
+}
+
+// Config parameterizes the synthetic generator.
+type Config struct {
+	Name    string
+	C, H, W int
+	Classes int
+	Train   int
+	Test    int
+	Blobs   int // Gaussian blobs per class prototype
+	// SharedBlobs is the number of blobs of a background pattern common to
+	// every class. Together with ClassSep it controls task difficulty: each
+	// prototype is shared + ClassSep·classSpecific, so a small ClassSep
+	// leaves classes distinguishable only by a subtle signal buried in the
+	// common background and pixel noise — mimicking the tight decision
+	// margins of real image tasks, which is what makes the mapped network
+	// sensitive to weight perturbations in the first place.
+	SharedBlobs int
+	ClassSep    float64
+	Shift       int     // max |translation| in pixels
+	NoiseStd    float64 // additive pixel noise
+	ContrastLo  float64
+	ContrastHi  float64
+	// HardFraction of samples receive HardNoiseMult× pixel noise. A mostly
+	// clean task with a hard minority reproduces the margin structure of
+	// real benchmarks: clean accuracy is high, yet a band of borderline
+	// samples sits near the decision boundary, so weight perturbations
+	// translate into first-order accuracy loss — the regime in which the
+	// paper's experiments operate (LeNet at 98.7% dropping ~4% under
+	// σ = 0.2 without write-verify).
+	HardFraction  float64
+	HardNoiseMult float64
+	Seed          uint64
+}
+
+// MNISTLike mirrors the MNIST geometry (1×28×28, 10 classes) used for the
+// paper's LeNet experiments (Table 1, Fig. 1). The preset was tuned so that
+// a converged 4-bit LeNet lands in the mid-90s with a hard-sample band,
+// putting device-noise degradation in the same first-order regime as the
+// paper's MNIST results.
+func MNISTLike(train, test int, seed uint64) *Dataset {
+	return Generate(Config{
+		Name: "mnist-like", C: 1, H: 28, W: 28, Classes: 10,
+		Train: train, Test: test,
+		Blobs: 6, SharedBlobs: 8, ClassSep: 0.8,
+		Shift: 2, NoiseStd: 0.4, ContrastLo: 0.8, ContrastHi: 1.2,
+		HardFraction: 0.3, HardNoiseMult: 3.0,
+		Seed: seed,
+	})
+}
+
+// CIFARLike mirrors the CIFAR-10 geometry (3×32×32, 10 classes) used for the
+// ConvNet and ResNet-18 experiments (Fig. 2a, 2b).
+func CIFARLike(train, test int, seed uint64) *Dataset {
+	return Generate(Config{
+		Name: "cifar-like", C: 3, H: 32, W: 32, Classes: 10,
+		Train: train, Test: test,
+		Blobs: 8, SharedBlobs: 10, ClassSep: 0.8,
+		Shift: 3, NoiseStd: 0.4, ContrastLo: 0.7, ContrastHi: 1.3,
+		HardFraction: 0.3, HardNoiseMult: 3.0,
+		Seed: seed,
+	})
+}
+
+// TinyImageNetLike substitutes the Tiny ImageNet task (Fig. 2c). The paper's
+// 200-class 64×64 problem is scaled to 40 classes at 3×32×32 — still markedly
+// harder than the CIFAR-like task (4× the classes at equal resolution), which
+// preserves the qualitative property Fig. 2c illustrates: all methods degrade
+// more, and the gap between SWIM and the baselines widens.
+func TinyImageNetLike(train, test int, seed uint64) *Dataset {
+	return Generate(Config{
+		Name: "tinyimagenet-like", C: 3, H: 32, W: 32, Classes: 40,
+		Train: train, Test: test,
+		Blobs: 8, SharedBlobs: 10, ClassSep: 0.7,
+		Shift: 3, NoiseStd: 0.4, ContrastLo: 0.7, ContrastHi: 1.3,
+		HardFraction: 0.3, HardNoiseMult: 3.0,
+		Seed: seed,
+	})
+}
+
+type blob struct {
+	cy, cx, sigma float64
+	amp           [8]float64 // per-channel amplitude (up to 8 channels)
+}
+
+// Generate builds a dataset from the configuration.
+func Generate(cfg Config) *Dataset {
+	if cfg.Classes < 2 || cfg.Train < cfg.Classes || cfg.Test < cfg.Classes {
+		panic(fmt.Sprintf("data: degenerate config %+v", cfg))
+	}
+	r := rng.New(cfg.Seed)
+	sep := cfg.ClassSep
+	if sep <= 0 {
+		sep = 1
+	}
+
+	makeBlobs := func(n int) []blob {
+		bs := make([]blob, n)
+		for i := range bs {
+			b := blob{
+				cy:    r.Float64() * float64(cfg.H),
+				cx:    r.Float64() * float64(cfg.W),
+				sigma: 1.5 + r.Float64()*float64(cfg.H)/6,
+			}
+			for c := 0; c < cfg.C; c++ {
+				b.amp[c] = r.Gauss(0, 1)
+			}
+			bs[i] = b
+		}
+		return bs
+	}
+	shared := makeBlobs(cfg.SharedBlobs)
+	protos := make([][]blob, cfg.Classes)
+	for k := range protos {
+		protos[k] = makeBlobs(cfg.Blobs)
+	}
+
+	// Pre-render each prototype once; samples shift/scale/noise it.
+	sharedImg := tensor.New(cfg.C, cfg.H, cfg.W)
+	renderBlobs(sharedImg, shared, 0, 0)
+	rendered := make([]*tensor.Tensor, cfg.Classes)
+	for k := range rendered {
+		img := tensor.New(cfg.C, cfg.H, cfg.W)
+		renderBlobs(img, protos[k], 0, 0)
+		img.Scale(sep)
+		img.Add(sharedImg)
+		normalize(img)
+		rendered[k] = img
+	}
+
+	d := &Dataset{
+		Name: cfg.Name, C: cfg.C, H: cfg.H, W: cfg.W, Classes: cfg.Classes,
+		TrainX: tensor.New(cfg.Train, cfg.C, cfg.H, cfg.W),
+		TrainY: make([]int, cfg.Train),
+		TestX:  tensor.New(cfg.Test, cfg.C, cfg.H, cfg.W),
+		TestY:  make([]int, cfg.Test),
+	}
+	fill := func(x *tensor.Tensor, y []int, rr *rng.Source) {
+		n := len(y)
+		sample := cfg.C * cfg.H * cfg.W
+		for i := 0; i < n; i++ {
+			k := i % cfg.Classes // balanced classes
+			y[i] = k
+			dst := x.Data[i*sample : (i+1)*sample]
+			dy := rr.Intn(2*cfg.Shift+1) - cfg.Shift
+			dx := rr.Intn(2*cfg.Shift+1) - cfg.Shift
+			contrast := cfg.ContrastLo + rr.Float64()*(cfg.ContrastHi-cfg.ContrastLo)
+			noise := cfg.NoiseStd
+			if cfg.HardFraction > 0 && rr.Float64() < cfg.HardFraction {
+				noise *= cfg.HardNoiseMult
+			}
+			shiftInto(dst, rendered[k], cfg.C, cfg.H, cfg.W, dy, dx)
+			for j := range dst {
+				dst[j] = dst[j]*contrast + rr.Gauss(0, noise)
+			}
+		}
+	}
+	fill(d.TrainX, d.TrainY, r.Split())
+	fill(d.TestX, d.TestY, r.Split())
+	return d
+}
+
+func renderBlobs(img *tensor.Tensor, bs []blob, dy, dx float64) {
+	c, h, w := img.Shape[0], img.Shape[1], img.Shape[2]
+	for _, b := range bs {
+		cy, cx := b.cy+dy, b.cx+dx
+		inv := 1.0 / (2 * b.sigma * b.sigma)
+		for i := 0; i < h; i++ {
+			dyy := float64(i) - cy
+			for j := 0; j < w; j++ {
+				dxx := float64(j) - cx
+				g := math.Exp(-(dyy*dyy + dxx*dxx) * inv)
+				if g < 1e-4 {
+					continue
+				}
+				for ch := 0; ch < c; ch++ {
+					img.Data[(ch*h+i)*w+j] += b.amp[ch] * g
+				}
+			}
+		}
+	}
+}
+
+// shiftInto copies src translated by (dy, dx) with zero padding at borders.
+func shiftInto(dst []float64, src *tensor.Tensor, c, h, w, dy, dx int) {
+	for ch := 0; ch < c; ch++ {
+		for i := 0; i < h; i++ {
+			si := i - dy
+			for j := 0; j < w; j++ {
+				sj := j - dx
+				idx := (ch*h+i)*w + j
+				if si < 0 || si >= h || sj < 0 || sj >= w {
+					dst[idx] = 0
+				} else {
+					dst[idx] = src.Data[(ch*h+si)*w+sj]
+				}
+			}
+		}
+	}
+}
+
+func normalize(img *tensor.Tensor) {
+	var mean float64
+	for _, v := range img.Data {
+		mean += v
+	}
+	mean /= float64(len(img.Data))
+	var ss float64
+	for i := range img.Data {
+		img.Data[i] -= mean
+		ss += img.Data[i] * img.Data[i]
+	}
+	std := math.Sqrt(ss / float64(len(img.Data)))
+	if std < 1e-9 {
+		return
+	}
+	inv := 1.0 / std
+	for i := range img.Data {
+		img.Data[i] *= inv
+	}
+}
+
+// Batch is a contiguous mini-batch view of a dataset split.
+type Batch struct {
+	X *tensor.Tensor
+	Y []int
+}
+
+// Batches splits (x, y) into consecutive batches of at most size samples.
+// Views share backing storage with x — do not mutate them.
+func Batches(x *tensor.Tensor, y []int, size int) []Batch {
+	if size <= 0 {
+		panic("data: non-positive batch size")
+	}
+	n := x.Shape[0]
+	sample := x.Size() / n
+	var out []Batch
+	for start := 0; start < n; start += size {
+		end := start + size
+		if end > n {
+			end = n
+		}
+		shape := append([]int{end - start}, x.Shape[1:]...)
+		out = append(out, Batch{
+			X: tensor.FromSlice(x.Data[start*sample:end*sample], shape...),
+			Y: y[start:end],
+		})
+	}
+	return out
+}
+
+// Shuffled returns a shuffled copy of the split (x, y). The copy keeps the
+// original untouched so epochs can reshuffle independently.
+func Shuffled(x *tensor.Tensor, y []int, r *rng.Source) (*tensor.Tensor, []int) {
+	n := x.Shape[0]
+	sample := x.Size() / n
+	perm := r.Perm(n)
+	nx := tensor.New(x.Shape...)
+	ny := make([]int, n)
+	for i, p := range perm {
+		copy(nx.Data[i*sample:(i+1)*sample], x.Data[p*sample:(p+1)*sample])
+		ny[i] = y[p]
+	}
+	return nx, ny
+}
+
+// Subset returns the first n samples of the split as a view.
+func Subset(x *tensor.Tensor, y []int, n int) (*tensor.Tensor, []int) {
+	if n > x.Shape[0] {
+		n = x.Shape[0]
+	}
+	sample := x.Size() / x.Shape[0]
+	shape := append([]int{n}, x.Shape[1:]...)
+	return tensor.FromSlice(x.Data[:n*sample], shape...), y[:n]
+}

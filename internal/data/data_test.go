@@ -1,0 +1,172 @@
+package data
+
+import (
+	"math"
+	"testing"
+
+	"swim/internal/rng"
+	"swim/internal/tensor"
+)
+
+func TestGenerateShapesAndBalance(t *testing.T) {
+	d := MNISTLike(100, 50, 1)
+	if d.TrainX.Shape[0] != 100 || d.TestX.Shape[0] != 50 {
+		t.Fatalf("split sizes wrong: %v / %v", d.TrainX.Shape, d.TestX.Shape)
+	}
+	if d.C != 1 || d.H != 28 || d.W != 28 || d.Classes != 10 {
+		t.Fatalf("geometry wrong: %+v", d)
+	}
+	counts := make([]int, d.Classes)
+	for _, y := range d.TrainY {
+		if y < 0 || y >= d.Classes {
+			t.Fatalf("label out of range: %d", y)
+		}
+		counts[y]++
+	}
+	for k, c := range counts {
+		if c != 10 {
+			t.Fatalf("class %d has %d samples, want balanced 10", k, c)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := CIFARLike(20, 10, 7)
+	b := CIFARLike(20, 10, 7)
+	for i := range a.TrainX.Data {
+		if a.TrainX.Data[i] != b.TrainX.Data[i] {
+			t.Fatal("same seed produced different data")
+		}
+	}
+	c := CIFARLike(20, 10, 8)
+	same := true
+	for i := range a.TrainX.Data {
+		if a.TrainX.Data[i] != c.TrainX.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestClassesAreSeparable(t *testing.T) {
+	// A nearest-class-prototype classifier on the clean prototypes should
+	// beat chance by a wide margin — otherwise the task is pure noise and
+	// accuracy-drop experiments would be meaningless.
+	d := MNISTLike(200, 200, 3)
+	sample := d.C * d.H * d.W
+	protos := make([][]float64, d.Classes)
+	counts := make([]int, d.Classes)
+	for i, y := range d.TrainY {
+		if protos[y] == nil {
+			protos[y] = make([]float64, sample)
+		}
+		for j := 0; j < sample; j++ {
+			protos[y][j] += d.TrainX.Data[i*sample+j]
+		}
+		counts[y]++
+	}
+	for k := range protos {
+		for j := range protos[k] {
+			protos[k][j] /= float64(counts[k])
+		}
+	}
+	correct := 0
+	for i, y := range d.TestY {
+		best, bestK := math.Inf(1), -1
+		for k := range protos {
+			s := 0.0
+			for j := 0; j < sample; j++ {
+				diff := d.TestX.Data[i*sample+j] - protos[k][j]
+				s += diff * diff
+			}
+			if s < best {
+				best, bestK = s, k
+			}
+		}
+		if bestK == y {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(len(d.TestY))
+	if acc < 0.5 {
+		t.Fatalf("nearest-prototype accuracy %.2f; task not separable (chance = 0.1)", acc)
+	}
+}
+
+func TestTinyImageNetLikeIsHarder(t *testing.T) {
+	d := TinyImageNetLike(80, 80, 2)
+	if d.Classes != 40 {
+		t.Fatalf("classes = %d, want 40", d.Classes)
+	}
+}
+
+func TestBatches(t *testing.T) {
+	x := tensor.New(10, 2)
+	for i := range x.Data {
+		x.Data[i] = float64(i)
+	}
+	y := make([]int, 10)
+	for i := range y {
+		y[i] = i
+	}
+	bs := Batches(x, y, 4)
+	if len(bs) != 3 {
+		t.Fatalf("batch count = %d", len(bs))
+	}
+	if bs[0].X.Shape[0] != 4 || bs[2].X.Shape[0] != 2 {
+		t.Fatalf("batch shapes wrong")
+	}
+	if bs[1].X.Data[0] != 8 { // sample 4 starts at flat index 8
+		t.Fatalf("batch view misaligned: %v", bs[1].X.Data[0])
+	}
+	if bs[2].Y[1] != 9 {
+		t.Fatal("labels misaligned")
+	}
+}
+
+func TestShuffledPreservesPairs(t *testing.T) {
+	x := tensor.New(8, 1)
+	y := make([]int, 8)
+	for i := 0; i < 8; i++ {
+		x.Data[i] = float64(i) * 10
+		y[i] = i
+	}
+	sx, sy := Shuffled(x, y, rng.New(5))
+	for i := 0; i < 8; i++ {
+		if sx.Data[i] != float64(sy[i])*10 {
+			t.Fatal("shuffle broke sample-label pairing")
+		}
+	}
+	sum := 0
+	for _, v := range sy {
+		sum += v
+	}
+	if sum != 28 {
+		t.Fatal("shuffle lost labels")
+	}
+}
+
+func TestSubset(t *testing.T) {
+	x := tensor.New(10, 3)
+	y := make([]int, 10)
+	sx, sy := Subset(x, y, 4)
+	if sx.Shape[0] != 4 || len(sy) != 4 {
+		t.Fatal("subset size wrong")
+	}
+	sx2, _ := Subset(x, y, 99)
+	if sx2.Shape[0] != 10 {
+		t.Fatal("oversized subset must clamp")
+	}
+}
+
+func TestNormalizedPrototypes(t *testing.T) {
+	d := CIFARLike(30, 10, 9)
+	// Samples should have roughly zero mean / unit-ish std before jitter;
+	// after contrast and noise they stay bounded.
+	if m := d.TrainX.AbsMax(); m > 10 {
+		t.Fatalf("sample values unreasonably large: %v", m)
+	}
+}

@@ -1,0 +1,92 @@
+package device
+
+import (
+	"math"
+
+	"swim/internal/rng"
+)
+
+// SpatialConfig parameterizes the §2.1 spatial-variation extension: "spatial
+// variations result from fabrication defects and have both local and global
+// correlations". The paper evaluates temporal variation only and notes the
+// framework "can also be extended to other sources of variations"; this is
+// that extension. A chip instance draws one global offset plus a smooth
+// locally-correlated field over the crossbar plane; every device adds the
+// field value at its coordinates to its programming error. Because
+// write-verify reads back the actual conductance, verifying a weight
+// compensates spatial error exactly like temporal error — which is why SWIM
+// keeps working under combined variation (see the ablation benchmark).
+type SpatialConfig struct {
+	// GlobalStd is the per-chip constant offset spread (device levels).
+	GlobalStd float64
+	// LocalStd is the spread of the locally-correlated component.
+	LocalStd float64
+	// CorrLength is the correlation length of the local field, in device
+	// pitches: features of the field vary over roughly this many cells.
+	CorrLength float64
+	// Rows, Cols bound the modeled crossbar plane.
+	Rows, Cols int
+}
+
+// DefaultSpatial returns a moderate fabrication-variation setting.
+func DefaultSpatial(rows, cols int) SpatialConfig {
+	return SpatialConfig{GlobalStd: 0.05, LocalStd: 0.1, CorrLength: 16, Rows: rows, Cols: cols}
+}
+
+// SpatialField is one sampled chip instance.
+type SpatialField struct {
+	cfg    SpatialConfig
+	global float64
+	// coarse grid of the local component, bilinearly interpolated.
+	gridRows, gridCols int
+	grid               []float64
+}
+
+// NewSpatialField samples a chip instance from the configuration.
+func NewSpatialField(cfg SpatialConfig, r *rng.Source) *SpatialField {
+	if cfg.Rows < 1 || cfg.Cols < 1 {
+		panic("device: spatial field needs positive dimensions")
+	}
+	cl := cfg.CorrLength
+	if cl < 1 {
+		cl = 1
+	}
+	f := &SpatialField{
+		cfg:      cfg,
+		global:   r.Gauss(0, cfg.GlobalStd),
+		gridRows: int(math.Ceil(float64(cfg.Rows)/cl)) + 2,
+		gridCols: int(math.Ceil(float64(cfg.Cols)/cl)) + 2,
+	}
+	f.grid = make([]float64, f.gridRows*f.gridCols)
+	for i := range f.grid {
+		f.grid[i] = r.Gauss(0, cfg.LocalStd)
+	}
+	return f
+}
+
+// At returns the spatial error component (device levels) at crossbar
+// coordinates (row, col). Coordinates outside the configured plane clamp to
+// its border, so callers may map flat weight indices with a simple
+// row-major fold.
+func (f *SpatialField) At(row, col int) float64 {
+	cl := f.cfg.CorrLength
+	if cl < 1 {
+		cl = 1
+	}
+	y := math.Min(math.Max(float64(row)/cl, 0), float64(f.gridRows-2))
+	x := math.Min(math.Max(float64(col)/cl, 0), float64(f.gridCols-2))
+	y0, x0 := int(y), int(x)
+	fy, fx := y-float64(y0), x-float64(x0)
+	g := func(r, c int) float64 { return f.grid[r*f.gridCols+c] }
+	local := g(y0, x0)*(1-fy)*(1-fx) +
+		g(y0, x0+1)*(1-fy)*fx +
+		g(y0+1, x0)*fy*(1-fx) +
+		g(y0+1, x0+1)*fy*fx
+	return f.global + local
+}
+
+// AtFlat folds a flat weight index onto the plane row-major and returns the
+// spatial component, matching how package mapping lays out weights.
+func (f *SpatialField) AtFlat(i int) float64 {
+	return f.At(i/f.cfg.Cols, i%f.cfg.Cols)
+}

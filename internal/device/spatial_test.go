@@ -1,0 +1,94 @@
+package device
+
+import (
+	"math"
+	"testing"
+
+	"swim/internal/rng"
+	"swim/internal/stat"
+)
+
+func TestSpatialFieldDeterministicPerSeed(t *testing.T) {
+	cfg := DefaultSpatial(64, 64)
+	a := NewSpatialField(cfg, rng.New(1))
+	b := NewSpatialField(cfg, rng.New(1))
+	for i := 0; i < 100; i++ {
+		if a.AtFlat(i) != b.AtFlat(i) {
+			t.Fatal("same seed produced different fields")
+		}
+	}
+	c := NewSpatialField(cfg, rng.New(2))
+	if a.At(3, 3) == c.At(3, 3) && a.At(40, 40) == c.At(40, 40) {
+		t.Fatal("different seeds produced identical fields")
+	}
+}
+
+func TestSpatialFieldLocalCorrelation(t *testing.T) {
+	// Neighbouring devices must see nearly the same field; devices far apart
+	// (≫ correlation length) must decorrelate.
+	cfg := SpatialConfig{GlobalStd: 0, LocalStd: 0.2, CorrLength: 16, Rows: 256, Cols: 256}
+	var nearDiff, farDiff stat.Welford
+	base := rng.New(3)
+	for trial := 0; trial < 40; trial++ {
+		f := NewSpatialField(cfg, base.Split())
+		nearDiff.Add(math.Abs(f.At(100, 100) - f.At(100, 101)))
+		farDiff.Add(math.Abs(f.At(10, 10) - f.At(200, 200)))
+	}
+	if nearDiff.Mean() >= farDiff.Mean()/2 {
+		t.Fatalf("field not locally correlated: near %.4f vs far %.4f",
+			nearDiff.Mean(), farDiff.Mean())
+	}
+}
+
+func TestSpatialFieldGlobalOffsetShared(t *testing.T) {
+	cfg := SpatialConfig{GlobalStd: 1.0, LocalStd: 0.0, CorrLength: 8, Rows: 32, Cols: 32}
+	f := NewSpatialField(cfg, rng.New(4))
+	v := f.At(0, 0)
+	if v == 0 {
+		t.Fatal("global offset missing")
+	}
+	for i := 0; i < 200; i++ {
+		if f.AtFlat(i) != v {
+			t.Fatal("pure-global field must be constant across the chip")
+		}
+	}
+}
+
+func TestSpatialFieldBoundsClamp(t *testing.T) {
+	f := NewSpatialField(DefaultSpatial(16, 16), rng.New(5))
+	// Out-of-plane coordinates clamp instead of panicking.
+	_ = f.At(-5, -5)
+	_ = f.At(1000, 1000)
+	_ = f.AtFlat(16*16 + 999)
+}
+
+func TestCostModelConversions(t *testing.T) {
+	c := DefaultCost()
+	// 1e9 cycles at 110 ns each = 110 s.
+	if got := c.TimeSeconds(1e9); math.Abs(got-110) > 1e-9 {
+		t.Fatalf("time = %v, want 110", got)
+	}
+	if got := c.EnergyJoules(1e12); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("energy = %v, want 10 J", got)
+	}
+	c.Parallelism = 10
+	if got := c.TimeSeconds(1e9); math.Abs(got-11) > 1e-9 {
+		t.Fatalf("parallel time = %v, want 11", got)
+	}
+}
+
+func TestCostModelSpeedupProportionality(t *testing.T) {
+	// SWIM's value proposition in time/energy units: a 10x write-cycle
+	// reduction is exactly a 10x programming-time and 10x energy reduction,
+	// whatever the per-pulse constants (published full-system numbers are
+	// far larger than raw pulse widths — the paper quotes "more than one
+	// week" for ResNet-18 — but the ratio is what SWIM controls).
+	c := DefaultCost()
+	full, reduced := 1.12e8, 1.12e7
+	if r := c.TimeSeconds(full) / c.TimeSeconds(reduced); math.Abs(r-10) > 1e-9 {
+		t.Fatalf("time ratio %v, want 10", r)
+	}
+	if r := c.EnergyJoules(full) / c.EnergyJoules(reduced); math.Abs(r-10) > 1e-9 {
+		t.Fatalf("energy ratio %v, want 10", r)
+	}
+}

@@ -1,0 +1,313 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"swim/internal/data"
+	"swim/internal/device"
+	"swim/internal/mapping"
+	"swim/internal/mc"
+	"swim/internal/nn"
+	"swim/internal/rng"
+	"swim/internal/stat"
+	"swim/internal/swim"
+)
+
+// GranularityResult is one row of the Algorithm-1 granularity ablation.
+type GranularityResult struct {
+	Granularity float64
+	NWC         Cell // NWC spent when the accuracy target was met
+	Evals       Cell // accuracy evaluations performed (the cost p trades off)
+	Achieved    int  // trials that met the target
+	Trials      int
+}
+
+// AblateGranularity justifies the paper's p = 5% choice (§3.1): finer
+// granules stop write-verifying sooner (lower NWC) but cost more accuracy
+// evaluations of the mapped network; coarser granules overshoot the write
+// budget. The ablation runs Algorithm 1 with the SWIM selector at several p
+// and a fixed accuracy-drop target.
+func AblateGranularity(w *Workload, sigma, maxDrop float64, ps []float64, trials int, seed uint64) []GranularityResult {
+	dm := w.DeviceFor(sigma)
+	table := dm.CycleTable(300, rng.New(seed^0xab1a7e))
+	var out []GranularityResult
+	for _, p := range ps {
+		var nwc, evals stat.Welford
+		achieved := 0
+		base := rng.New(seed)
+		for t := 0; t < trials; t++ {
+			r := base.Split()
+			mp := mapping.New(w.Net, dm, table, r)
+			res := swim.Algorithm1(mp, w.Selector("swim"), p, w.CleanAcc, maxDrop,
+				w.DS.TestX, w.DS.TestY, 64, r)
+			nwc.Add(mp.NWC())
+			evals.Add(float64(len(res.Steps)))
+			if res.Achieved {
+				achieved++
+			}
+		}
+		out = append(out, GranularityResult{
+			Granularity: p,
+			NWC:         Cell{nwc.Mean(), nwc.Std()},
+			Evals:       Cell{evals.Mean(), evals.Std()},
+			Achieved:    achieved,
+			Trials:      trials,
+		})
+	}
+	return out
+}
+
+// PrintGranularity renders the granularity ablation.
+func PrintGranularity(out io.Writer, w *Workload, maxDrop float64, rows []GranularityResult) {
+	fmt.Fprintf(out, "Ablation: Algorithm 1 granularity p on %s (target drop <= %.2f pp)\n", w.Name, maxDrop)
+	fmt.Fprintf(out, "%-8s %-16s %-16s %s\n", "p", "NWC at stop", "accuracy evals", "achieved")
+	for _, row := range rows {
+		fmt.Fprintf(out, "%-8.3f %-16s %-16s %d/%d\n",
+			row.Granularity, row.NWC, row.Evals, row.Achieved, row.Trials)
+	}
+}
+
+// TieBreakResult compares SWIM with and without the magnitude tie-breaker.
+type TieBreakResult struct {
+	NWC          float64
+	WithTie      Cell
+	WithoutTie   Cell
+	TiedFraction float64 // fraction of weights sharing a second derivative with another weight
+}
+
+// noTieSelector orders purely by Hessian value, ties left in index order.
+type noTieSelector struct{ hess []float64 }
+
+func (s *noTieSelector) Name() string { return "swim-no-tiebreak" }
+func (s *noTieSelector) Order(*rng.Source) []int {
+	idx := make([]int, len(s.hess))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return s.hess[idx[a]] > s.hess[idx[b]] })
+	return idx
+}
+
+// AblateTieBreak measures whether the paper's magnitude tie-breaker (§3.2)
+// matters at a given write budget. Ties are common in ReLU networks: weights
+// behind dead activations share an exactly-zero second derivative.
+func AblateTieBreak(w *Workload, sigma, nwc float64, trials int, seed uint64) TieBreakResult {
+	dm := w.DeviceFor(sigma)
+	table := dm.CycleTable(300, rng.New(seed^0x7eb4))
+
+	counts := map[float64]int{}
+	for _, h := range w.Hess {
+		counts[h]++
+	}
+	tied := 0
+	for _, h := range w.Hess {
+		if counts[h] > 1 {
+			tied++
+		}
+	}
+
+	run := func(sel swim.Selector, seed uint64) Cell {
+		agg := mc.Run(seed, trials, func(r *rng.Source) float64 {
+			mp := mapping.New(w.Net, dm, table, r)
+			swim.WriteVerifyToNWC(mp, sel.Order(r), nwc, r)
+			return mp.Accuracy(w.DS.TestX, w.DS.TestY, 64)
+		})
+		return Cell{agg.Mean(), agg.Std()}
+	}
+	return TieBreakResult{
+		NWC:          nwc,
+		WithTie:      run(w.Selector("swim"), seed),
+		WithoutTie:   run(&noTieSelector{hess: w.Hess}, seed),
+		TiedFraction: float64(tied) / float64(len(w.Hess)),
+	}
+}
+
+// KBitsResult is one row of the device bit-width ablation.
+type KBitsResult struct {
+	K        int
+	Devices  int
+	NoiseStd float64 // unverified weight-level noise (LSB units, Eq. 16)
+	NoVerify Cell    // accuracy with no write-verify
+	AtNWC    Cell    // accuracy with SWIM at the probe NWC
+}
+
+// AblateDeviceBits sweeps K, the bits per device (Eq. 15). Fewer bits per
+// device means more devices per weight, which changes both the Eq. 16 noise
+// amplification and the write-verify cost structure.
+func AblateDeviceBits(w *Workload, sigma, nwc float64, ks []int, trials int, seed uint64) []KBitsResult {
+	var out []KBitsResult
+	for _, k := range ks {
+		dm := w.DeviceFor(sigma)
+		dm.DeviceBits = k
+		table := dm.CycleTable(300, rng.New(seed^uint64(k)))
+		sel := w.Selector("swim")
+
+		noVer := mc.Run(seed+uint64(k), trials, func(r *rng.Source) float64 {
+			mp := mapping.New(w.Net, dm, table, r)
+			return mp.Accuracy(w.DS.TestX, w.DS.TestY, 64)
+		})
+		at := mc.Run(seed+uint64(k)+999, trials, func(r *rng.Source) float64 {
+			mp := mapping.New(w.Net, dm, table, r)
+			swim.WriteVerifyToNWC(mp, sel.Order(r), nwc, r)
+			return mp.Accuracy(w.DS.TestX, w.DS.TestY, 64)
+		})
+		out = append(out, KBitsResult{
+			K: k, Devices: dm.NumDevices(), NoiseStd: dm.NoiseStd(),
+			NoVerify: Cell{noVer.Mean(), noVer.Std()},
+			AtNWC:    Cell{at.Mean(), at.Std()},
+		})
+	}
+	return out
+}
+
+// PrintKBits renders the device bit-width ablation.
+func PrintKBits(out io.Writer, w *Workload, sigma, nwc float64, rows []KBitsResult) {
+	fmt.Fprintf(out, "Ablation: device bits K on %s (sigma=%.2f, SWIM at NWC=%.1f)\n", w.Name, sigma, nwc)
+	fmt.Fprintf(out, "%-4s %-8s %-12s %-16s %s\n", "K", "devices", "noise(LSB)", "no write-verify", "SWIM")
+	for _, row := range rows {
+		fmt.Fprintf(out, "%-4d %-8d %-12.3f %-16s %s\n",
+			row.K, row.Devices, row.NoiseStd, row.NoVerify, row.AtNWC)
+	}
+}
+
+// SpatialResult is one row of the spatial-variation extension experiment.
+type SpatialResult struct {
+	Label    string
+	NoVerify Cell
+	SWIMAt   Cell
+}
+
+// AblateSpatial exercises the §2.1 extension: programming under combined
+// temporal + spatial (globally and locally correlated) variation, with and
+// without SWIM write-verify at the probe budget. Write-verify corrects the
+// read-back error whatever its source, so SWIM's recovery should survive the
+// extra variation — the claim the paper defers to future work.
+func AblateSpatial(w *Workload, sigma, nwc float64, trials int, seed uint64) []SpatialResult {
+	dm := w.DeviceFor(sigma)
+	table := dm.CycleTable(300, rng.New(seed^0x59a7))
+	sel := w.Selector("swim")
+	side := 1
+	for side*side < w.Net.NumMappedWeights() {
+		side *= 2
+	}
+	scfg := device.DefaultSpatial(side, side)
+
+	run := func(spatial bool, seed uint64) SpatialResult {
+		label := "temporal only"
+		if spatial {
+			label = "temporal + spatial"
+		}
+		var noV, at stat.Welford
+		base := rng.New(seed)
+		for t := 0; t < trials; t++ {
+			r := base.Split()
+			mp := mapping.New(w.Net, dm, table, r)
+			if spatial {
+				mp.ProgramAllSpatial(r, device.NewSpatialField(scfg, r))
+			}
+			noV.Add(mp.Accuracy(w.DS.TestX, w.DS.TestY, 64))
+			swim.WriteVerifyToNWC(mp, sel.Order(r), nwc, r)
+			at.Add(mp.Accuracy(w.DS.TestX, w.DS.TestY, 64))
+		}
+		return SpatialResult{Label: label,
+			NoVerify: Cell{noV.Mean(), noV.Std()},
+			SWIMAt:   Cell{at.Mean(), at.Std()}}
+	}
+	return []SpatialResult{run(false, seed), run(true, seed+1)}
+}
+
+// PrintSpatial renders the spatial-extension experiment.
+func PrintSpatial(out io.Writer, w *Workload, nwc float64, rows []SpatialResult) {
+	fmt.Fprintf(out, "Extension: spatial variation (sec 2.1) on %s, SWIM at NWC=%.1f\n", w.Name, nwc)
+	fmt.Fprintf(out, "%-22s %-16s %s\n", "variation", "no write-verify", "SWIM")
+	for _, r := range rows {
+		fmt.Fprintf(out, "%-22s %-16s %s\n", r.Label, r.NoVerify, r.SWIMAt)
+	}
+}
+
+// CompareFisher pits SWIM's Hessian-diagonal ranking against the
+// empirical-Fisher (squared gradient) alternative at the probe budget.
+func CompareFisher(w *Workload, sigma, nwc float64, trials int, seed uint64) (swimCell, fisherCell Cell) {
+	dm := w.DeviceFor(sigma)
+	table := dm.CycleTable(300, rng.New(seed^0xf15e))
+	cx, cy := data.Subset(w.DS.TrainX, w.DS.TrainY, 384)
+	fisher := swim.FisherSensitivity(w.Net, cx, cy, 64)
+	run := func(sel swim.Selector, seed uint64) Cell {
+		agg := mc.Run(seed, trials, func(r *rng.Source) float64 {
+			mp := mapping.New(w.Net, dm, table, r)
+			swim.WriteVerifyToNWC(mp, sel.Order(r), nwc, r)
+			return mp.Accuracy(w.DS.TestX, w.DS.TestY, 64)
+		})
+		return Cell{agg.Mean(), agg.Std()}
+	}
+	return run(w.Selector("swim"), seed), run(swim.NewFisherSelector(fisher, w.Weights), seed)
+}
+
+// HessianQuality compares the analytic second derivatives against central
+// finite differences of the true loss on a weight sample (the Eq. 4→5
+// diagonal-approximation ablation). It returns the Spearman rank correlation
+// — ranking quality is what selection actually consumes.
+func HessianQuality(w *Workload, sample int, seed uint64) float64 {
+	// Finite differences need the smooth underlying network: the activation
+	// quantizers make the loss a staircase whose jumps (≈ one activation
+	// LSB) swamp the O(eps²) curvature signal. Disable them on a clone and
+	// recompute the analytic diagonal on that same smooth network so the two
+	// sides of the comparison see the identical function.
+	net := w.Net.Clone()
+	nn.Walk(net.Trunk, func(l nn.Layer) {
+		if q, ok := l.(*nn.QuantAct); ok {
+			q.Disabled = true
+		}
+	})
+	params := net.MappedParams()
+	evalX, evalY := data.Subset(w.DS.TrainX, w.DS.TrainY, 256)
+
+	net.ZeroHess()
+	for _, b := range data.Batches(evalX, evalY, 64) {
+		net.AccumulateHessian(b.X, b.Y)
+	}
+	var hess []float64
+	for _, p := range params {
+		hess = append(hess, p.Hess.Data...)
+	}
+
+	lossAt := func() float64 {
+		total, batches := 0.0, 0
+		for _, b := range data.Batches(evalX, evalY, 64) {
+			total += net.EvalLoss(b.X, b.Y)
+			batches++
+		}
+		return total / float64(batches)
+	}
+
+	// Random sampling would land mostly on zero-sensitivity weights (dead
+	// ReLU paths; the tie-break ablation shows they are the majority), where
+	// both the analytic and FD values are zero and rank correlation
+	// degenerates. Stratify instead: walk the sensitivity ordering at even
+	// strides so the sample spans the full dynamic range the selector
+	// actually discriminates over.
+	order := swim.NewSWIMSelector(hess, swim.FlatWeights(net)).Order(rng.New(seed))
+	span := len(order) / 2 // top half: where selection decisions happen
+	if sample > span {
+		sample = span
+	}
+	var analytic, fd []float64
+	const eps = 1e-3
+	f0 := lossAt()
+	for k := 0; k < sample; k++ {
+		flat := order[k*span/sample]
+		pi, off := locateFlat(params, flat)
+		p := params[pi]
+		orig := p.Data.Data[off]
+		p.Data.Data[off] = orig + eps
+		fp := lossAt()
+		p.Data.Data[off] = orig - eps
+		fm := lossAt()
+		p.Data.Data[off] = orig
+		analytic = append(analytic, hess[flat])
+		fd = append(fd, (fp-2*f0+fm)/(eps*eps))
+	}
+	return stat.Spearman(analytic, fd)
+}

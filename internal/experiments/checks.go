@@ -1,0 +1,87 @@
+package experiments
+
+import "fmt"
+
+// ShapeCheck is one qualitative property of the paper's results that the
+// reproduction is expected to preserve (absolute numbers are substrate-
+// dependent; shapes are not — see EXPERIMENTS.md).
+type ShapeCheck struct {
+	Name string
+	Pass bool
+	Note string
+}
+
+// CheckTable1Shapes verifies the qualitative structure of a Table 1 /
+// Fig. 2 style result set for one σ:
+//
+//  1. all write-verify methods converge to (nearly) the same accuracy at
+//     NWC = 1.0;
+//  2. SWIM is at least as accurate as magnitude and random selection at the
+//     low-budget operating point (NWC = 0.1);
+//  3. SWIM's trial-to-trial std at that point is not larger than the
+//     baselines' (the robustness claim);
+//  4. every method's accuracy does not decrease from NWC = 0 to NWC = 1.
+//
+// tol is the accuracy slack in percentage points used for (1), (2) and (4)
+// to absorb Monte-Carlo noise.
+func CheckTable1Shapes(res map[string][]Cell, nwcs []float64, tol float64) []ShapeCheck {
+	idxAt := func(target float64) int {
+		for i, n := range nwcs {
+			if n == target {
+				return i
+			}
+		}
+		return -1
+	}
+	i0, i01, i1 := idxAt(0), idxAt(0.1), idxAt(1.0)
+	var out []ShapeCheck
+	add := func(name string, pass bool, note string) {
+		out = append(out, ShapeCheck{Name: name, Pass: pass, Note: note})
+	}
+
+	if i1 >= 0 {
+		lo, hi := 200.0, -1.0
+		for _, m := range []string{"swim", "magnitude", "random"} {
+			v := res[m][i1].Mean
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		add("write-verify methods converge at NWC=1", hi-lo <= tol,
+			fmt.Sprintf("spread %.2f pp", hi-lo))
+	}
+	if i01 >= 0 {
+		s := res["swim"][i01]
+		for _, m := range []string{"magnitude", "random"} {
+			b := res[m][i01]
+			add("swim >= "+m+" at NWC=0.1", s.Mean >= b.Mean-tol,
+				fmt.Sprintf("swim %.2f vs %s %.2f", s.Mean, m, b.Mean))
+			add("swim std <= "+m+" std at NWC=0.1", s.Std <= b.Std+tol,
+				fmt.Sprintf("swim %.2f vs %s %.2f", s.Std, m, b.Std))
+		}
+	}
+	if i0 >= 0 && i1 >= 0 {
+		for _, m := range []string{"swim", "magnitude", "random", "insitu"} {
+			cells, ok := res[m]
+			if !ok {
+				continue
+			}
+			add(m+" improves from NWC=0 to NWC=1", cells[i1].Mean >= cells[i0].Mean-tol,
+				fmt.Sprintf("%.2f -> %.2f", cells[i0].Mean, cells[i1].Mean))
+		}
+	}
+	return out
+}
+
+// AllPass reports whether every check passed.
+func AllPass(checks []ShapeCheck) bool {
+	for _, c := range checks {
+		if !c.Pass {
+			return false
+		}
+	}
+	return true
+}

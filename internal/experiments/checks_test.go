@@ -1,0 +1,54 @@
+package experiments
+
+import "testing"
+
+func syntheticRes(swimAt01, magAt01, swimStd, magStd float64) map[string][]Cell {
+	return map[string][]Cell{
+		"swim":      {{90, 3}, {swimAt01, swimStd}, {97, 0.2}},
+		"magnitude": {{90, 3}, {magAt01, magStd}, {97.1, 0.3}},
+		"random":    {{90, 3}, {93, 1.5}, {96.9, 0.3}},
+		"insitu":    {{90, 3}, {94, 1.0}, {95.5, 0.5}},
+	}
+}
+
+func TestShapeChecksPassOnPaperLikeData(t *testing.T) {
+	nwcs := []float64{0, 0.1, 1.0}
+	checks := CheckTable1Shapes(syntheticRes(96.8, 94.5, 0.3, 1.2), nwcs, 0.5)
+	if !AllPass(checks) {
+		for _, c := range checks {
+			if !c.Pass {
+				t.Errorf("unexpected failure: %s (%s)", c.Name, c.Note)
+			}
+		}
+	}
+	if len(checks) != 1+4+4 {
+		t.Fatalf("expected 9 checks, got %d", len(checks))
+	}
+}
+
+func TestShapeChecksCatchInvertedResult(t *testing.T) {
+	nwcs := []float64{0, 0.1, 1.0}
+	// Magnitude beating SWIM by a wide margin should fail a check.
+	checks := CheckTable1Shapes(syntheticRes(92.0, 96.5, 2.0, 0.2), nwcs, 0.5)
+	if AllPass(checks) {
+		t.Fatal("inverted result passed the shape checks")
+	}
+}
+
+func TestShapeChecksOnRealFastSweep(t *testing.T) {
+	w := LeNetMNIST()
+	cfg := SweepConfig{NWCs: []float64{0, 0.1, 1.0}, Trials: 4, Seed: 50}
+	res := map[string][]Cell{}
+	for _, m := range Methods {
+		res[m] = Sweep(w, SigmaHigh, m, cfg)
+	}
+	// CI scale runs a 300-sample eval over 4 trials: binomial noise alone is
+	// ~1.7 pp per trial, so the slack must be generous. The full-scale shape
+	// verification lives in EXPERIMENTS.md (10 trials, 1000-sample eval).
+	checks := CheckTable1Shapes(res, cfg.NWCs, 5.0)
+	for _, c := range checks {
+		if !c.Pass {
+			t.Errorf("shape check failed at CI scale: %s (%s)", c.Name, c.Note)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"testing"
+)
+
+func TestMain(m *testing.M) {
+	// Experiments tests exercise the full pipeline at CI scale.
+	os.Setenv("SWIM_FAST", "1")
+	os.Setenv("SWIM_MC", "3")
+	os.Exit(m.Run())
+}
+
+func TestLeNetWorkloadBuildsOnceAndTrains(t *testing.T) {
+	w1 := LeNetMNIST()
+	w2 := LeNetMNIST()
+	if w1 != w2 {
+		t.Fatal("workload registry did not cache")
+	}
+	if w1.CleanAcc < 50 {
+		t.Fatalf("fast LeNet clean accuracy %.1f%% too low to be a trained model", w1.CleanAcc)
+	}
+	if len(w1.Hess) != w1.Net.NumMappedWeights() {
+		t.Fatal("sensitivity length mismatch")
+	}
+}
+
+func TestSelectorFactory(t *testing.T) {
+	w := LeNetMNIST()
+	for _, name := range []string{"swim", "magnitude", "random"} {
+		if got := w.Selector(name).Name(); got != name && !(name == "swim" && got == "swim") {
+			t.Fatalf("selector %q produced %q", name, got)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown selector accepted")
+		}
+	}()
+	w.Selector("bogus")
+}
+
+func TestSweepShapesAndMonotoneTrend(t *testing.T) {
+	w := LeNetMNIST()
+	cfg := SweepConfig{NWCs: []float64{0, 0.3, 1.0}, Trials: 3, Seed: 9}
+	cells := Sweep(w, SigmaHigh, "swim", cfg)
+	if len(cells) != 3 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	// Write-verifying more weights must not make things dramatically worse:
+	// final point should be at least the unverified point.
+	if cells[2].Mean < cells[0].Mean-1.0 {
+		t.Fatalf("NWC=1 accuracy (%.2f) far below NWC=0 (%.2f)", cells[2].Mean, cells[0].Mean)
+	}
+	for _, c := range cells {
+		if c.Mean < 0 || c.Mean > 100 || c.Std < 0 {
+			t.Fatalf("bad cell %+v", c)
+		}
+	}
+}
+
+func TestSweepInSitu(t *testing.T) {
+	w := LeNetMNIST()
+	cfg := SweepConfig{NWCs: []float64{0, 0.2}, Trials: 2, Seed: 10}
+	cells := Sweep(w, SigmaHigh, "insitu", cfg)
+	if len(cells) != 2 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+}
+
+func TestTable1AndPrint(t *testing.T) {
+	w := LeNetMNIST()
+	cfg := SweepConfig{NWCs: []float64{0, 1.0}, Trials: 2, Seed: 11}
+	res := Table1(w, []float64{SigmaTypical}, cfg)
+	if len(res) != 1 || len(res[SigmaTypical]) != len(Methods) {
+		t.Fatal("table shape wrong")
+	}
+	var buf bytes.Buffer
+	PrintTable1(&buf, w, []float64{SigmaTypical}, cfg, res)
+	if buf.Len() == 0 || !bytes.Contains(buf.Bytes(), []byte("swim")) {
+		t.Fatal("print produced nothing useful")
+	}
+}
+
+func TestFig1Correlations(t *testing.T) {
+	w := LeNetMNIST()
+	cfg := Fig1Config{NumWeights: 24, Repeats: 3, SigmaPerturb: 3, EvalN: 120, Seed: 12}
+	res := Fig1(w, cfg)
+	if len(res.Drop) != 24 {
+		t.Fatalf("drops = %d", len(res.Drop))
+	}
+	if res.PearsonHess < -1 || res.PearsonHess > 1 {
+		t.Fatalf("pearson out of range: %v", res.PearsonHess)
+	}
+	var buf bytes.Buffer
+	PrintFig1(&buf, w, cfg, res)
+	if !bytes.Contains(buf.Bytes(), []byte("Pearson")) {
+		t.Fatal("fig1 print missing correlations")
+	}
+}
+
+func TestFig2Panel(t *testing.T) {
+	w := ConvNetCIFAR()
+	cfg := SweepConfig{NWCs: []float64{0, 1.0}, Trials: 2, Seed: 13}
+	res := Fig2(w, cfg)
+	if len(res) != len(Methods) {
+		t.Fatal("missing methods")
+	}
+	var buf bytes.Buffer
+	PrintFig2(&buf, w, cfg, res)
+	if !bytes.Contains(buf.Bytes(), []byte("insitu")) {
+		t.Fatal("fig2 print missing methods")
+	}
+}
+
+func TestSpeedupAt(t *testing.T) {
+	nwcs := []float64{0, 0.1, 0.5, 1.0}
+	swimC := []Cell{{90, 0}, {97, 0}, {98, 0}, {98, 0}}
+	rival := []Cell{{90, 0}, {92, 0}, {96, 0}, {97.5, 0}}
+	// SWIM reaches 97 at NWC 0.1; rival never reaches 97 within grid -> 10x.
+	if s := SpeedupAt(swimC, rival, nwcs, 0.1); s != 10 {
+		t.Fatalf("speedup = %v, want 10", s)
+	}
+	rival2 := []Cell{{90, 0}, {92, 0}, {97.2, 0}, {98, 0}}
+	if s := SpeedupAt(swimC, rival2, nwcs, 0.1); s != 5 {
+		t.Fatalf("speedup = %v, want 5", s)
+	}
+}
+
+func TestAblateGranularity(t *testing.T) {
+	w := LeNetMNIST()
+	rows := AblateGranularity(w, SigmaHigh, 5.0, []float64{0.05, 0.25}, 2, 14)
+	if len(rows) != 2 {
+		t.Fatal("rows missing")
+	}
+	var buf bytes.Buffer
+	PrintGranularity(&buf, w, 5.0, rows)
+	if buf.Len() == 0 {
+		t.Fatal("granularity print empty")
+	}
+}
+
+func TestAblateTieBreak(t *testing.T) {
+	w := LeNetMNIST()
+	res := AblateTieBreak(w, SigmaHigh, 0.1, 2, 15)
+	if res.TiedFraction < 0 || res.TiedFraction > 1 {
+		t.Fatalf("tied fraction %v", res.TiedFraction)
+	}
+}
+
+func TestAblateDeviceBits(t *testing.T) {
+	w := LeNetMNIST()
+	rows := AblateDeviceBits(w, SigmaTypical, 0.1, []int{2, 4}, 2, 16)
+	if len(rows) != 2 {
+		t.Fatal("rows missing")
+	}
+	if rows[0].Devices <= rows[1].Devices {
+		t.Fatalf("K=2 should need more devices than K=4: %+v", rows)
+	}
+	var buf bytes.Buffer
+	PrintKBits(&buf, w, SigmaTypical, 0.1, rows)
+	if buf.Len() == 0 {
+		t.Fatal("kbits print empty")
+	}
+}
+
+func TestHessianQuality(t *testing.T) {
+	w := LeNetMNIST()
+	rho := HessianQuality(w, 12, 17)
+	if rho < -1 || rho > 1 {
+		t.Fatalf("spearman %v out of range", rho)
+	}
+}

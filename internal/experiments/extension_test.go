@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestAblateSpatial(t *testing.T) {
+	w := LeNetMNIST()
+	rows := AblateSpatial(w, SigmaTypical, 0.2, 2, 60)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Label == rows[1].Label {
+		t.Fatal("labels not distinct")
+	}
+	for _, r := range rows {
+		// SWIM write-verify should never make things worse than unverified
+		// programming (allowing CI-scale Monte-Carlo slack).
+		if r.SWIMAt.Mean < r.NoVerify.Mean-3 {
+			t.Fatalf("%s: SWIM %.2f below unverified %.2f", r.Label, r.SWIMAt.Mean, r.NoVerify.Mean)
+		}
+	}
+	var buf bytes.Buffer
+	PrintSpatial(&buf, w, 0.2, rows)
+	if !bytes.Contains(buf.Bytes(), []byte("spatial")) {
+		t.Fatal("print missing content")
+	}
+}
+
+func TestCompareFisher(t *testing.T) {
+	w := LeNetMNIST()
+	sw, fi := CompareFisher(w, SigmaHigh, 0.1, 2, 61)
+	for _, c := range []Cell{sw, fi} {
+		if c.Mean < 0 || c.Mean > 100 {
+			t.Fatalf("bad cell %+v", c)
+		}
+	}
+}

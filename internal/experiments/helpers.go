@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"swim/internal/data"
+	"swim/internal/nn"
+	"swim/internal/quant"
+	"swim/internal/tensor"
+)
+
+// accuracyOf evaluates top-1 accuracy (%) in batches of 64.
+func accuracyOf(net *nn.Network, x *tensor.Tensor, y []int) float64 {
+	correct := 0
+	for _, b := range data.Batches(x, y, 64) {
+		correct += net.CountCorrect(b.X, b.Y)
+	}
+	return 100 * float64(correct) / float64(len(y))
+}
+
+// scaleOf returns the quantization step the mapping layer would use for p.
+func scaleOf(p *nn.Param, bits int) float64 {
+	return quant.ScaleFor(p.Data, bits)
+}
+
+// locateFlat maps a flat mapped-weight index to (param index, offset),
+// mirroring package mapping's ordering.
+func locateFlat(params []*nn.Param, flat int) (int, int) {
+	for i, p := range params {
+		if flat < p.Size() {
+			return i, flat
+		}
+		flat -= p.Size()
+	}
+	panic("experiments: flat index out of range")
+}

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"swim/internal/data"
+	"swim/internal/mapping"
+	"swim/internal/mc"
+	"swim/internal/rng"
+	"swim/internal/stat"
+	"swim/internal/swim"
+)
+
+// Methods in the order the paper's Table 1 lists them.
+var Methods = []string{"swim", "magnitude", "random", "insitu"}
+
+// Cell is one mean ± std entry.
+type Cell struct {
+	Mean, Std float64
+}
+
+func (c Cell) String() string { return fmt.Sprintf("%.2f ± %.2f", c.Mean, c.Std) }
+
+// SweepConfig parameterizes an accuracy-vs-NWC sweep (Table 1 rows and the
+// Fig. 2 curves share it).
+type SweepConfig struct {
+	NWCs   []float64
+	Trials int
+	Seed   uint64
+}
+
+// DefaultNWCs is the paper's Table 1 NWC grid.
+func DefaultNWCs() []float64 { return []float64{0, 0.1, 0.3, 0.5, 0.7, 0.9, 1.0} }
+
+// DefaultSweep returns the sweep configuration, honouring SWIM_MC.
+func DefaultSweep() SweepConfig {
+	trials := mc.Trials(8)
+	if mc.Fast() {
+		trials = mc.Trials(3)
+	}
+	return SweepConfig{NWCs: DefaultNWCs(), Trials: trials, Seed: 1000}
+}
+
+// Sweep measures accuracy (mean ± std over Monte-Carlo trials) for one
+// workload, device σ and method at every NWC point. Each trial programs a
+// fresh device instance, spends the write budget per the method, and
+// evaluates on the test split — the paper's protocol.
+func Sweep(w *Workload, sigma float64, method string, cfg SweepConfig) []Cell {
+	dm := w.DeviceFor(sigma)
+	table := dm.CycleTable(300, rng.New(cfg.Seed^0x5eed))
+	points := len(cfg.NWCs)
+	evalX, evalY := data.Subset(w.DS.TestX, w.DS.TestY, mc.EvalSize(len(w.DS.TestY)))
+
+	agg := mc.RunSeries(cfg.Seed, cfg.Trials, points, func(r *rng.Source) []float64 {
+		out := make([]float64, points)
+		var sel swim.Selector
+		var order []int
+		if method != "insitu" {
+			sel = w.Selector(method)
+			order = sel.Order(r)
+		}
+		// One trial walks the NWC grid incrementally on a single device
+		// instance: write budgets are cumulative, matching how a sweep
+		// would run on one physical chip.
+		mp := mapping.New(w.Net, dm, table, r)
+		insituStart := 0
+		for i, nwc := range cfg.NWCs {
+			switch {
+			case method == "insitu":
+				budget := nwc * mp.BaselineCycles()
+				for mp.CyclesUsed < budget {
+					insituStart = swim.InSituStep(mp, w.DS.TrainX, w.DS.TrainY, insituStart, swim.DefaultInSitu(), r)
+				}
+			default:
+				swim.WriteVerifyToNWC(mp, order, nwc, r)
+			}
+			out[i] = mp.Accuracy(evalX, evalY, 64)
+		}
+		return out
+	})
+
+	cells := make([]Cell, points)
+	for i, a := range agg {
+		cells[i] = Cell{Mean: a.Mean(), Std: a.Std()}
+	}
+	return cells
+}
+
+// Table1 runs the full Table 1 grid: σ × method × NWC on the LeNet/MNIST
+// workload (or any other workload, for ablations).
+func Table1(w *Workload, sigmas []float64, cfg SweepConfig) map[float64]map[string][]Cell {
+	out := make(map[float64]map[string][]Cell)
+	for _, sigma := range sigmas {
+		out[sigma] = make(map[string][]Cell)
+		for _, m := range Methods {
+			out[sigma][m] = Sweep(w, sigma, m, cfg)
+		}
+	}
+	return out
+}
+
+// PrintTable1 renders the grid in the paper's Table 1 layout.
+func PrintTable1(out io.Writer, w *Workload, sigmas []float64, cfg SweepConfig, res map[float64]map[string][]Cell) {
+	fmt.Fprintf(out, "Table 1: accuracy (%%) vs NWC on %s (clean accuracy %.2f%%, %d weights, %d MC trials)\n",
+		w.Name, w.CleanAcc, w.Net.NumMappedWeights(), cfg.Trials)
+	fmt.Fprintf(out, "%-6s %-10s", "sigma", "method")
+	for _, nwc := range cfg.NWCs {
+		fmt.Fprintf(out, " %13.1f", nwc)
+	}
+	fmt.Fprintln(out)
+	for _, sigma := range sigmas {
+		for _, m := range Methods {
+			fmt.Fprintf(out, "%-6.2f %-10s", sigma, m)
+			for _, c := range res[sigma][m] {
+				fmt.Fprintf(out, " %6.2f ± %4.2f", c.Mean, c.Std)
+			}
+			fmt.Fprintln(out)
+		}
+	}
+}
+
+// SpeedupAt reports the write-cycle speedup of the first method over the
+// second for reaching the accuracy that `method` attains at targetNWC —
+// the headline "up to 10x" style numbers of the paper. It interpolates on
+// the rival's curve.
+func SpeedupAt(cells, rival []Cell, nwcs []float64, targetNWC float64) float64 {
+	// Accuracy the method reaches at targetNWC.
+	var acc float64
+	for i, n := range nwcs {
+		if n >= targetNWC {
+			acc = cells[i].Mean
+			break
+		}
+	}
+	// First grid point where the rival matches it.
+	for i, c := range rival {
+		if c.Mean >= acc-1e-9 {
+			if nwcs[i] == 0 {
+				return 1
+			}
+			return nwcs[i] / targetNWC
+		}
+	}
+	// Rival never reaches it within the grid.
+	last := nwcs[len(nwcs)-1]
+	return last / targetNWC
+}
+
+// WelfordCells converts raw Welford aggregates to cells (helper shared by
+// other experiment files).
+func WelfordCells(ws []*stat.Welford) []Cell {
+	out := make([]Cell, len(ws))
+	for i, w := range ws {
+		out[i] = Cell{Mean: w.Mean(), Std: w.Std()}
+	}
+	return out
+}

@@ -1,0 +1,246 @@
+// Package mapping manages the state of a DNN programmed onto an nvCiM
+// platform: the desired (quantized) weight values, the values actually
+// sitting on the devices after noisy programming, which weights have been
+// write-verified, and the running write-cycle bill that the paper's NWC
+// (normalized write cycles) metric is computed from.
+//
+// One Mapped instance is one Monte-Carlo trial: it owns a clone of the
+// trained master network whose mapped weights are perturbed per the device
+// model, and re-programs individual weights on demand (write-verify for the
+// selective schemes, noisy unverified writes for in-situ training).
+package mapping
+
+import (
+	"fmt"
+	"math"
+
+	"swim/internal/data"
+	"swim/internal/device"
+	"swim/internal/nn"
+	"swim/internal/quant"
+	"swim/internal/rng"
+	"swim/internal/tensor"
+)
+
+// Mapped is a network programmed onto simulated NVM devices.
+type Mapped struct {
+	// Net is the working clone whose mapped parameters hold programmed
+	// (noisy) values; evaluating it measures on-device accuracy.
+	Net *nn.Network
+	// Model is the device/programming model in force.
+	Model device.Model
+
+	params  []*nn.Param // mapped params of Net, layer order
+	offsets []int       // flat start index of each param
+	scales  []float64   // per-param quantization step
+	total   int
+
+	desired []float64 // flat desired float weights (on the quantized grid)
+	mags    []int     // flat integer magnitudes
+	signs   []float64 // flat signs (+1/−1)
+	// Verified marks weights that have been write-verified in this trial.
+	Verified []bool
+
+	// CyclesUsed accumulates write cycles spent by write-verify and in-situ
+	// writes. The initial parallel programming pass is free (paper: NWC = 0
+	// means "no write-verify or in-situ training").
+	CyclesUsed float64
+
+	cycleTable []float64 // expected WV cycles per magnitude
+}
+
+// New quantizes the master network's mapped weights onto the device grid,
+// programs every weight with unverified noise (Eq. 16), and returns the
+// trial state. The master network is not modified.
+func New(master *nn.Network, m device.Model, cycleTable []float64, r *rng.Source) *Mapped {
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+	net := master.Clone()
+	mp := &Mapped{Net: net, Model: m, cycleTable: cycleTable}
+	for _, p := range net.MappedParams() {
+		mp.offsets = append(mp.offsets, mp.total)
+		mp.params = append(mp.params, p)
+		scale := quant.ScaleFor(p.Data, m.WeightBits)
+		mp.scales = append(mp.scales, scale)
+		mags, signs := quant.QuantizeInt(p.Data, scale, m.WeightBits)
+		des := quant.Dequantize(mags, signs, scale)
+		mp.mags = append(mp.mags, mags...)
+		mp.signs = append(mp.signs, signs...)
+		mp.desired = append(mp.desired, des...)
+		mp.total += p.Size()
+	}
+	mp.Verified = make([]bool, mp.total)
+	if mp.cycleTable == nil {
+		mp.cycleTable = m.CycleTable(200, r.Split())
+	}
+	mp.ProgramAll(r)
+	return mp
+}
+
+// TotalWeights returns |W0|, the number of mapped scalar weights.
+func (mp *Mapped) TotalWeights() int { return mp.total }
+
+// locate maps a flat weight index to its parameter and in-parameter offset.
+func (mp *Mapped) locate(i int) (*nn.Param, int, float64) {
+	if i < 0 || i >= mp.total {
+		panic(fmt.Sprintf("mapping: weight index %d out of range [0,%d)", i, mp.total))
+	}
+	// Linear scan over params: networks here have tens of params at most.
+	for k := len(mp.params) - 1; k >= 0; k-- {
+		if i >= mp.offsets[k] {
+			return mp.params[k], i - mp.offsets[k], mp.scales[k]
+		}
+	}
+	panic("unreachable")
+}
+
+// Desired returns the flat desired (quantized) weight values.
+func (mp *Mapped) Desired() []float64 { return mp.desired }
+
+// ProgramAll performs the initial massively parallel unverified programming
+// pass: every weight lands at desired + noise per Eq. 16. It costs zero NWC
+// and resets all verification marks.
+func (mp *Mapped) ProgramAll(r *rng.Source) {
+	for i := 0; i < mp.total; i++ {
+		p, off, scale := mp.locate(i)
+		e := mp.Model.ProgramNoVerify(r)
+		p.Data.Data[off] = mp.desired[i] + mp.signs[i]*e*scale
+		mp.Verified[i] = false
+	}
+}
+
+// ProgramAllSpatial is ProgramAll with an additional per-chip spatial
+// variation field (the §2.1 extension): every device's error gains the field
+// value at its crossbar coordinates, scaled through each constituent
+// device's significance like the temporal term. Write-verify later removes
+// both components because it corrects the read-back error, whatever its
+// source.
+func (mp *Mapped) ProgramAllSpatial(r *rng.Source, field *device.SpatialField) {
+	amp := 0.0
+	for d := 0; d < mp.Model.NumDevices(); d++ {
+		amp += math.Pow(2, float64(d*mp.Model.DeviceBits))
+	}
+	for i := 0; i < mp.total; i++ {
+		p, off, scale := mp.locate(i)
+		e := mp.Model.ProgramNoVerify(r) + amp*field.AtFlat(i)
+		p.Data.Data[off] = mp.desired[i] + mp.signs[i]*e*scale
+		mp.Verified[i] = false
+	}
+}
+
+// WriteVerifyAt write-verifies weight i, charging its cycles to the bill and
+// leaving the programmed value within tolerance of the desired value.
+func (mp *Mapped) WriteVerifyAt(i int, r *rng.Source) int {
+	p, off, scale := mp.locate(i)
+	res, cycles := mp.Model.WriteVerify(mp.mags[i], r)
+	p.Data.Data[off] = mp.desired[i] + mp.signs[i]*res*scale
+	mp.Verified[i] = true
+	mp.CyclesUsed += float64(cycles)
+	return cycles
+}
+
+// WriteVerifyPrefix write-verifies the first n entries of order (skipping
+// already-verified weights) — one granule of the paper's Algorithm 1 loop.
+func (mp *Mapped) WriteVerifyPrefix(order []int, n int, r *rng.Source) {
+	if n > len(order) {
+		n = len(order)
+	}
+	for _, idx := range order[:n] {
+		if !mp.Verified[idx] {
+			mp.WriteVerifyAt(idx, r)
+		}
+	}
+}
+
+// NoisyWriteAt re-programs weight i to a new desired float value without
+// verification (the in-situ training write): the value is quantized to the
+// device grid and lands with fresh Eq. 16 noise. Costs exactly one write
+// cycle, matching the paper's in-situ accounting ("the number of writes in
+// each iteration ... is equal to the number of weights ... selected for
+// update ... as no write-verify is done").
+func (mp *Mapped) NoisyWriteAt(i int, value float64, r *rng.Source) {
+	p, off, scale := mp.locate(i)
+	levels := int(1)<<mp.Model.WeightBits - 1
+	sign := 1.0
+	if value < 0 {
+		sign = -1
+	}
+	mag := int(abs(value)/scale + 0.5)
+	if mag > levels {
+		mag = levels
+	}
+	mp.mags[i] = mag
+	mp.signs[i] = sign
+	mp.desired[i] = sign * float64(mag) * scale
+	e := mp.Model.ProgramNoVerify(r)
+	p.Data.Data[off] = mp.desired[i] + sign*e*scale
+	mp.Verified[i] = false
+	mp.CyclesUsed++
+}
+
+// IncrementAt applies one unverified incremental update pulse to weight i,
+// requesting a change of delta (float weight units). The landed change
+// carries the device's incremental-pulse noise and the conductance clamps to
+// the representable magnitude range. Costs one write cycle — the in-situ
+// training write (paper §4.2: one write per weight updated, no verify).
+func (mp *Mapped) IncrementAt(i int, delta float64, r *rng.Source) {
+	p, off, scale := mp.locate(i)
+	levels := float64(int(1)<<mp.Model.WeightBits - 1)
+	cur := p.Data.Data[off]
+	landed := mp.Model.Increment(delta/scale, r) * scale
+	next := cur + landed
+	// The differential pair saturates at ±full-scale.
+	if next > levels*scale {
+		next = levels * scale
+	} else if next < -levels*scale {
+		next = -levels * scale
+	}
+	p.Data.Data[off] = next
+	mp.Verified[i] = false
+	mp.CyclesUsed++
+}
+
+// BaselineCycles returns the expected cost of write-verifying every weight —
+// the denominator of NWC.
+func (mp *Mapped) BaselineCycles() float64 {
+	total := 0.0
+	for _, mag := range mp.mags {
+		total += mp.cycleTable[mag]
+	}
+	return total
+}
+
+// NWC returns the normalized write cycles spent so far: CyclesUsed divided
+// by the cost of write-verifying all the weights under the same model.
+func (mp *Mapped) NWC() float64 {
+	return mp.CyclesUsed / mp.BaselineCycles()
+}
+
+// Accuracy evaluates the programmed network's top-1 accuracy (%) over the
+// given evaluation set.
+func (mp *Mapped) Accuracy(x *tensor.Tensor, y []int, batch int) float64 {
+	correct := 0
+	for _, b := range data.Batches(x, y, batch) {
+		correct += mp.Net.CountCorrect(b.X, b.Y)
+	}
+	return 100 * float64(correct) / float64(len(y))
+}
+
+// ProgrammedError returns the current per-weight deviation (programmed −
+// desired) in float weight units, for diagnostics and tests.
+func (mp *Mapped) ProgrammedError() []float64 {
+	out := make([]float64, mp.total)
+	for i := 0; i < mp.total; i++ {
+		p, off, _ := mp.locate(i)
+		out[i] = p.Data.Data[off] - mp.desired[i]
+	}
+	return out
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

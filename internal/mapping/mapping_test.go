@@ -1,0 +1,187 @@
+package mapping
+
+import (
+	"math"
+	"testing"
+
+	"swim/internal/data"
+	"swim/internal/device"
+	"swim/internal/models"
+	"swim/internal/rng"
+)
+
+func testNetAndDevice(t *testing.T) (*Mapped, device.Model) {
+	t.Helper()
+	r := rng.New(1)
+	net := models.LeNet(10, 4, r)
+	dm := device.Default(4, 0.5)
+	table := dm.CycleTable(50, rng.New(2))
+	return New(net, dm, table, rng.New(3)), dm
+}
+
+func TestNewPreservesMaster(t *testing.T) {
+	r := rng.New(1)
+	net := models.LeNet(10, 4, r)
+	before := net.MappedParams()[0].Data.Clone()
+	dm := device.Default(4, 0.5)
+	New(net, dm, dm.CycleTable(50, rng.New(2)), rng.New(3))
+	after := net.MappedParams()[0].Data
+	for i := range before.Data {
+		if before.Data[i] != after.Data[i] {
+			t.Fatal("mapping mutated the master network")
+		}
+	}
+}
+
+func TestProgrammedNoiseMatchesModel(t *testing.T) {
+	mp, dm := testNetAndDevice(t)
+	errs := mp.ProgrammedError()
+	// Per-param scale differs; check aggregate spread is sane: most weights
+	// deviate, none by more than ~6σ in LSB units.
+	nonzero := 0
+	for i, e := range errs {
+		_, _, scale := mp.locate(i)
+		lsb := math.Abs(e) / scale
+		if lsb > 6*dm.NoiseStd() {
+			t.Fatalf("weight %d error %.2f LSB exceeds 6 sigma", i, lsb)
+		}
+		if e != 0 {
+			nonzero++
+		}
+	}
+	if float64(nonzero) < 0.95*float64(len(errs)) {
+		t.Fatalf("only %d/%d weights got programming noise", nonzero, len(errs))
+	}
+}
+
+func TestWriteVerifyTightensWeight(t *testing.T) {
+	mp, dm := testNetAndDevice(t)
+	r := rng.New(7)
+	for _, i := range []int{0, 100, 5000, mp.TotalWeights() - 1} {
+		cycles := mp.WriteVerifyAt(i, r)
+		if cycles < 0 {
+			t.Fatal("negative cycles")
+		}
+		_, _, scale := mp.locate(i)
+		errLSB := math.Abs(mp.ProgrammedError()[i]) / scale
+		if errLSB > dm.Tolerance+1e-9 {
+			t.Fatalf("weight %d residual %.4f LSB exceeds tolerance", i, errLSB)
+		}
+		if !mp.Verified[i] {
+			t.Fatal("weight not marked verified")
+		}
+	}
+	if mp.CyclesUsed <= 0 {
+		t.Fatal("cycles not billed")
+	}
+}
+
+func TestNWCAccounting(t *testing.T) {
+	mp, _ := testNetAndDevice(t)
+	if mp.NWC() != 0 {
+		t.Fatalf("initial NWC = %v, want 0 (parallel programming is free)", mp.NWC())
+	}
+	r := rng.New(8)
+	order := r.Perm(mp.TotalWeights())
+	mp.WriteVerifyPrefix(order, mp.TotalWeights(), r)
+	nwc := mp.NWC()
+	// Verifying everything should cost about the baseline: within 5%.
+	if nwc < 0.95 || nwc > 1.05 {
+		t.Fatalf("full write-verify NWC = %.3f, want ~1.0", nwc)
+	}
+}
+
+func TestWriteVerifyPrefixSkipsVerified(t *testing.T) {
+	mp, _ := testNetAndDevice(t)
+	r := rng.New(9)
+	order := r.Perm(mp.TotalWeights())
+	mp.WriteVerifyPrefix(order, 100, r)
+	bill := mp.CyclesUsed
+	mp.WriteVerifyPrefix(order, 100, r) // same prefix: all verified already
+	if mp.CyclesUsed != bill {
+		t.Fatal("re-verifying an already verified prefix double-billed")
+	}
+	mp.WriteVerifyPrefix(order, 200, r)
+	if mp.CyclesUsed <= bill {
+		t.Fatal("extending the prefix should bill more cycles")
+	}
+}
+
+func TestIncrementAtMovesWeightAndBillsOneCycle(t *testing.T) {
+	mp, _ := testNetAndDevice(t)
+	r := rng.New(10)
+	p, off, scale := mp.locate(42)
+	before := p.Data.Data[off]
+	bill := mp.CyclesUsed
+	mp.IncrementAt(42, 0.5*scale, r)
+	if mp.CyclesUsed != bill+1 {
+		t.Fatalf("increment billed %v cycles, want 1", mp.CyclesUsed-bill)
+	}
+	after := p.Data.Data[off]
+	if after == before {
+		t.Fatal("increment did not move the weight")
+	}
+	// Landed change should be near the request (within jitter + noise).
+	if math.Abs((after-before)-0.5*scale) > 0.5*scale {
+		t.Fatalf("landed change %.4f far from request %.4f", after-before, 0.5*scale)
+	}
+}
+
+func TestIncrementClampsAtFullScale(t *testing.T) {
+	mp, dm := testNetAndDevice(t)
+	r := rng.New(11)
+	p, off, scale := mp.locate(7)
+	levels := float64(int(1)<<dm.WeightBits - 1)
+	for k := 0; k < 50; k++ {
+		mp.IncrementAt(7, levels*scale, r)
+	}
+	if p.Data.Data[off] > levels*scale+1e-9 {
+		t.Fatalf("weight exceeded full scale: %v > %v", p.Data.Data[off], levels*scale)
+	}
+}
+
+func TestNoisyWriteAtReprograms(t *testing.T) {
+	mp, _ := testNetAndDevice(t)
+	r := rng.New(12)
+	_, _, scale := mp.locate(3)
+	bill := mp.CyclesUsed
+	mp.NoisyWriteAt(3, -2*scale, r)
+	if mp.CyclesUsed != bill+1 {
+		t.Fatal("noisy write should bill one cycle")
+	}
+	if mp.Desired()[3] != -2*scale {
+		t.Fatalf("desired = %v, want %v", mp.Desired()[3], -2*scale)
+	}
+	if mp.Verified[3] {
+		t.Fatal("noisy write must clear the verified mark")
+	}
+}
+
+func TestAccuracyRunsOnProgrammedWeights(t *testing.T) {
+	r := rng.New(1)
+	net := models.LeNet(10, 4, r)
+	ds := data.MNISTLike(60, 60, 5)
+	dm := device.Default(4, 0.0) // zero noise: programmed == desired
+	mp := New(net, dm, dm.CycleTable(10, rng.New(2)), rng.New(3))
+	got := mp.Accuracy(ds.TestX, ds.TestY, 32)
+	if got < 0 || got > 100 {
+		t.Fatalf("accuracy out of range: %v", got)
+	}
+	// With zero noise the programmed network equals the quantized master.
+	errs := mp.ProgrammedError()
+	for i, e := range errs {
+		if e != 0 {
+			t.Fatalf("zero-noise mapping should be exact, weight %d off by %v", i, e)
+		}
+	}
+}
+
+func TestLocatePanicsOutOfRange(t *testing.T) {
+	mp, _ := testNetAndDevice(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("locate accepted an out-of-range index")
+		}
+	}()
+	mp.WriteVerifyAt(mp.TotalWeights(), rng.New(1))
+}

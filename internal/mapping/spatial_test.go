@@ -1,0 +1,64 @@
+package mapping
+
+import (
+	"math"
+	"testing"
+
+	"swim/internal/device"
+	"swim/internal/models"
+	"swim/internal/rng"
+	"swim/internal/stat"
+)
+
+func TestProgramAllSpatialAddsCorrelatedError(t *testing.T) {
+	r := rng.New(1)
+	net := models.LeNet(10, 4, r)
+	dm := device.Default(4, 0.0) // isolate the spatial component
+	mp := New(net, dm, dm.CycleTable(20, rng.New(2)), rng.New(3))
+
+	side := 256
+	cfg := device.SpatialConfig{GlobalStd: 0, LocalStd: 0.3, CorrLength: 32, Rows: side, Cols: side}
+	field := device.NewSpatialField(cfg, rng.New(4))
+	mp.ProgramAllSpatial(rng.New(5), field)
+
+	errs := mp.ProgrammedError()
+	// Errors of adjacent weights should correlate strongly (same field
+	// region); distant weights should not. Compare |e_i - e_{i+1}| against
+	// |e_i - e_{i+half}| in LSB units.
+	var near, far stat.Welford
+	half := mp.TotalWeights() / 2
+	for i := 0; i+1 < 4000; i++ {
+		_, _, s1 := mp.locate(i)
+		_, _, s2 := mp.locate(i + 1)
+		_, _, s3 := mp.locate(i + half)
+		a, b, c := errs[i]/s1, errs[i+1]/s2, errs[i+half]/s3
+		near.Add(math.Abs(math.Abs(a) - math.Abs(b)))
+		far.Add(math.Abs(math.Abs(a) - math.Abs(c)))
+	}
+	if near.Mean() >= far.Mean() {
+		t.Fatalf("spatial errors not locally correlated: near %.4f vs far %.4f",
+			near.Mean(), far.Mean())
+	}
+}
+
+func TestWriteVerifyRemovesSpatialError(t *testing.T) {
+	r := rng.New(1)
+	net := models.LeNet(10, 4, r)
+	dm := device.Default(4, 0.1)
+	mp := New(net, dm, dm.CycleTable(20, rng.New(2)), rng.New(3))
+	field := device.NewSpatialField(device.DefaultSpatial(256, 256), rng.New(4))
+	mp.ProgramAllSpatial(rng.New(5), field)
+
+	wr := rng.New(6)
+	for i := 0; i < 200; i++ {
+		mp.WriteVerifyAt(i, wr)
+	}
+	errs := mp.ProgrammedError()
+	for i := 0; i < 200; i++ {
+		_, _, scale := mp.locate(i)
+		if math.Abs(errs[i])/scale > dm.Tolerance+1e-9 {
+			t.Fatalf("weight %d still carries spatial error %.4f LSB after write-verify",
+				i, math.Abs(errs[i])/scale)
+		}
+	}
+}

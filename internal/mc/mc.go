@@ -1,0 +1,77 @@
+// Package mc runs the Monte-Carlo trials behind every number the paper
+// reports ("all results ... are obtained over 3,000 Monte Carlo runs ... and
+// both mean and standard deviation are reported"). Each trial receives an
+// independent child RNG stream split from the experiment seed, so results
+// are reproducible regardless of trial count.
+package mc
+
+import (
+	"os"
+	"strconv"
+
+	"swim/internal/rng"
+	"swim/internal/stat"
+)
+
+// Trials returns the Monte-Carlo trial count: def unless the SWIM_MC
+// environment variable overrides it. The paper uses 3,000; the defaults here
+// are sized for a single-core machine and the harness always reports the
+// std so the precision of the mean is visible.
+func Trials(def int) int {
+	if v := os.Getenv("SWIM_MC"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
+}
+
+// EvalSize returns the evaluation-set size: def unless SWIM_EVAL overrides.
+func EvalSize(def int) int {
+	if v := os.Getenv("SWIM_EVAL"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
+}
+
+// Fast reports whether SWIM_FAST is set, asking harnesses to shrink
+// everything (used by CI-style runs of the benchmark suite).
+func Fast() bool { return os.Getenv("SWIM_FAST") != "" }
+
+// Run executes trials Monte-Carlo trials of f, each with an independent
+// stream split from seed, and returns the aggregated statistics of the
+// returned metric.
+func Run(seed uint64, trials int, f func(r *rng.Source) float64) *stat.Welford {
+	base := rng.New(seed)
+	var w stat.Welford
+	for t := 0; t < trials; t++ {
+		w.Add(f(base.Split()))
+	}
+	return &w
+}
+
+// RunSeries executes trials Monte-Carlo trials of f, where each trial
+// returns one value per series point (e.g. accuracy at every NWC grid
+// value), and aggregates each point separately. All points within a trial
+// share the trial's stream, mirroring the paper's protocol in which one
+// Monte-Carlo run programs one device instance and measures the whole
+// sweep on it.
+func RunSeries(seed uint64, trials, points int, f func(r *rng.Source) []float64) []*stat.Welford {
+	base := rng.New(seed)
+	agg := make([]*stat.Welford, points)
+	for i := range agg {
+		agg[i] = &stat.Welford{}
+	}
+	for t := 0; t < trials; t++ {
+		vals := f(base.Split())
+		if len(vals) != points {
+			panic("mc: series length mismatch")
+		}
+		for i, v := range vals {
+			agg[i].Add(v)
+		}
+	}
+	return agg
+}

@@ -1,0 +1,96 @@
+package mc
+
+import (
+	"math"
+	"os"
+	"testing"
+
+	"swim/internal/rng"
+)
+
+func TestTrialsDefaultAndOverride(t *testing.T) {
+	os.Unsetenv("SWIM_MC")
+	if Trials(7) != 7 {
+		t.Fatal("default not honoured")
+	}
+	os.Setenv("SWIM_MC", "42")
+	defer os.Unsetenv("SWIM_MC")
+	if Trials(7) != 42 {
+		t.Fatal("override not honoured")
+	}
+	os.Setenv("SWIM_MC", "bogus")
+	if Trials(7) != 7 {
+		t.Fatal("bogus override should fall back to default")
+	}
+}
+
+func TestEvalSize(t *testing.T) {
+	os.Unsetenv("SWIM_EVAL")
+	if EvalSize(300) != 300 {
+		t.Fatal("default not honoured")
+	}
+	os.Setenv("SWIM_EVAL", "123")
+	defer os.Unsetenv("SWIM_EVAL")
+	if EvalSize(300) != 123 {
+		t.Fatal("override not honoured")
+	}
+}
+
+func TestFast(t *testing.T) {
+	os.Unsetenv("SWIM_FAST")
+	if Fast() {
+		t.Fatal("fast without env")
+	}
+	os.Setenv("SWIM_FAST", "1")
+	defer os.Unsetenv("SWIM_FAST")
+	if !Fast() {
+		t.Fatal("fast not detected")
+	}
+}
+
+func TestRunAggregates(t *testing.T) {
+	w := Run(1, 2000, func(r *rng.Source) float64 { return r.Gauss(5, 1) })
+	if w.N() != 2000 {
+		t.Fatalf("n = %d", w.N())
+	}
+	if math.Abs(w.Mean()-5) > 0.1 || math.Abs(w.Std()-1) > 0.1 {
+		t.Fatalf("mean=%.3f std=%.3f", w.Mean(), w.Std())
+	}
+}
+
+func TestRunDeterministicInSeed(t *testing.T) {
+	f := func(r *rng.Source) float64 { return r.Float64() }
+	a := Run(9, 50, f)
+	b := Run(9, 50, f)
+	if a.Mean() != b.Mean() {
+		t.Fatal("same seed gave different aggregate")
+	}
+	c := Run(10, 50, f)
+	if a.Mean() == c.Mean() {
+		t.Fatal("different seed gave identical aggregate")
+	}
+}
+
+func TestRunSeries(t *testing.T) {
+	agg := RunSeries(3, 100, 3, func(r *rng.Source) []float64 {
+		return []float64{1, r.Float64(), 10}
+	})
+	if agg[0].Mean() != 1 || agg[2].Mean() != 10 {
+		t.Fatal("constant series points wrong")
+	}
+	if agg[1].Mean() < 0.3 || agg[1].Mean() > 0.7 {
+		t.Fatalf("uniform point mean = %v", agg[1].Mean())
+	}
+	if agg[0].N() != 100 {
+		t.Fatalf("n = %d", agg[0].N())
+	}
+}
+
+func TestRunSeriesLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch not caught")
+		}
+	}()
+	RunSeries(1, 2, 3, func(r *rng.Source) []float64 { return []float64{1} })
+}

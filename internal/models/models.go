@@ -1,0 +1,142 @@
+// Package models builds the three network architectures the paper evaluates:
+// LeNet (MNIST, Table 1 / Fig. 1), ConvNet (CIFAR-10, Fig. 2a — the
+// DNN+NeuroSim VGG-style network) and ResNet-18 (CIFAR-10 and Tiny ImageNet,
+// Fig. 2b/2c). ConvNet and ResNet-18 are width-slimmed for the single-core
+// simulation budget (DESIGN.md §3): the topology — depth, skip connections,
+// batch-norm placement, pooling, quantization points — is preserved exactly,
+// only channel counts shrink, so every backpropagation rule of paper §3.3 is
+// exercised.
+//
+// Activations are fake-quantized after every ReLU (paper §4.3/4.4: "both the
+// weights and activation are quantized", 4-bit for LeNet, 6-bit for the
+// CIFAR/TinyImageNet models).
+package models
+
+import (
+	"fmt"
+
+	"swim/internal/nn"
+	"swim/internal/rng"
+)
+
+// LeNet builds the classic LeNet-5 topology for 1×28×28 inputs (62k weights;
+// the paper's LeNet variant reports 1.05e5 — same architecture family, the
+// counts differ only in the FC head sizing).
+func LeNet(classes, actBits int, r *rng.Source) *nn.Network {
+	trunk := nn.NewSequential("lenet",
+		nn.NewConv2D("conv1", 1, 28, 28, 6, 5, 5, 1, 2, r), // 6×28×28
+		nn.NewReLU(),
+		nn.NewQuantAct("q1", actBits, 1),
+		nn.NewMaxPool2D("pool1", 2, 2),                      // 6×14×14
+		nn.NewConv2D("conv2", 6, 14, 14, 16, 5, 5, 1, 0, r), // 16×10×10
+		nn.NewReLU(),
+		nn.NewQuantAct("q2", actBits, 1),
+		nn.NewMaxPool2D("pool2", 2, 2), // 16×5×5
+		nn.NewFlatten(),
+		nn.NewLinear("fc1", 16*5*5, 120, r),
+		nn.NewReLU(),
+		nn.NewQuantAct("q3", actBits, 1),
+		nn.NewLinear("fc2", 120, 84, r),
+		nn.NewReLU(),
+		nn.NewQuantAct("q4", actBits, 1),
+		nn.NewLinear("fc3", 84, classes, r),
+	)
+	return nn.NewNetwork("lenet", trunk, nn.NewSoftmaxCrossEntropy())
+}
+
+// ConvNet builds the VGG-style ConvNet of DNN+NeuroSim (paper ref. [6]) for
+// 3×32×32 inputs: two conv-conv-pool stages followed by an FC head. width is
+// the first-stage channel count (the paper-scale model corresponds to
+// width 128).
+func ConvNet(classes, width, actBits int, r *rng.Source) *nn.Network {
+	c1, c2 := width, 2*width
+	trunk := nn.NewSequential("convnet",
+		nn.NewConv2D("conv1", 3, 32, 32, c1, 3, 3, 1, 1, r),
+		nn.NewReLU(),
+		nn.NewQuantAct("q1", actBits, 1),
+		nn.NewConv2D("conv2", c1, 32, 32, c1, 3, 3, 1, 1, r),
+		nn.NewReLU(),
+		nn.NewQuantAct("q2", actBits, 1),
+		nn.NewMaxPool2D("pool1", 2, 2), // c1×16×16
+		nn.NewConv2D("conv3", c1, 16, 16, c2, 3, 3, 1, 1, r),
+		nn.NewReLU(),
+		nn.NewQuantAct("q3", actBits, 1),
+		nn.NewConv2D("conv4", c2, 16, 16, c2, 3, 3, 1, 1, r),
+		nn.NewReLU(),
+		nn.NewQuantAct("q4", actBits, 1),
+		nn.NewMaxPool2D("pool2", 2, 2), // c2×8×8
+		nn.NewFlatten(),
+		nn.NewLinear("fc1", c2*8*8, 8*width, r),
+		nn.NewReLU(),
+		nn.NewQuantAct("q5", actBits, 1),
+		nn.NewLinear("fc2", 8*width, classes, r),
+	)
+	return nn.NewNetwork("convnet", trunk, nn.NewSoftmaxCrossEntropy())
+}
+
+// basicBlock builds one ResNet basic block (conv-bn-relu-conv-bn + skip).
+// The projection shortcut (1×1 conv + BN) appears exactly when stride ≠ 1 or
+// the channel count changes, as in He et al.
+func basicBlock(name string, inC, outC, h, w, stride, actBits int, r *rng.Source) (nn.Layer, int, int) {
+	oh, ow := (h+2-3)/stride+1, (w+2-3)/stride+1
+	body := nn.NewSequential(name+".body",
+		nn.NewConv2D(name+".conv1", inC, h, w, outC, 3, 3, stride, 1, r),
+		nn.NewBatchNorm2D(name+".bn1", outC),
+		nn.NewReLU(),
+		nn.NewQuantAct(name+".q1", actBits, 1),
+		nn.NewConv2D(name+".conv2", outC, oh, ow, outC, 3, 3, 1, 1, r),
+		nn.NewBatchNorm2D(name+".bn2", outC),
+	)
+	var shortcut nn.Layer
+	if stride != 1 || inC != outC {
+		shortcut = nn.NewSequential(name+".short",
+			nn.NewConv2D(name+".proj", inC, h, w, outC, 1, 1, stride, 0, r),
+			nn.NewBatchNorm2D(name+".bnp", outC),
+		)
+	}
+	return nn.NewResidual(name, body, shortcut), oh, ow
+}
+
+// ResNet18 builds the CIFAR-style ResNet-18 (3×3 stem, four 2-block stages,
+// global average pool) for 3×32×32 inputs. width is the stem channel count;
+// the paper-scale model corresponds to width 64.
+func ResNet18(classes, width, actBits int, r *rng.Source) *nn.Network {
+	if width < 1 {
+		panic(fmt.Sprintf("models: bad width %d", width))
+	}
+	layers := []nn.Layer{
+		nn.NewConv2D("stem", 3, 32, 32, width, 3, 3, 1, 1, r),
+		nn.NewBatchNorm2D("stem.bn", width),
+		nn.NewReLU(),
+		nn.NewQuantAct("stem.q", actBits, 1),
+	}
+	h, w := 32, 32
+	inC := width
+	stages := []struct {
+		c      int
+		stride int
+	}{
+		{width, 1}, {2 * width, 2}, {4 * width, 2}, {8 * width, 2},
+	}
+	for si, st := range stages {
+		for bi := 0; bi < 2; bi++ {
+			stride := 1
+			if bi == 0 {
+				stride = st.stride
+			}
+			name := fmt.Sprintf("layer%d.%d", si+1, bi)
+			var block nn.Layer
+			block, h, w = basicBlock(name, inC, st.c, h, w, stride, actBits, r)
+			layers = append(layers, block,
+				nn.NewReLU(),
+				nn.NewQuantAct(name+".qout", actBits, 1))
+			inC = st.c
+		}
+	}
+	layers = append(layers,
+		nn.NewGlobalAvgPool("gap", h),
+		nn.NewFlatten(),
+		nn.NewLinear("fc", inC, classes, r),
+	)
+	return nn.NewNetwork("resnet18", nn.NewSequential("resnet18", layers...), nn.NewSoftmaxCrossEntropy())
+}

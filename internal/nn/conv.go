@@ -1,0 +1,160 @@
+package nn
+
+import (
+	"math"
+
+	"swim/internal/rng"
+	"swim/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution lowered to im2col + matmul. As the paper notes,
+// convolution "can be cast in the same form as FC layers", so its first- and
+// second-derivative backprop reuse the linear-layer rules with the im2col
+// adjoint (Col2ImAdd) scattering input derivatives back; overlapping
+// receptive fields sum, exactly like the skip-connection rule.
+type Conv2D struct {
+	name string
+	OutC int
+	Geom tensor.Conv2DGeom
+	W, B *Param // W is [outC, inC*kh*kw]
+
+	x    *tensor.Tensor // cached input [B, inC, inH, inW]
+	cols *tensor.Tensor // scratch im2col buffer, reused across calls
+}
+
+// NewConv2D builds a convolution for a fixed input geometry (channels ×
+// height × width), kernel, stride and padding. Fixing the geometry at
+// construction keeps forward hot paths allocation-free; the models in this
+// repo all run fixed input sizes, as crossbar-mapped accelerators do.
+func NewConv2D(name string, inC, inH, inW, outC, kh, kw, stride, pad int, r *rng.Source) *Conv2D {
+	g := tensor.NewConv2DGeom(inC, inH, inW, kh, kw, stride, pad)
+	c := &Conv2D{name: name, OutC: outC, Geom: g,
+		W: newParam(name+".W", outC, g.ColRows()),
+		B: newParam(name+".B", outC),
+	}
+	c.W.Mapped = true
+	std := math.Sqrt(2.0 / float64(g.ColRows()))
+	for i := range c.W.Data.Data {
+		c.W.Data.Data[i] = r.Gauss(0, std)
+	}
+	return c
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string { return c.name }
+
+// OutShape returns the per-sample output shape.
+func (c *Conv2D) OutShape() (int, int, int) { return c.OutC, c.Geom.OutH, c.Geom.OutW }
+
+func (c *Conv2D) scratch() *tensor.Tensor {
+	if c.cols == nil {
+		c.cols = tensor.New(c.Geom.ColRows(), c.Geom.ColCols())
+	}
+	return c.cols
+}
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	checkBatched(x, 4, c.name)
+	c.x = x
+	b := x.Shape[0]
+	g := c.Geom
+	out := tensor.New(b, c.OutC, g.OutH, g.OutW)
+	cols := c.scratch()
+	sampleIn := g.InC * g.InH * g.InW
+	sampleOut := c.OutC * g.OutH * g.OutW
+	for bi := 0; bi < b; bi++ {
+		g.Im2ColInto(cols, x.Data[bi*sampleIn:(bi+1)*sampleIn])
+		om := tensor.FromSlice(out.Data[bi*sampleOut:(bi+1)*sampleOut], c.OutC, g.ColCols())
+		tensor.MatMulInto(om, c.W.Data, cols, false)
+	}
+	// Broadcast bias across spatial positions.
+	hw := g.OutH * g.OutW
+	for bi := 0; bi < b; bi++ {
+		for oc := 0; oc < c.OutC; oc++ {
+			bias := c.B.Data.Data[oc]
+			seg := out.Data[(bi*c.OutC+oc)*hw : (bi*c.OutC+oc+1)*hw]
+			for i := range seg {
+				seg[i] += bias
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	b := gradOut.Shape[0]
+	g := c.Geom
+	gradIn := tensor.New(b, g.InC, g.InH, g.InW)
+	cols := c.scratch()
+	colGrad := tensor.New(g.ColRows(), g.ColCols())
+	sampleIn := g.InC * g.InH * g.InW
+	sampleOut := c.OutC * g.OutH * g.OutW
+	hw := g.OutH * g.OutW
+	for bi := 0; bi < b; bi++ {
+		gm := tensor.FromSlice(gradOut.Data[bi*sampleOut:(bi+1)*sampleOut], c.OutC, g.ColCols())
+		// dW += gm · colsᵀ (recompute im2col; cheaper than caching per-sample)
+		g.Im2ColInto(cols, c.x.Data[bi*sampleIn:(bi+1)*sampleIn])
+		tensor.MatMulTransBInto(c.W.Grad, gm, cols, true)
+		// db += spatial sums
+		for oc := 0; oc < c.OutC; oc++ {
+			s := 0.0
+			seg := gm.Data[oc*hw : (oc+1)*hw]
+			for _, v := range seg {
+				s += v
+			}
+			c.B.Grad.Data[oc] += s
+		}
+		// dI = col2im(Wᵀ · gm)
+		tensor.MatMulTransAInto(colGrad, c.W.Data, gm, false)
+		g.Col2ImAdd(gradIn.Data[bi*sampleIn:(bi+1)*sampleIn], colGrad)
+	}
+	return gradIn
+}
+
+// BackwardSecond implements Layer.
+func (c *Conv2D) BackwardSecond(hessOut *tensor.Tensor) *tensor.Tensor {
+	b := hessOut.Shape[0]
+	g := c.Geom
+	hessIn := tensor.New(b, g.InC, g.InH, g.InW)
+	cols := c.scratch()
+	colHess := tensor.New(g.ColRows(), g.ColCols())
+	w2 := c.W.Data.Clone()
+	for i, v := range w2.Data {
+		w2.Data[i] = v * v
+	}
+	sampleIn := g.InC * g.InH * g.InW
+	sampleOut := c.OutC * g.OutH * g.OutW
+	hw := g.OutH * g.OutW
+	for bi := 0; bi < b; bi++ {
+		hm := tensor.FromSlice(hessOut.Data[bi*sampleOut:(bi+1)*sampleOut], c.OutC, g.ColCols())
+		// HessW += hm · (cols²)ᵀ — Eq. 8 with the shared-weight positions
+		// summed, the convolutional analogue of summing over the batch.
+		g.Im2ColInto(cols, c.x.Data[bi*sampleIn:(bi+1)*sampleIn])
+		for i, v := range cols.Data {
+			cols.Data[i] = v * v
+		}
+		tensor.MatMulTransBInto(c.W.Hess, hm, cols, true)
+		for oc := 0; oc < c.OutC; oc++ {
+			s := 0.0
+			seg := hm.Data[oc*hw : (oc+1)*hw]
+			for _, v := range seg {
+				s += v
+			}
+			c.B.Hess.Data[oc] += s
+		}
+		// HessI = col2im(W²ᵀ · hm) — Eq. 10 core.
+		tensor.MatMulTransAInto(colHess, w2, hm, false)
+		g.Col2ImAdd(hessIn.Data[bi*sampleIn:(bi+1)*sampleIn], colHess)
+	}
+	return hessIn
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param { return []*Param{c.W, c.B} }
+
+// Clone implements Layer.
+func (c *Conv2D) Clone() Layer {
+	return &Conv2D{name: c.name, OutC: c.OutC, Geom: c.Geom, W: c.W.clone(), B: c.B.clone()}
+}

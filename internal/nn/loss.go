@@ -1,0 +1,130 @@
+package nn
+
+import (
+	"math"
+
+	"swim/internal/tensor"
+)
+
+// Loss scores a batch of logits against integer class labels and provides
+// the first and second derivatives with respect to the logits, which seed
+// the two backward passes.
+type Loss interface {
+	// Forward returns the mean loss over the batch and caches what the
+	// derivative calls need.
+	Forward(logits *tensor.Tensor, labels []int) float64
+	// Backward returns df/dO ([B, classes], averaged over the batch).
+	Backward() *tensor.Tensor
+	// BackwardSecond returns d²f/dO² ([B, classes], averaged over the
+	// batch) — Eq. 11 for softmax cross-entropy, the constant 2 for L2.
+	BackwardSecond() *tensor.Tensor
+}
+
+// SoftmaxCrossEntropy is the standard classification loss. Its logit-space
+// second derivative diagonal is p_j(1−p_j) (paper Eq. 11).
+type SoftmaxCrossEntropy struct {
+	probs  *tensor.Tensor
+	labels []int
+}
+
+// NewSoftmaxCrossEntropy returns the classification loss used by every model
+// in the paper.
+func NewSoftmaxCrossEntropy() *SoftmaxCrossEntropy { return &SoftmaxCrossEntropy{} }
+
+// Forward implements Loss.
+func (s *SoftmaxCrossEntropy) Forward(logits *tensor.Tensor, labels []int) float64 {
+	b, c := logits.Shape[0], logits.Shape[1]
+	if len(labels) != b {
+		panic("nn: label count does not match batch size")
+	}
+	s.labels = labels
+	s.probs = tensor.New(b, c)
+	loss := 0.0
+	for bi := 0; bi < b; bi++ {
+		row := logits.Data[bi*c : (bi+1)*c]
+		prow := s.probs.Data[bi*c : (bi+1)*c]
+		m := row[0]
+		for _, v := range row {
+			if v > m {
+				m = v
+			}
+		}
+		sum := 0.0
+		for j, v := range row {
+			e := math.Exp(v - m)
+			prow[j] = e
+			sum += e
+		}
+		inv := 1.0 / sum
+		for j := range prow {
+			prow[j] *= inv
+		}
+		p := prow[labels[bi]]
+		if p < 1e-300 {
+			p = 1e-300
+		}
+		loss -= math.Log(p)
+	}
+	return loss / float64(b)
+}
+
+// Backward implements Loss.
+func (s *SoftmaxCrossEntropy) Backward() *tensor.Tensor {
+	b, c := s.probs.Shape[0], s.probs.Shape[1]
+	grad := s.probs.Clone()
+	inv := 1.0 / float64(b)
+	for bi := 0; bi < b; bi++ {
+		grad.Data[bi*c+s.labels[bi]] -= 1
+	}
+	grad.Scale(inv)
+	return grad
+}
+
+// BackwardSecond implements Loss.
+func (s *SoftmaxCrossEntropy) BackwardSecond() *tensor.Tensor {
+	b, c := s.probs.Shape[0], s.probs.Shape[1]
+	hess := tensor.New(b, c)
+	inv := 1.0 / float64(b)
+	for i, p := range s.probs.Data {
+		hess.Data[i] = p * (1 - p) * inv
+	}
+	_ = c
+	return hess
+}
+
+// L2Loss is the squared-error loss against one-hot targets:
+// f = (1/B)·Σ_b Σ_j (O_bj − Y_bj)². Its logit-space second derivative is the
+// constant 2 (paper §3.3: "For L2 loss, ∂²f/∂O² = 2").
+type L2Loss struct {
+	diff *tensor.Tensor
+}
+
+// NewL2Loss returns an L2 training loss against one-hot targets.
+func NewL2Loss() *L2Loss { return &L2Loss{} }
+
+// Forward implements Loss.
+func (l *L2Loss) Forward(logits *tensor.Tensor, labels []int) float64 {
+	b, c := logits.Shape[0], logits.Shape[1]
+	if len(labels) != b {
+		panic("nn: label count does not match batch size")
+	}
+	l.diff = logits.Clone()
+	for bi := 0; bi < b; bi++ {
+		l.diff.Data[bi*c+labels[bi]] -= 1
+	}
+	return l.diff.SumSquares() / float64(b)
+}
+
+// Backward implements Loss.
+func (l *L2Loss) Backward() *tensor.Tensor {
+	grad := l.diff.Clone()
+	grad.Scale(2.0 / float64(l.diff.Shape[0]))
+	return grad
+}
+
+// BackwardSecond implements Loss.
+func (l *L2Loss) BackwardSecond() *tensor.Tensor {
+	hess := tensor.New(l.diff.Shape...)
+	hess.Fill(2.0 / float64(l.diff.Shape[0]))
+	return hess
+}

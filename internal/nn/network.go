@@ -1,0 +1,169 @@
+package nn
+
+import (
+	"fmt"
+
+	"swim/internal/tensor"
+)
+
+// Network couples a layer trunk with a loss function and exposes the
+// whole-model operations the rest of the repository builds on: evaluation,
+// gradient accumulation, and the single-pass Hessian-diagonal accumulation
+// at the heart of SWIM.
+type Network struct {
+	Name  string
+	Trunk *Sequential
+	Loss  Loss
+}
+
+// NewNetwork assembles a network.
+func NewNetwork(name string, trunk *Sequential, loss Loss) *Network {
+	return &Network{Name: name, Trunk: trunk, Loss: loss}
+}
+
+// Forward runs inference and returns logits ([B, classes]).
+func (n *Network) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	return n.Trunk.Forward(x, train)
+}
+
+// Params returns every parameter in layer order.
+func (n *Network) Params() []*Param { return n.Trunk.Params() }
+
+// MappedParams returns only the crossbar-mapped parameters (conv/FC weight
+// matrices) — the weights subject to device variation and write-verify.
+func (n *Network) MappedParams() []*Param {
+	var out []*Param
+	for _, p := range n.Params() {
+		if p.Mapped {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// NumMappedWeights returns the total count of crossbar-mapped scalar weights
+// (the |W0| of the paper's Algorithm 1).
+func (n *Network) NumMappedWeights() int {
+	total := 0
+	for _, p := range n.MappedParams() {
+		total += p.Size()
+	}
+	return total
+}
+
+// ZeroGrad clears all gradient accumulators.
+func (n *Network) ZeroGrad() {
+	for _, p := range n.Params() {
+		p.ZeroGrad()
+	}
+}
+
+// ZeroHess clears all Hessian-diagonal accumulators.
+func (n *Network) ZeroHess() {
+	for _, p := range n.Params() {
+		p.ZeroHess()
+	}
+}
+
+// LossGrad runs forward + first-derivative backward on one batch,
+// accumulating parameter gradients, and returns the batch loss.
+func (n *Network) LossGrad(x *tensor.Tensor, labels []int, train bool) float64 {
+	logits := n.Forward(x, train)
+	loss := n.Loss.Forward(logits, labels)
+	n.Trunk.Backward(n.Loss.Backward())
+	return loss
+}
+
+// LossGradCount is LossGrad that additionally reports the number of
+// correctly classified samples in the batch, reusing the same forward pass
+// (training loops want both without paying for a second inference).
+func (n *Network) LossGradCount(x *tensor.Tensor, labels []int, train bool) (float64, int) {
+	logits := n.Forward(x, train)
+	loss := n.Loss.Forward(logits, labels)
+	n.Trunk.Backward(n.Loss.Backward())
+	b, c := logits.Shape[0], logits.Shape[1]
+	correct := 0
+	for bi := 0; bi < b; bi++ {
+		row := logits.Data[bi*c : (bi+1)*c]
+		best, bj := row[0], 0
+		for j, v := range row {
+			if v > best {
+				best, bj = v, j
+			}
+		}
+		if bj == labels[bi] {
+			correct++
+		}
+	}
+	return loss, correct
+}
+
+// AccumulateHessian runs forward + second-derivative backward on one batch,
+// accumulating per-weight sensitivities into Param.Hess. Per the paper this
+// is a single extra pass with the cost profile of a gradient computation; it
+// runs in evaluation mode because the model is frozen while being mapped.
+func (n *Network) AccumulateHessian(x *tensor.Tensor, labels []int) float64 {
+	logits := n.Forward(x, false)
+	loss := n.Loss.Forward(logits, labels)
+	n.Trunk.BackwardSecond(n.Loss.BackwardSecond())
+	return loss
+}
+
+// AccumulateHessianFull is AccumulateHessian preceded by a gradient backward
+// pass on the same forward computation. Networks containing
+// curvature-carrying activations (Sigmoid, Tanh) need the first derivatives
+// for Eq. 9's g″ term; ReLU networks can use the cheaper AccumulateHessian.
+// Parameter gradients accumulated by the embedded backward pass are left in
+// place (callers that care should ZeroGrad afterwards).
+func (n *Network) AccumulateHessianFull(x *tensor.Tensor, labels []int) float64 {
+	logits := n.Forward(x, false)
+	loss := n.Loss.Forward(logits, labels)
+	n.Trunk.Backward(n.Loss.Backward())
+	n.Trunk.BackwardSecond(n.Loss.BackwardSecond())
+	return loss
+}
+
+// EvalLoss runs forward only and returns the mean batch loss.
+func (n *Network) EvalLoss(x *tensor.Tensor, labels []int) float64 {
+	logits := n.Forward(x, false)
+	return n.Loss.Forward(logits, labels)
+}
+
+// CountCorrect returns how many samples in the batch are classified
+// correctly (top-1).
+func (n *Network) CountCorrect(x *tensor.Tensor, labels []int) int {
+	logits := n.Forward(x, false)
+	b, c := logits.Shape[0], logits.Shape[1]
+	correct := 0
+	for bi := 0; bi < b; bi++ {
+		row := logits.Data[bi*c : (bi+1)*c]
+		best, bj := row[0], 0
+		for j, v := range row {
+			if v > best {
+				best, bj = v, j
+			}
+		}
+		if bj == labels[bi] {
+			correct++
+		}
+	}
+	return correct
+}
+
+// Clone deep-copies the network (parameters, running statistics, caches
+// excluded). Monte-Carlo trials clone the master network once per trial so
+// that device-noise injection never corrupts the trained weights.
+func (n *Network) Clone() *Network {
+	return &Network{Name: n.Name, Trunk: n.Trunk.Clone().(*Sequential), Loss: cloneLoss(n.Loss)}
+}
+
+func cloneLoss(l Loss) Loss {
+	switch l.(type) {
+	case *SoftmaxCrossEntropy:
+		return NewSoftmaxCrossEntropy()
+	case *L2Loss:
+		return NewL2Loss()
+	default:
+		panic(fmt.Sprintf("nn: cannot clone loss %T", l))
+	}
+}

@@ -1,0 +1,63 @@
+// Package nn implements the neural-network substrate for the SWIM
+// reproduction: layers with three passes each —
+//
+//   - Forward: standard inference/training forward pass;
+//   - Backward: first-derivative (gradient) backprop;
+//   - BackwardSecond: the paper's Eq. 8–10 diagonal second-derivative
+//     backprop, which propagates d²f/dI² through squared weights and
+//     accumulates the per-weight sensitivities d²f/dW² that SWIM ranks.
+//
+// The second pass mirrors gradient backprop structurally (an extra elementwise
+// square per layer), which is how the paper achieves single-pass Hessian
+// diagonals: cost and memory are within a constant factor of an ordinary
+// gradient computation.
+package nn
+
+import "swim/internal/tensor"
+
+// Param is a learnable (and possibly device-mapped) parameter tensor with its
+// gradient and diagonal-Hessian accumulators.
+type Param struct {
+	// Name identifies the parameter for reports, e.g. "conv1.W".
+	Name string
+	// Data holds the parameter values (for mapped params these are the
+	// *desired* values; programmed values live in the mapping package).
+	Data *tensor.Tensor
+	// Grad accumulates df/dw during Backward.
+	Grad *tensor.Tensor
+	// Hess accumulates the Hessian diagonal d²f/dw² during BackwardSecond.
+	Hess *tensor.Tensor
+	// Mapped marks parameters that are programmed onto NVM crossbar devices
+	// (convolution and fully-connected weight matrices). Biases and
+	// batch-norm affine parameters stay in digital peripherals and are never
+	// write-verified.
+	Mapped bool
+}
+
+func newParam(name string, shape ...int) *Param {
+	return &Param{
+		Name: name,
+		Data: tensor.New(shape...),
+		Grad: tensor.New(shape...),
+		Hess: tensor.New(shape...),
+	}
+}
+
+// ZeroGrad clears the gradient accumulator.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// ZeroHess clears the Hessian-diagonal accumulator.
+func (p *Param) ZeroHess() { p.Hess.Zero() }
+
+// Size returns the number of scalar weights in the parameter.
+func (p *Param) Size() int { return p.Data.Size() }
+
+func (p *Param) clone() *Param {
+	return &Param{
+		Name:   p.Name,
+		Data:   p.Data.Clone(),
+		Grad:   p.Grad.Clone(),
+		Hess:   p.Hess.Clone(),
+		Mapped: p.Mapped,
+	}
+}

@@ -1,0 +1,106 @@
+package nn
+
+import (
+	"math"
+
+	"swim/internal/tensor"
+)
+
+// smoothAct is an elementwise activation with non-zero curvature. Unlike
+// ReLU, the paper's Eq. 9 keeps both terms here:
+//
+//	d²f/dI² = g′(I)² · d²f/dP²  −  g″(I) · df/dI ... (sign per Eq. 9)
+//
+// which, written against the upstream quantities this layer receives, is
+//
+//	hessIn = g′(I)²·hessOut + g″(I)·gradOut
+//
+// (the chain rule for second derivatives of a composition; Eq. 9's form has
+// the first-derivative term folded through df/dI = g′·df/dP). Because the
+// curvature term consumes df/dP, Backward must run before BackwardSecond for
+// these layers; the implementation caches gradOut and enforces the order.
+type smoothAct struct {
+	name string
+	fn   func(float64) float64
+	d1   func(y float64) float64 // g′ expressed in terms of the output y
+	d2   func(y float64) float64 // g″ expressed in terms of the output y
+
+	out     *tensor.Tensor
+	gradOut *tensor.Tensor
+}
+
+// Name implements Layer.
+func (s *smoothAct) Name() string { return s.name }
+
+// Forward implements Layer.
+func (s *smoothAct) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	out := x.Clone()
+	for i, v := range out.Data {
+		out.Data[i] = s.fn(v)
+	}
+	s.out = out
+	s.gradOut = nil
+	return out
+}
+
+// Backward implements Layer.
+func (s *smoothAct) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	s.gradOut = gradOut
+	gradIn := gradOut.Clone()
+	for i := range gradIn.Data {
+		gradIn.Data[i] *= s.d1(s.out.Data[i])
+	}
+	return gradIn
+}
+
+// BackwardSecond implements Layer. It requires a preceding Backward call on
+// the same forward pass (the curvature term needs df/dP).
+func (s *smoothAct) BackwardSecond(hessOut *tensor.Tensor) *tensor.Tensor {
+	if s.gradOut == nil {
+		panic("nn: " + s.name + " BackwardSecond requires Backward first (curvature term needs df/dP)")
+	}
+	hessIn := hessOut.Clone()
+	for i := range hessIn.Data {
+		y := s.out.Data[i]
+		g1 := s.d1(y)
+		hessIn.Data[i] = g1*g1*hessOut.Data[i] + s.d2(y)*s.gradOut.Data[i]
+	}
+	return hessIn
+}
+
+// Params implements Layer.
+func (s *smoothAct) Params() []*Param { return nil }
+
+// Sigmoid is the logistic activation with the full curvature-aware second
+// derivative backprop (Eq. 9 with g″ ≠ 0).
+type Sigmoid struct{ smoothAct }
+
+// NewSigmoid returns a sigmoid activation layer.
+func NewSigmoid() *Sigmoid {
+	s := &Sigmoid{}
+	s.name = "sigmoid"
+	s.fn = func(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+	s.d1 = func(y float64) float64 { return y * (1 - y) }
+	s.d2 = func(y float64) float64 { return y * (1 - y) * (1 - 2*y) }
+	return s
+}
+
+// Clone implements Layer.
+func (s *Sigmoid) Clone() Layer { return NewSigmoid() }
+
+// Tanh is the hyperbolic-tangent activation with the full curvature-aware
+// second derivative backprop.
+type Tanh struct{ smoothAct }
+
+// NewTanh returns a tanh activation layer.
+func NewTanh() *Tanh {
+	t := &Tanh{}
+	t.name = "tanh"
+	t.fn = math.Tanh
+	t.d1 = func(y float64) float64 { return 1 - y*y }
+	t.d2 = func(y float64) float64 { return -2 * y * (1 - y*y) }
+	return t
+}
+
+// Clone implements Layer.
+func (t *Tanh) Clone() Layer { return NewTanh() }

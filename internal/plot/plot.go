@@ -1,0 +1,200 @@
+// Package plot renders the paper's figures as ASCII charts so that the
+// cmd/ binaries and the benchmark harness can regenerate Fig. 1 and Fig. 2
+// as actual pictures, not just tables, in any terminal or log file.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name string
+	X, Y []float64
+	// Err, when non-nil, draws a ±Err band marker at each point (the shaded
+	// std regions of the paper's Fig. 2).
+	Err []float64
+}
+
+// Chart is an ASCII line chart.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // plot area columns (default 60)
+	Height int // plot area rows (default 18)
+	// NoLines suppresses the connecting segments (scatter mode, Fig. 1).
+	NoLines bool
+	Series  []Series
+}
+
+// markers cycles through per-series point glyphs.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Render draws the chart.
+func (c *Chart) Render() string {
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 60
+	}
+	if h <= 0 {
+		h = 18
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for i := range s.X {
+			lo, hi := s.Y[i], s.Y[i]
+			if s.Err != nil {
+				lo -= s.Err[i]
+				hi += s.Err[i]
+			}
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, lo)
+			maxY = math.Max(maxY, hi)
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return c.Title + "\n(empty chart)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	// A little headroom.
+	pad := (maxY - minY) * 0.05
+	minY -= pad
+	maxY += pad
+
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	col := func(x float64) int {
+		p := int(math.Round((x - minX) / (maxX - minX) * float64(w-1)))
+		return clamp(p, 0, w-1)
+	}
+	row := func(y float64) int {
+		p := int(math.Round((maxY - y) / (maxY - minY) * float64(h-1)))
+		return clamp(p, 0, h-1)
+	}
+
+	for si, s := range c.Series {
+		mark := markers[si%len(markers)]
+		// Error bands first so points overwrite them.
+		if s.Err != nil {
+			for i := range s.X {
+				cx := col(s.X[i])
+				top, bot := row(s.Y[i]+s.Err[i]), row(s.Y[i]-s.Err[i])
+				for r := top; r <= bot; r++ {
+					if grid[r][cx] == ' ' {
+						grid[r][cx] = ':'
+					}
+				}
+			}
+		}
+		if !c.NoLines {
+			for i := 0; i+1 < len(s.X); i++ {
+				x0, y0 := col(s.X[i]), row(s.Y[i])
+				x1, y1 := col(s.X[i+1]), row(s.Y[i+1])
+				drawLine(grid, x0, y0, x1, y1, '.')
+			}
+		}
+		for i := range s.X {
+			grid[row(s.Y[i])][col(s.X[i])] = mark
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	yTop := fmt.Sprintf("%.1f", maxY)
+	yBot := fmt.Sprintf("%.1f", minY)
+	margin := len(yTop)
+	if len(yBot) > margin {
+		margin = len(yBot)
+	}
+	for r := 0; r < h; r++ {
+		label := strings.Repeat(" ", margin)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*s", margin, yTop)
+		case h - 1:
+			label = fmt.Sprintf("%*s", margin, yBot)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", margin), strings.Repeat("-", w))
+	fmt.Fprintf(&b, "%s  %-*.*g%*s\n", strings.Repeat(" ", margin), 8, 3, minX, w-8, fmt.Sprintf("%.3g", maxX))
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&b, "%s  x: %s   y: %s\n", strings.Repeat(" ", margin), c.XLabel, c.YLabel)
+	}
+	var legend []string
+	for si, s := range c.Series {
+		legend = append(legend, fmt.Sprintf("%c %s", markers[si%len(markers)], s.Name))
+	}
+	fmt.Fprintf(&b, "%s  legend: %s\n", strings.Repeat(" ", margin), strings.Join(legend, "   "))
+	return b.String()
+}
+
+func drawLine(grid [][]byte, x0, y0, x1, y1 int, ch byte) {
+	dx, dy := abs(x1-x0), -abs(y1-y0)
+	sx, sy := 1, 1
+	if x0 > x1 {
+		sx = -1
+	}
+	if y0 > y1 {
+		sy = -1
+	}
+	err := dx + dy
+	for {
+		if grid[y0][x0] == ' ' || grid[y0][x0] == ':' {
+			grid[y0][x0] = ch
+		}
+		if x0 == x1 && y0 == y1 {
+			return
+		}
+		e2 := 2 * err
+		if e2 >= dy {
+			err += dy
+			x0 += sx
+		}
+		if e2 <= dx {
+			err += dx
+			y0 += sy
+		}
+	}
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Scatter renders a scatter chart (Fig. 1 style): points only, no lines.
+func Scatter(title, xLabel, yLabel string, xs, ys []float64, width, height int) string {
+	c := Chart{
+		Title: title, XLabel: xLabel, YLabel: yLabel,
+		Width: width, Height: height, NoLines: true,
+		Series: []Series{{Name: "samples", X: xs, Y: ys}},
+	}
+	return c.Render()
+}

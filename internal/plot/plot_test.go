@@ -1,0 +1,84 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasicChart(t *testing.T) {
+	c := Chart{
+		Title: "accuracy vs NWC", XLabel: "NWC", YLabel: "acc",
+		Width: 40, Height: 10,
+		Series: []Series{
+			{Name: "swim", X: []float64{0, 0.5, 1}, Y: []float64{90, 95, 96}},
+			{Name: "random", X: []float64{0, 0.5, 1}, Y: []float64{90, 92, 96}},
+		},
+	}
+	out := c.Render()
+	for _, want := range []string{"accuracy vs NWC", "* swim", "o random", "legend"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + height rows + axis + x labels + xy label line + legend.
+	if len(lines) != 1+10+1+1+1+1 {
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+	}
+}
+
+func TestRenderErrorBands(t *testing.T) {
+	c := Chart{
+		Width: 30, Height: 12,
+		Series: []Series{{
+			Name: "s", X: []float64{0, 1}, Y: []float64{50, 60}, Err: []float64{5, 5},
+		}},
+	}
+	out := c.Render()
+	if !strings.Contains(out, ":") {
+		t.Fatalf("error band glyph missing:\n%s", out)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	c := Chart{Title: "t"}
+	if out := c.Render(); !strings.Contains(out, "empty chart") {
+		t.Fatalf("empty chart not handled: %q", out)
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	c := Chart{
+		Width: 20, Height: 6,
+		Series: []Series{{Name: "flat", X: []float64{0, 1, 2}, Y: []float64{5, 5, 5}}},
+	}
+	out := c.Render() // must not divide by zero
+	if !strings.Contains(out, "*") {
+		t.Fatalf("points missing:\n%s", out)
+	}
+}
+
+func TestScatterHasNoConnectingDots(t *testing.T) {
+	out := Scatter("fig1", "h", "drop", []float64{0, 1, 2, 3}, []float64{0, 3, 1, 2}, 30, 10)
+	// Points render as '*'; the interior must not contain line dots. The
+	// axis labels legitimately contain '.', so inspect only plot rows.
+	for _, line := range strings.Split(out, "\n") {
+		if i := strings.IndexByte(line, '|'); i >= 0 {
+			if strings.Contains(line[i:], ".") {
+				t.Fatalf("scatter drew connecting line:\n%s", out)
+			}
+		}
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatalf("scatter points missing:\n%s", out)
+	}
+}
+
+func TestMarkersStayInBounds(t *testing.T) {
+	// Extreme values must clamp, not panic.
+	c := Chart{
+		Width: 10, Height: 4,
+		Series: []Series{{Name: "s", X: []float64{0, 1e9}, Y: []float64{-1e9, 1e9}}},
+	}
+	_ = c.Render()
+}

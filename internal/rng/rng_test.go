@@ -1,0 +1,204 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with equal seeds diverged at step %d", i)
+		}
+	}
+}
+
+func TestDistinctSeedsDiverge(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("adjacent seeds produced %d identical outputs", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		s := New(seed)
+		for i := 0; i < 100; i++ {
+			v := s.Float64()
+			if v < 0 || v >= 1 {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(7)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("uniform mean = %.4f, want ~0.5", mean)
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	s := New(11)
+	const n = 200000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := s.Norm()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Fatalf("normal mean = %.4f, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Fatalf("normal variance = %.4f, want ~1", variance)
+	}
+}
+
+func TestGauss(t *testing.T) {
+	s := New(3)
+	const n = 100000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := s.Gauss(5, 2)
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	std := math.Sqrt(sumsq/n - mean*mean)
+	if math.Abs(mean-5) > 0.05 || math.Abs(std-2) > 0.05 {
+		t.Fatalf("Gauss(5,2): mean=%.3f std=%.3f", mean, std)
+	}
+}
+
+func TestTruncGaussBound(t *testing.T) {
+	s := New(9)
+	for i := 0; i < 10000; i++ {
+		v := s.TruncGauss(1.5, 0.1, 0.06)
+		if math.Abs(v-1.5) > 0.06 {
+			t.Fatalf("TruncGauss escaped bound: %v", v)
+		}
+	}
+}
+
+func TestTruncGaussZeroStd(t *testing.T) {
+	s := New(9)
+	if v := s.TruncGauss(2, 0, 0.06); v != 2 {
+		t.Fatalf("TruncGauss with std=0 = %v, want exact mean", v)
+	}
+}
+
+func TestTruncGaussStdShrinks(t *testing.T) {
+	// Residual std of N(0, 0.1) truncated at ±0.06 should be ~0.034 — the
+	// property the device model relies on for its post-write-verify spread.
+	s := New(13)
+	var sumsq float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		v := s.TruncGauss(0, 0.1, 0.06)
+		sumsq += v * v
+	}
+	std := math.Sqrt(sumsq / n)
+	if std < 0.030 || std > 0.040 {
+		t.Fatalf("truncated std = %.4f, want ~0.034", std)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	s := New(17)
+	counts := make([]int, 10)
+	for i := 0; i < 100000; i++ {
+		counts[s.Intn(10)]++
+	}
+	for v, c := range counts {
+		if c < 9000 || c > 11000 {
+			t.Fatalf("Intn(10) bucket %d count %d is not near-uniform", v, c)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		p := New(seed).Perm(20)
+		seen := make([]bool, 20)
+		for _, v := range p {
+			if v < 0 || v >= 20 || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(100)
+	a := parent.Split()
+	b := parent.Split()
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same != 0 {
+		t.Fatalf("sibling streams collided %d times", same)
+	}
+}
+
+func TestSplitN(t *testing.T) {
+	kids := New(5).SplitN(8)
+	if len(kids) != 8 {
+		t.Fatalf("SplitN returned %d streams", len(kids))
+	}
+	seen := map[uint64]bool{}
+	for _, k := range kids {
+		v := k.Uint64()
+		if seen[v] {
+			t.Fatal("SplitN children produced identical first outputs")
+		}
+		seen[v] = true
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	New(21).Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	sum := 0
+	for _, v := range xs {
+		sum += v
+	}
+	if sum != 28 {
+		t.Fatalf("shuffle lost elements: %v", xs)
+	}
+}

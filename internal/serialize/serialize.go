@@ -1,0 +1,127 @@
+// Package serialize persists trained network state as a portable state
+// dictionary (encoding/gob): parameter tensors keyed by name plus the
+// non-parameter state inference depends on — batch-norm running statistics
+// and activation-quantizer ranges. Architectures are rebuilt from code (the
+// model zoo), then populated with LoadState, PyTorch-state-dict style; this
+// keeps the format stable across refactors of layer internals.
+package serialize
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"swim/internal/nn"
+)
+
+// State is the serialized form of a network's learned state.
+type State struct {
+	// Name is the network name, checked on load.
+	Name string
+	// Params maps parameter name to flat values.
+	Params map[string][]float64
+	// BNMean and BNVar hold batch-norm running statistics keyed by layer
+	// name; QuantMax holds activation-quantizer calibrated ranges.
+	BNMean   map[string][]float64
+	BNVar    map[string][]float64
+	QuantMax map[string]float64
+}
+
+// Capture extracts the network's learned state.
+func Capture(net *nn.Network) *State {
+	s := &State{
+		Name:     net.Name,
+		Params:   map[string][]float64{},
+		BNMean:   map[string][]float64{},
+		BNVar:    map[string][]float64{},
+		QuantMax: map[string]float64{},
+	}
+	for _, p := range net.Params() {
+		s.Params[p.Name] = append([]float64(nil), p.Data.Data...)
+	}
+	nn.Walk(net.Trunk, func(l nn.Layer) {
+		switch v := l.(type) {
+		case *nn.BatchNorm2D:
+			s.BNMean[v.Name()] = append([]float64(nil), v.RunMean.Data...)
+			s.BNVar[v.Name()] = append([]float64(nil), v.RunVar.Data...)
+		case *nn.QuantAct:
+			s.QuantMax[v.Name()] = v.Max
+		}
+	})
+	return s
+}
+
+// Restore loads a captured state into a freshly built network of the same
+// architecture. Every entry in the state must find its counterpart, and
+// every parameter in the network must be covered, or an error is returned.
+func Restore(net *nn.Network, s *State) error {
+	if net.Name != s.Name {
+		return fmt.Errorf("serialize: state is for %q, network is %q", s.Name, net.Name)
+	}
+	seen := 0
+	for _, p := range net.Params() {
+		vals, ok := s.Params[p.Name]
+		if !ok {
+			return fmt.Errorf("serialize: state missing parameter %q", p.Name)
+		}
+		if len(vals) != len(p.Data.Data) {
+			return fmt.Errorf("serialize: parameter %q has %d values, want %d", p.Name, len(vals), len(p.Data.Data))
+		}
+		copy(p.Data.Data, vals)
+		seen++
+	}
+	if seen != len(s.Params) {
+		return fmt.Errorf("serialize: state has %d parameters, network consumed %d", len(s.Params), seen)
+	}
+	var err error
+	nn.Walk(net.Trunk, func(l nn.Layer) {
+		if err != nil {
+			return
+		}
+		switch v := l.(type) {
+		case *nn.BatchNorm2D:
+			mean, okM := s.BNMean[v.Name()]
+			variance, okV := s.BNVar[v.Name()]
+			if !okM || !okV || len(mean) != len(v.RunMean.Data) {
+				err = fmt.Errorf("serialize: bad batch-norm state for %q", v.Name())
+				return
+			}
+			copy(v.RunMean.Data, mean)
+			copy(v.RunVar.Data, variance)
+		case *nn.QuantAct:
+			m, ok := s.QuantMax[v.Name()]
+			if !ok {
+				err = fmt.Errorf("serialize: missing quantizer range for %q", v.Name())
+				return
+			}
+			v.Max = m
+			v.Calibrate = false // a restored model is frozen
+		}
+	})
+	return err
+}
+
+// Save writes the network state to w in gob encoding.
+func Save(w io.Writer, net *nn.Network) error {
+	return gob.NewEncoder(w).Encode(Capture(net))
+}
+
+// Load reads a state from r into the network.
+func Load(r io.Reader, net *nn.Network) error {
+	var s State
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return fmt.Errorf("serialize: decode: %w", err)
+	}
+	return Restore(net, &s)
+}
+
+// Bytes round-trips the state through memory (convenience for tests and
+// in-process snapshots).
+func Bytes(net *nn.Network) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := Save(&buf, net); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

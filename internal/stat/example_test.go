@@ -1,0 +1,27 @@
+package stat_test
+
+import (
+	"fmt"
+
+	"swim/internal/stat"
+)
+
+// Monte-Carlo aggregation as used by every experiment in this repository:
+// stream trial results into a Welford accumulator and report mean ± std.
+func ExampleWelford() {
+	var w stat.Welford
+	for _, acc := range []float64{96.2, 95.8, 96.0, 96.4, 95.6} {
+		w.Add(acc)
+	}
+	fmt.Println(w.String())
+	// Output: 96.00 ± 0.32
+}
+
+// Fig. 1's headline statistic: correlation between a candidate sensitivity
+// metric and the observed accuracy drop.
+func ExamplePearson() {
+	hess := []float64{0.1, 0.5, 0.9, 1.5, 2.0}
+	drop := []float64{0.0, 0.2, 0.5, 0.8, 1.1}
+	fmt.Printf("%.3f\n", stat.Pearson(hess, drop))
+	// Output: 0.998
+}

@@ -1,0 +1,160 @@
+package stat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestWelfordMatchesDirect(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	var w Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	if !almost(w.Mean(), 5, 1e-12) {
+		t.Fatalf("mean = %v", w.Mean())
+	}
+	// Sample variance of this classic dataset is 32/7.
+	if !almost(w.Var(), 32.0/7.0, 1e-12) {
+		t.Fatalf("var = %v", w.Var())
+	}
+	if w.N() != len(xs) {
+		t.Fatalf("n = %d", w.N())
+	}
+}
+
+func TestWelfordEmptyAndSingle(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Var() != 0 || w.Std() != 0 {
+		t.Fatal("empty Welford should be all zero")
+	}
+	w.Add(3)
+	if w.Mean() != 3 || w.Var() != 0 {
+		t.Fatal("single-sample Welford wrong")
+	}
+}
+
+func TestWelfordNumericalStability(t *testing.T) {
+	// Large offset should not destroy the variance estimate.
+	var w Welford
+	for i := 0; i < 1000; i++ {
+		w.Add(1e9 + float64(i%2))
+	}
+	if !almost(w.Var(), 0.25025, 1e-3) {
+		t.Fatalf("var under large offset = %v", w.Var())
+	}
+}
+
+func TestPearsonPerfect(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	if r := Pearson(xs, ys); !almost(r, 1, 1e-12) {
+		t.Fatalf("r = %v, want 1", r)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if r := Pearson(xs, neg); !almost(r, -1, 1e-12) {
+		t.Fatalf("r = %v, want -1", r)
+	}
+}
+
+func TestPearsonConstantSeries(t *testing.T) {
+	if r := Pearson([]float64{1, 1, 1}, []float64{1, 2, 3}); r != 0 {
+		t.Fatalf("constant series should give r=0, got %v", r)
+	}
+}
+
+func TestPearsonSymmetryAndRange(t *testing.T) {
+	if err := quick.Check(func(a, b, c, d, e, f float64) bool {
+		xs := []float64{a, b, c}
+		ys := []float64{d, e, f}
+		for _, v := range append(xs, ys...) {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+				return true // skip degenerate inputs
+			}
+		}
+		r1, r2 := Pearson(xs, ys), Pearson(ys, xs)
+		return almost(r1, r2, 1e-9) && r1 >= -1-1e-9 && r1 <= 1+1e-9
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6}
+	ys := []float64{1, 8, 27, 64, 125, 216} // monotone but nonlinear
+	if r := Spearman(xs, ys); !almost(r, 1, 1e-12) {
+		t.Fatalf("Spearman of monotone data = %v, want 1", r)
+	}
+}
+
+func TestRanksTies(t *testing.T) {
+	r := Ranks([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Fatalf("ranks = %v, want %v", r, want)
+		}
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2, 4, 5}
+	if q := Quantile(xs, 0); q != 1 {
+		t.Fatalf("q0 = %v", q)
+	}
+	if q := Quantile(xs, 1); q != 5 {
+		t.Fatalf("q1 = %v", q)
+	}
+	if q := Quantile(xs, 0.5); q != 3 {
+		t.Fatalf("median = %v", q)
+	}
+	if q := Quantile(xs, 0.25); q != 2 {
+		t.Fatalf("q25 = %v", q)
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("Quantile mutated input: %v", xs)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i%10) + 0.5)
+	}
+	for i := 0; i < 10; i++ {
+		if h.Counts[i] != 10 {
+			t.Fatalf("bin %d = %d, want 10", i, h.Counts[i])
+		}
+		if !almost(h.Fraction(i), 0.1, 1e-12) {
+			t.Fatalf("fraction %d = %v", i, h.Fraction(i))
+		}
+	}
+	h.Add(-5) // clamps low
+	h.Add(99) // clamps high
+	if h.Counts[0] != 11 || h.Counts[9] != 11 {
+		t.Fatal("out-of-range values did not clamp to edge bins")
+	}
+	if h.Total() != 102 {
+		t.Fatalf("total = %d", h.Total())
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	if !almost(Mean([]float64{1, 2, 3}), 2, 1e-12) {
+		t.Fatal("Mean wrong")
+	}
+	if !almost(Std([]float64{2, 4, 4, 4, 5, 5, 7, 9}), math.Sqrt(32.0/7.0), 1e-12) {
+		t.Fatal("Std wrong")
+	}
+}

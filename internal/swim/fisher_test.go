@@ -1,0 +1,48 @@
+package swim
+
+import "testing"
+
+func TestFisherSensitivityShape(t *testing.T) {
+	net, ds, _, weights := smallWorkload(t)
+	fisher := FisherSensitivity(net, ds.TrainX, ds.TrainY, 64)
+	if len(fisher) != net.NumMappedWeights() {
+		t.Fatalf("fisher length %d != %d", len(fisher), net.NumMappedWeights())
+	}
+	sum := 0.0
+	for _, f := range fisher {
+		if f < 0 {
+			t.Fatal("squared gradients cannot be negative")
+		}
+		sum += f
+	}
+	if sum == 0 {
+		t.Fatal("fisher all zero")
+	}
+	sel := NewFisherSelector(fisher, weights)
+	order := sel.Order(nil)
+	if len(order) != len(fisher) {
+		t.Fatal("selector order length wrong")
+	}
+	// Highest-Fisher weight must come first.
+	best, bi := -1.0, -1
+	for i, f := range fisher {
+		if f > best {
+			best, bi = f, i
+		}
+	}
+	if order[0] != bi {
+		t.Fatalf("order[0] = %d, want argmax %d", order[0], bi)
+	}
+}
+
+func TestFisherDoesNotMutateNetwork(t *testing.T) {
+	net, ds, _, _ := smallWorkload(t)
+	before := net.MappedParams()[0].Data.Clone()
+	FisherSensitivity(net, ds.TrainX, ds.TrainY, 64)
+	after := net.MappedParams()[0].Data
+	for i := range before.Data {
+		if before.Data[i] != after.Data[i] {
+			t.Fatal("fisher computation changed weights")
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package swim
+
+import (
+	"sort"
+
+	"swim/internal/nn"
+)
+
+// PruneBySensitivity is the Optimal-Brain-Damage-style extension of SWIM's
+// sensitivity metric (the paper's §3.2 analysis is "inspired by [LeCun et
+// al., Optimal Brain Damage]"): weights whose loss Hessian diagonal — scaled
+// by their own magnitude per OBD's saliency ½·H_ii·w_i² — is smallest can be
+// removed outright. On an nvCiM platform pruned weights need no device at
+// all, compounding SWIM's programming-time savings with area and energy
+// savings.
+//
+// It zeroes the fraction frac of mapped weights with the lowest saliency and
+// returns the number pruned. hess must be in MappedParams order (as returned
+// by Sensitivity).
+func PruneBySensitivity(net *nn.Network, hess []float64, frac float64) int {
+	if frac <= 0 {
+		return 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	params := net.MappedParams()
+	total := 0
+	for _, p := range params {
+		total += p.Size()
+	}
+	if len(hess) != total {
+		panic("swim: hess length does not match mapped weights")
+	}
+
+	// OBD saliency: ½·H_ii·w_i².
+	saliency := make([]float64, total)
+	flat := 0
+	for _, p := range params {
+		for _, w := range p.Data.Data {
+			saliency[flat] = 0.5 * hess[flat] * w * w
+			flat++
+		}
+	}
+	idx := make([]int, total)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return saliency[idx[a]] < saliency[idx[b]] })
+
+	k := int(frac * float64(total))
+	pruneSet := make([]bool, total)
+	for _, i := range idx[:k] {
+		pruneSet[i] = true
+	}
+	flat = 0
+	pruned := 0
+	for _, p := range params {
+		for off := range p.Data.Data {
+			if pruneSet[flat] {
+				if p.Data.Data[off] != 0 {
+					pruned++
+				}
+				p.Data.Data[off] = 0
+			}
+			flat++
+		}
+	}
+	return pruned
+}
+
+// SparsityOf reports the fraction of exactly-zero mapped weights.
+func SparsityOf(net *nn.Network) float64 {
+	zero, total := 0, 0
+	for _, p := range net.MappedParams() {
+		for _, w := range p.Data.Data {
+			if w == 0 {
+				zero++
+			}
+			total++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(zero) / float64(total)
+}

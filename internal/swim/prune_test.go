@@ -1,0 +1,132 @@
+package swim
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"swim/internal/data"
+	"swim/internal/models"
+	"swim/internal/nn"
+	"swim/internal/rng"
+	"swim/internal/train"
+)
+
+// Pruning depends on the OBD convergence assumption (Eq. 3: df/dw ≈ 0), so
+// these tests use a properly converged workload, cached across the package's
+// prune tests.
+var (
+	pruneOnce sync.Once
+	pruneNet  *nn.Network
+	pruneDS   *data.Dataset
+	pruneHess []float64
+)
+
+func prunedWorkload(t *testing.T) (*nn.Network, *data.Dataset, []float64) {
+	t.Helper()
+	pruneOnce.Do(func() {
+		pruneDS = data.MNISTLike(1000, 400, 1)
+		r := rng.New(2)
+		pruneNet = models.LeNet(10, 4, r)
+		cfg := train.DefaultConfig()
+		cfg.Epochs = 5
+		cfg.QATBits = 4
+		train.SGD(pruneNet, pruneDS, cfg, r)
+		cx, cy := data.Subset(pruneDS.TrainX, pruneDS.TrainY, 512)
+		pruneHess = Sensitivity(pruneNet, cx, cy, 64)
+	})
+	return pruneNet, pruneDS, pruneHess
+}
+
+func TestPruneBySensitivityZeroesRequestedFraction(t *testing.T) {
+	net, _, hess := prunedWorkload(t)
+	clone := net.Clone()
+	pruned := PruneBySensitivity(clone, hess, 0.3)
+	if pruned == 0 {
+		t.Fatal("nothing pruned")
+	}
+	sp := SparsityOf(clone)
+	if sp < 0.28 || sp > 0.5 { // quantized nets already hold some zeros
+		t.Fatalf("sparsity after 30%% prune = %.3f", sp)
+	}
+	if SparsityOf(net) > sp/2 {
+		t.Fatal("pruning mutated the original network")
+	}
+}
+
+func TestPruneLowSaliencyBarelyHurtsAccuracy(t *testing.T) {
+	// The OBD premise the paper builds on: at a converged optimum,
+	// low-saliency weights can be removed almost for free, while removing
+	// the same number of weights picked against the saliency ordering is
+	// clearly worse.
+	net, ds, hess := prunedWorkload(t)
+	clean := train.Evaluate(net, ds.TestX, ds.TestY, 64)
+
+	low := net.Clone()
+	PruneBySensitivity(low, hess, 0.5)
+	lowAcc := train.Evaluate(low, ds.TestX, ds.TestY, 64)
+
+	// Adversarial prune: zero the TOP half by the same OBD saliency.
+	saliency := make([]float64, len(hess))
+	flat := 0
+	for _, p := range net.MappedParams() {
+		for _, w := range p.Data.Data {
+			saliency[flat] = 0.5 * hess[flat] * w * w
+			flat++
+		}
+	}
+	idx := make([]int, len(saliency))
+	for i := range idx {
+		idx[i] = i
+	}
+	sortBySaliencyDesc(idx, saliency)
+	high := net.Clone()
+	kill := make(map[int]bool, len(idx)/2)
+	for _, i := range idx[:len(idx)/2] {
+		kill[i] = true
+	}
+	flat = 0
+	for _, p := range high.MappedParams() {
+		for off := range p.Data.Data {
+			if kill[flat] {
+				p.Data.Data[off] = 0
+			}
+			flat++
+		}
+	}
+	highAcc := train.Evaluate(high, ds.TestX, ds.TestY, 64)
+
+	if clean-lowAcc > 3 {
+		t.Fatalf("pruning the bottom half by saliency cost %.1f pp (clean %.1f, pruned %.1f)",
+			clean-lowAcc, clean, lowAcc)
+	}
+	if lowAcc <= highAcc {
+		t.Fatalf("saliency ordering has no effect: low=%.2f high=%.2f", lowAcc, highAcc)
+	}
+}
+
+func sortBySaliencyDesc(idx []int, saliency []float64) {
+	sort.SliceStable(idx, func(a, b int) bool { return saliency[idx[a]] > saliency[idx[b]] })
+}
+
+func TestPruneBounds(t *testing.T) {
+	net, _, hess := prunedWorkload(t)
+	if PruneBySensitivity(net.Clone(), hess, 0) != 0 {
+		t.Fatal("frac=0 pruned something")
+	}
+	full := net.Clone()
+	PruneBySensitivity(full, hess, 2.0) // clamps to 1
+	if SparsityOf(full) != 1 {
+		t.Fatal("frac>1 should prune everything")
+	}
+}
+
+func TestPrunePanicsOnLengthMismatch(t *testing.T) {
+	net, _, hess := prunedWorkload(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch not caught")
+		}
+	}()
+	PruneBySensitivity(net.Clone(), hess[:10], 0.5)
+}

@@ -1,0 +1,111 @@
+package train
+
+import (
+	"math"
+	"testing"
+
+	"swim/internal/data"
+	"swim/internal/models"
+	"swim/internal/nn"
+	"swim/internal/quant"
+	"swim/internal/rng"
+)
+
+func tinyMLP(seed uint64) *nn.Network {
+	r := rng.New(seed)
+	return nn.NewNetwork("mlp", nn.NewSequential("trunk",
+		nn.NewFlatten(),
+		nn.NewLinear("fc1", 28*28, 32, r),
+		nn.NewReLU(),
+		nn.NewLinear("fc2", 32, 10, r),
+	), nn.NewSoftmaxCrossEntropy())
+}
+
+func TestSGDReducesLoss(t *testing.T) {
+	ds := data.MNISTLike(300, 100, 1)
+	net := tinyMLP(2)
+	cfg := DefaultConfig()
+	cfg.Epochs = 3
+	stats := SGD(net, ds, cfg, rng.New(3))
+	if len(stats) != 3 {
+		t.Fatalf("epochs recorded = %d", len(stats))
+	}
+	if stats[2].Loss >= stats[0].Loss {
+		t.Fatalf("loss did not decrease: %v -> %v", stats[0].Loss, stats[2].Loss)
+	}
+	if stats[2].TrainAcc <= stats[0].TrainAcc-5 {
+		t.Fatalf("train accuracy collapsed: %v -> %v", stats[0].TrainAcc, stats[2].TrainAcc)
+	}
+}
+
+func TestSGDDeterministic(t *testing.T) {
+	ds := data.MNISTLike(200, 50, 1)
+	a, b := tinyMLP(2), tinyMLP(2)
+	cfg := DefaultConfig()
+	cfg.Epochs = 2
+	SGD(a, ds, cfg, rng.New(5))
+	SGD(b, ds, cfg, rng.New(5))
+	pa, pb := a.Params()[0].Data, b.Params()[0].Data
+	for i := range pa.Data {
+		if pa.Data[i] != pb.Data[i] {
+			t.Fatal("same seed produced different trained weights")
+		}
+	}
+}
+
+func TestLRDecay(t *testing.T) {
+	ds := data.MNISTLike(100, 50, 1)
+	net := tinyMLP(2)
+	cfg := DefaultConfig()
+	cfg.Epochs = 4
+	cfg.LRDecayEvery = 2
+	cfg.LRDecayBy = 0.1
+	stats := SGD(net, ds, cfg, rng.New(5))
+	if stats[3].LR >= stats[0].LR {
+		t.Fatalf("lr did not decay: %v -> %v", stats[0].LR, stats[3].LR)
+	}
+	if math.Abs(stats[3].LR-cfg.LR*0.1) > 1e-12 {
+		t.Fatalf("lr after one decay = %v, want %v", stats[3].LR, cfg.LR*0.1)
+	}
+}
+
+func TestQATLeavesWeightsOnGrid(t *testing.T) {
+	ds := data.MNISTLike(200, 50, 1)
+	r := rng.New(2)
+	net := models.LeNet(10, 4, r)
+	cfg := DefaultConfig()
+	cfg.Epochs = 1
+	cfg.QATBits = 4
+	SGD(net, ds, cfg, r)
+	for _, p := range net.MappedParams() {
+		before := p.Data.Clone()
+		quant.FakeQuantize(p.Data, 4)
+		for i := range before.Data {
+			if math.Abs(before.Data[i]-p.Data.Data[i]) > 1e-12 {
+				t.Fatalf("%s not on the 4-bit grid after QAT", p.Name)
+			}
+		}
+	}
+}
+
+func TestEvaluateBounds(t *testing.T) {
+	ds := data.MNISTLike(100, 60, 1)
+	net := tinyMLP(2)
+	acc := Evaluate(net, ds.TestX, ds.TestY, 32)
+	if acc < 0 || acc > 100 {
+		t.Fatalf("accuracy out of range: %v", acc)
+	}
+}
+
+func TestTrainingImprovesTestAccuracy(t *testing.T) {
+	ds := data.MNISTLike(600, 200, 1)
+	net := tinyMLP(2)
+	before := Evaluate(net, ds.TestX, ds.TestY, 64)
+	cfg := DefaultConfig()
+	cfg.Epochs = 4
+	SGD(net, ds, cfg, rng.New(3))
+	after := Evaluate(net, ds.TestX, ds.TestY, 64)
+	if after <= before+10 {
+		t.Fatalf("test accuracy barely moved: %.1f -> %.1f", before, after)
+	}
+}
