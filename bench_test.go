@@ -11,8 +11,10 @@
 package swim_bench
 
 import (
+	"context"
 	"fmt"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -20,6 +22,7 @@ import (
 	"swim/internal/device"
 	"swim/internal/experiments"
 	"swim/internal/mapping"
+	"swim/internal/mc"
 	"swim/internal/models"
 	"swim/internal/rng"
 	"swim/internal/tensor"
@@ -50,7 +53,10 @@ func BenchmarkTable1(b *testing.B) {
 	sigmas := experiments.SigmaGrid()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res := experiments.Table1(w, sigmas, cfg)
+		res, err := experiments.Table1(w, sigmas, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
 		printSeries("table1", func() {
 			experiments.PrintTable1(os.Stdout, w, sigmas, cfg, res)
 			sw := res[experiments.SigmaTypical]["swim"]
@@ -84,7 +90,10 @@ func benchFig2(b *testing.B, key string, w *experiments.Workload) {
 	cfg := experiments.DefaultSweep()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res := experiments.Fig2(w, cfg)
+		res, err := experiments.Fig2(w, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
 		printSeries(key, func() { experiments.PrintFig2(os.Stdout, w, cfg, res) })
 	}
 }
@@ -118,7 +127,10 @@ func BenchmarkAblateGranularity(b *testing.B) {
 	w := experiments.LeNetMNIST()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rows := experiments.AblateGranularity(w, experiments.SigmaHigh, 1.0, []float64{0.05, 0.25}, 3, 40)
+		rows, err := experiments.AblateGranularity(w, experiments.SigmaHigh, 1.0, []float64{0.05, 0.25}, 3, 40)
+		if err != nil {
+			b.Fatal(err)
+		}
 		printSeries("abl-p", func() { experiments.PrintGranularity(os.Stdout, w, 1.0, rows) })
 	}
 }
@@ -153,6 +165,69 @@ func BenchmarkHessianQuality(b *testing.B) {
 		rho := experiments.HessianQuality(w, 10, 43)
 		printSeries("abl-approx", func() {
 			fmt.Printf("diagonal-approximation ablation: Spearman(analytic, FD) = %.3f\n", rho)
+		})
+	}
+}
+
+// --- Monte-Carlo engine microbenchmarks -------------------------------------
+//
+// BenchmarkMCRun and BenchmarkMCRunSeries track the parallel engine's
+// speedup over its serial path (workers=1) at 1/2/4/8 workers. The trial body
+// mirrors a real Monte-Carlo trial in miniature — a few thousand deterministic
+// RNG draws — so the numbers isolate engine scheduling from workload noise.
+// On a 4-core runner workers=4 is expected to be ≥ 2× workers=1; on fewer
+// cores the extra worker counts simply converge to the core count.
+
+func mcTrialWork(r *rng.Source) float64 {
+	s := 0.0
+	for i := 0; i < 4000; i++ {
+		s += r.Norm()
+	}
+	return s / 4000
+}
+
+func BenchmarkMCRun(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := mc.RunCtx(context.Background(), 1, 256, workers, mcTrialWork); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkMCRunSeries(b *testing.B) {
+	trial := func(r *rng.Source) []float64 {
+		return []float64{mcTrialWork(r), mcTrialWork(r), mcTrialWork(r), mcTrialWork(r)}
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := mc.RunSeriesCtx(context.Background(), 1, 64, 4, workers, trial); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMCSweepWorkers tracks the speedup on the real hot path: a full
+// device-programming sweep (the unit behind every Table 1 / Fig. 2 number)
+// at 1 and NumCPU workers.
+func BenchmarkMCSweepWorkers(b *testing.B) {
+	w := experiments.LeNetMNIST()
+	cfg := experiments.SweepConfig{NWCs: []float64{0, 0.5}, Trials: 8, Seed: 77}
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			mc.SetWorkers(workers)
+			defer mc.SetWorkers(0)
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Sweep(w, experiments.SigmaHigh, "swim", cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

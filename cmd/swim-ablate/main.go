@@ -18,14 +18,23 @@ import (
 
 func main() {
 	what := flag.String("what", "granularity", "granularity | tiebreak | kbits | hessian | all")
+	workers := flag.Int("workers", 0, "Monte-Carlo worker goroutines (0 = SWIM_WORKERS or all CPUs)")
 	flag.Parse()
+	mc.SetWorkers(*workers)
 
+	fatal := func(err error) {
+		fmt.Fprintln(os.Stderr, "swim-ablate:", err)
+		os.Exit(1)
+	}
 	w := experiments.LeNetMNIST()
 	trials := mc.Trials(5)
 	run := map[string]func(){
 		"granularity": func() {
-			rows := experiments.AblateGranularity(w, experiments.SigmaHigh, 1.0,
+			rows, err := experiments.AblateGranularity(w, experiments.SigmaHigh, 1.0,
 				[]float64{0.01, 0.05, 0.1, 0.25}, trials, 40)
+			if err != nil {
+				fatal(err)
+			}
 			experiments.PrintGranularity(os.Stdout, w, 1.0, rows)
 		},
 		"tiebreak": func() {
@@ -46,7 +55,10 @@ func main() {
 			fmt.Printf("  Spearman(analytic second derivative, finite difference) = %.3f\n", rho)
 		},
 		"spatial": func() {
-			rows := experiments.AblateSpatial(w, experiments.SigmaHigh, 0.1, trials, 44)
+			rows, err := experiments.AblateSpatial(w, experiments.SigmaHigh, 0.1, trials, 44)
+			if err != nil {
+				fatal(err)
+			}
 			experiments.PrintSpatial(os.Stdout, w, 0.1, rows)
 		},
 		"fisher": func() {

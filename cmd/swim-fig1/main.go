@@ -13,6 +13,7 @@ import (
 	"os"
 
 	"swim/internal/experiments"
+	"swim/internal/mc"
 )
 
 func main() {
@@ -21,7 +22,9 @@ func main() {
 	flag.IntVar(&cfg.Repeats, "repeats", cfg.Repeats, "Monte-Carlo repeats per weight")
 	flag.Float64Var(&cfg.SigmaPerturb, "sigma", cfg.SigmaPerturb, "perturbation std (weight LSB)")
 	flag.IntVar(&cfg.EvalN, "eval", cfg.EvalN, "evaluation subset size")
+	workers := flag.Int("workers", 0, "Monte-Carlo worker goroutines (0 = SWIM_WORKERS or all CPUs)")
 	flag.Parse()
+	mc.SetWorkers(*workers)
 
 	w := experiments.LeNetMNIST()
 	res := experiments.Fig1(w, cfg)

@@ -14,14 +14,17 @@ import (
 	"os"
 
 	"swim/internal/experiments"
+	"swim/internal/mc"
 )
 
 func main() {
 	panel := flag.String("panel", "a", "figure panel: a, b or c")
 	trials := flag.Int("trials", 0, "Monte-Carlo trials (0 = default / SWIM_MC)")
+	workers := flag.Int("workers", 0, "Monte-Carlo worker goroutines (0 = SWIM_WORKERS or all CPUs)")
 	sigma := flag.Float64("sigma", experiments.SigmaHigh,
 		"device variation before write-verify (deeper models reach the paper's drop regime at lower sigma)")
 	flag.Parse()
+	mc.SetWorkers(*workers)
 
 	cfg := experiments.DefaultSweep()
 	if *trials > 0 {
@@ -43,6 +46,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "swim-fig2: unknown panel %q (want a, b or c)\n", *panel)
 		os.Exit(2)
 	}
-	res := experiments.Fig2At(w, *sigma, cfg)
+	res, err := experiments.Fig2At(w, *sigma, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "swim-fig2:", err)
+		os.Exit(1)
+	}
 	experiments.PrintFig2At(os.Stdout, w, *sigma, cfg, res)
 }

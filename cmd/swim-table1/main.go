@@ -18,12 +18,15 @@ import (
 	"strings"
 
 	"swim/internal/experiments"
+	"swim/internal/mc"
 )
 
 func main() {
 	trials := flag.Int("trials", 0, "Monte-Carlo trials (0 = default / SWIM_MC)")
+	workers := flag.Int("workers", 0, "Monte-Carlo worker goroutines (0 = SWIM_WORKERS or all CPUs)")
 	sigmaFlag := flag.String("sigmas", "", "comma-separated device sigma grid (default 0.5,0.75,1.0)")
 	flag.Parse()
+	mc.SetWorkers(*workers)
 
 	cfg := experiments.DefaultSweep()
 	if *trials > 0 {
@@ -44,7 +47,11 @@ func main() {
 
 	fmt.Println("training LeNet on the MNIST-like task (cached per process)...")
 	w := experiments.LeNetMNIST()
-	res := experiments.Table1(w, sigmas, cfg)
+	res, err := experiments.Table1(w, sigmas, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "swim-table1:", err)
+		os.Exit(1)
+	}
 	experiments.PrintTable1(os.Stdout, w, sigmas, cfg, res)
 
 	// Headline speedups at the paper's NWC = 0.1 operating point.

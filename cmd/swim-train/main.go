@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"swim/internal/data"
+	"swim/internal/mc"
 	"swim/internal/models"
 	"swim/internal/nn"
 	"swim/internal/rng"
@@ -28,7 +29,10 @@ func main() {
 	testN := flag.Int("test", 800, "test samples")
 	save := flag.String("save", "", "write trained state to this path")
 	load := flag.String("load", "", "load state from this path instead of training")
+	workers := flag.Int("workers", 0,
+		"Monte-Carlo worker goroutines for downstream mc-based paths (0 = SWIM_WORKERS or all CPUs)")
 	flag.Parse()
+	mc.SetWorkers(*workers)
 
 	var (
 		net  *nn.Network

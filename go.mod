@@ -1,0 +1,3 @@
+module swim
+
+go 1.24

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync/atomic"
 
 	"swim/internal/data"
 	"swim/internal/device"
@@ -29,34 +30,36 @@ type GranularityResult struct {
 // evaluations of the mapped network; coarser granules overshoot the write
 // budget. The ablation runs Algorithm 1 with the SWIM selector at several p
 // and a fixed accuracy-drop target.
-func AblateGranularity(w *Workload, sigma, maxDrop float64, ps []float64, trials int, seed uint64) []GranularityResult {
+func AblateGranularity(w *Workload, sigma, maxDrop float64, ps []float64, trials int, seed uint64) ([]GranularityResult, error) {
 	dm := w.DeviceFor(sigma)
 	table := dm.CycleTable(300, rng.New(seed^0xab1a7e))
 	var out []GranularityResult
 	for _, p := range ps {
-		var nwc, evals stat.Welford
-		achieved := 0
-		base := rng.New(seed)
-		for t := 0; t < trials; t++ {
-			r := base.Split()
+		// Per trial: NWC at stop and accuracy evaluations. The achieved count
+		// is exact, so it bypasses the float aggregates.
+		var achieved atomic.Int64
+		agg, err := mc.RunSeries(seed, trials, 2, func(r *rng.Source) []float64 {
 			mp := mapping.New(w.Net, dm, table, r)
 			res := swim.Algorithm1(mp, w.Selector("swim"), p, w.CleanAcc, maxDrop,
 				w.DS.TestX, w.DS.TestY, 64, r)
-			nwc.Add(mp.NWC())
-			evals.Add(float64(len(res.Steps)))
 			if res.Achieved {
-				achieved++
+				achieved.Add(1)
 			}
+			return []float64{mp.NWC(), float64(len(res.Steps))}
+		})
+		if err != nil {
+			return nil, fmt.Errorf("granularity ablation at p=%.3f: %w", p, err)
 		}
+		nwc, evals := agg[0], agg[1]
 		out = append(out, GranularityResult{
 			Granularity: p,
 			NWC:         Cell{nwc.Mean(), nwc.Std()},
 			Evals:       Cell{evals.Mean(), evals.Std()},
-			Achieved:    achieved,
+			Achieved:    int(achieved.Load()),
 			Trials:      trials,
 		})
 	}
-	return out
+	return out, nil
 }
 
 // PrintGranularity renders the granularity ablation.
@@ -184,7 +187,7 @@ type SpatialResult struct {
 // without SWIM write-verify at the probe budget. Write-verify corrects the
 // read-back error whatever its source, so SWIM's recovery should survive the
 // extra variation — the claim the paper defers to future work.
-func AblateSpatial(w *Workload, sigma, nwc float64, trials int, seed uint64) []SpatialResult {
+func AblateSpatial(w *Workload, sigma, nwc float64, trials int, seed uint64) ([]SpatialResult, error) {
 	dm := w.DeviceFor(sigma)
 	table := dm.CycleTable(300, rng.New(seed^0x59a7))
 	sel := w.Selector("swim")
@@ -194,28 +197,37 @@ func AblateSpatial(w *Workload, sigma, nwc float64, trials int, seed uint64) []S
 	}
 	scfg := device.DefaultSpatial(side, side)
 
-	run := func(spatial bool, seed uint64) SpatialResult {
+	run := func(spatial bool, seed uint64) (SpatialResult, error) {
 		label := "temporal only"
 		if spatial {
 			label = "temporal + spatial"
 		}
-		var noV, at stat.Welford
-		base := rng.New(seed)
-		for t := 0; t < trials; t++ {
-			r := base.Split()
+		// Per trial: accuracy before and after write-verify on one instance.
+		agg, err := mc.RunSeries(seed, trials, 2, func(r *rng.Source) []float64 {
 			mp := mapping.New(w.Net, dm, table, r)
 			if spatial {
 				mp.ProgramAllSpatial(r, device.NewSpatialField(scfg, r))
 			}
-			noV.Add(mp.Accuracy(w.DS.TestX, w.DS.TestY, 64))
+			noV := mp.Accuracy(w.DS.TestX, w.DS.TestY, 64)
 			swim.WriteVerifyToNWC(mp, sel.Order(r), nwc, r)
-			at.Add(mp.Accuracy(w.DS.TestX, w.DS.TestY, 64))
+			return []float64{noV, mp.Accuracy(w.DS.TestX, w.DS.TestY, 64)}
+		})
+		if err != nil {
+			return SpatialResult{}, fmt.Errorf("spatial ablation (%s): %w", label, err)
 		}
 		return SpatialResult{Label: label,
-			NoVerify: Cell{noV.Mean(), noV.Std()},
-			SWIMAt:   Cell{at.Mean(), at.Std()}}
+			NoVerify: Cell{agg[0].Mean(), agg[0].Std()},
+			SWIMAt:   Cell{agg[1].Mean(), agg[1].Std()}}, nil
 	}
-	return []SpatialResult{run(false, seed), run(true, seed+1)}
+	temporal, err := run(false, seed)
+	if err != nil {
+		return nil, err
+	}
+	both, err := run(true, seed+1)
+	if err != nil {
+		return nil, err
+	}
+	return []SpatialResult{temporal, both}, nil
 }
 
 // PrintSpatial renders the spatial-extension experiment.

@@ -40,7 +40,11 @@ func TestShapeChecksOnRealFastSweep(t *testing.T) {
 	cfg := SweepConfig{NWCs: []float64{0, 0.1, 1.0}, Trials: 4, Seed: 50}
 	res := map[string][]Cell{}
 	for _, m := range Methods {
-		res[m] = Sweep(w, SigmaHigh, m, cfg)
+		cells, err := Sweep(w, SigmaHigh, m, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res[m] = cells
 	}
 	// CI scale runs a 300-sample eval over 4 trials: binomial noise alone is
 	// ~1.7 pp per trial, so the slack must be generous. The full-scale shape

@@ -3,7 +3,10 @@ package experiments
 import (
 	"bytes"
 	"os"
+	"runtime"
 	"testing"
+
+	"swim/internal/mc"
 )
 
 func TestMain(m *testing.M) {
@@ -45,7 +48,10 @@ func TestSelectorFactory(t *testing.T) {
 func TestSweepShapesAndMonotoneTrend(t *testing.T) {
 	w := LeNetMNIST()
 	cfg := SweepConfig{NWCs: []float64{0, 0.3, 1.0}, Trials: 3, Seed: 9}
-	cells := Sweep(w, SigmaHigh, "swim", cfg)
+	cells, err := Sweep(w, SigmaHigh, "swim", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(cells) != 3 {
 		t.Fatalf("cells = %d", len(cells))
 	}
@@ -64,16 +70,48 @@ func TestSweepShapesAndMonotoneTrend(t *testing.T) {
 func TestSweepInSitu(t *testing.T) {
 	w := LeNetMNIST()
 	cfg := SweepConfig{NWCs: []float64{0, 0.2}, Trials: 2, Seed: 10}
-	cells := Sweep(w, SigmaHigh, "insitu", cfg)
+	cells, err := Sweep(w, SigmaHigh, "insitu", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(cells) != 2 {
 		t.Fatalf("cells = %d", len(cells))
+	}
+}
+
+// TestSweepWorkerInvariance pins the end-to-end determinism guarantee: a
+// full device-programming sweep yields bit-identical cells whatever the
+// worker count.
+func TestSweepWorkerInvariance(t *testing.T) {
+	w := LeNetMNIST()
+	cfg := SweepConfig{NWCs: []float64{0, 0.5}, Trials: 4, Seed: 90}
+	defer mc.SetWorkers(0)
+	mc.SetWorkers(1)
+	serial, err := Sweep(w, SigmaHigh, "swim", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{3, runtime.NumCPU()} {
+		mc.SetWorkers(workers)
+		cells, err := Sweep(w, SigmaHigh, "swim", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range cells {
+			if cells[i] != serial[i] {
+				t.Fatalf("workers=%d cell %d: %+v != serial %+v", workers, i, cells[i], serial[i])
+			}
+		}
 	}
 }
 
 func TestTable1AndPrint(t *testing.T) {
 	w := LeNetMNIST()
 	cfg := SweepConfig{NWCs: []float64{0, 1.0}, Trials: 2, Seed: 11}
-	res := Table1(w, []float64{SigmaTypical}, cfg)
+	res, err := Table1(w, []float64{SigmaTypical}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res) != 1 || len(res[SigmaTypical]) != len(Methods) {
 		t.Fatal("table shape wrong")
 	}
@@ -104,7 +142,10 @@ func TestFig1Correlations(t *testing.T) {
 func TestFig2Panel(t *testing.T) {
 	w := ConvNetCIFAR()
 	cfg := SweepConfig{NWCs: []float64{0, 1.0}, Trials: 2, Seed: 13}
-	res := Fig2(w, cfg)
+	res, err := Fig2(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res) != len(Methods) {
 		t.Fatal("missing methods")
 	}
@@ -131,7 +172,10 @@ func TestSpeedupAt(t *testing.T) {
 
 func TestAblateGranularity(t *testing.T) {
 	w := LeNetMNIST()
-	rows := AblateGranularity(w, SigmaHigh, 5.0, []float64{0.05, 0.25}, 2, 14)
+	rows, err := AblateGranularity(w, SigmaHigh, 5.0, []float64{0.05, 0.25}, 2, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 2 {
 		t.Fatal("rows missing")
 	}

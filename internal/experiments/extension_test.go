@@ -7,7 +7,10 @@ import (
 
 func TestAblateSpatial(t *testing.T) {
 	w := LeNetMNIST()
-	rows := AblateSpatial(w, SigmaTypical, 0.2, 2, 60)
+	rows, err := AblateSpatial(w, SigmaTypical, 0.2, 2, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 2 {
 		t.Fatalf("rows = %d", len(rows))
 	}

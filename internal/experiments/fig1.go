@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"swim/internal/data"
+	"swim/internal/mc"
 	"swim/internal/plot"
 	"swim/internal/rng"
 	"swim/internal/stat"
@@ -48,18 +49,20 @@ type Fig1Result struct {
 // Fig1 reproduces the paper's Fig. 1 experiment: perturb individual weights
 // with value-independent Gaussian noise, record the mean accuracy drop over
 // repeats, and correlate the drop against weight magnitude (Fig. 1a — weak)
-// and against the second derivative (Fig. 1b — strong).
+// and against the second derivative (Fig. 1b — strong). The sampled weights
+// are measured in parallel via mc.Map: every weight perturbs its own clone
+// of the master network, so the drops are deterministic in the seed and
+// independent of the worker count.
 func Fig1(w *Workload, cfg Fig1Config) Fig1Result {
 	r := rng.New(cfg.Seed)
 	evalX, evalY := data.Subset(w.DS.TestX, w.DS.TestY, cfg.EvalN)
-	net := w.Net.Clone()
-	baseAcc := accuracyOf(net, evalX, evalY)
+	baseAcc := accuracyOf(w.TrialNet(), evalX, evalY)
 
 	// Per-parameter quantization scales convert LSB-unit perturbations to
 	// float weight units, exactly as the mapping path does.
-	params := net.MappedParams()
-	scales := make([]float64, len(params))
-	for i, p := range params {
+	masterParams := w.Net.MappedParams()
+	scales := make([]float64, len(masterParams))
+	for i, p := range masterParams {
 		scales[i] = scaleOf(p, w.WeightBits)
 	}
 	total := len(w.Weights)
@@ -79,9 +82,10 @@ func Fig1(w *Workload, cfg Fig1Config) Fig1Result {
 		picks = append(picks, r.Intn(total))
 	}
 
-	var res Fig1Result
-	for _, flat := range picks {
-		pi, off := locateFlat(params, flat)
+	drops := mc.Map(cfg.Seed^0xf161, len(picks), func(k int, r *rng.Source) float64 {
+		net := w.TrialNet()
+		params := net.MappedParams()
+		pi, off := locateFlat(params, picks[k])
 		p := params[pi]
 		orig := p.Data.Data[off]
 		var acc stat.Welford
@@ -89,10 +93,14 @@ func Fig1(w *Workload, cfg Fig1Config) Fig1Result {
 			p.Data.Data[off] = orig + r.Gauss(0, cfg.SigmaPerturb*scales[pi])
 			acc.Add(accuracyOf(net, evalX, evalY))
 		}
-		p.Data.Data[off] = orig
+		return baseAcc - acc.Mean()
+	})
+
+	var res Fig1Result
+	for k, flat := range picks {
 		res.Magnitude = append(res.Magnitude, w.Weights[flat])
 		res.Hess = append(res.Hess, w.Hess[flat])
-		res.Drop = append(res.Drop, baseAcc-acc.Mean())
+		res.Drop = append(res.Drop, drops[k])
 	}
 	res.PearsonMagnitude = stat.Pearson(res.Magnitude, res.Drop)
 	res.PearsonHess = stat.Pearson(res.Hess, res.Drop)

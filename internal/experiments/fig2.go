@@ -11,7 +11,7 @@ import (
 // at the Fig. 2 operating point σ = SigmaHigh. The paper's Fig. 2 panels are
 // exactly this on ConvNet/CIFAR-10 (a), ResNet-18/CIFAR-10 (b) and
 // ResNet-18/Tiny ImageNet (c).
-func Fig2(w *Workload, cfg SweepConfig) map[string][]Cell {
+func Fig2(w *Workload, cfg SweepConfig) (map[string][]Cell, error) {
 	return Fig2At(w, SigmaHigh, cfg)
 }
 
@@ -19,12 +19,16 @@ func Fig2(w *Workload, cfg SweepConfig) map[string][]Cell {
 // (each noisy layer compounds), so deeper models reach the paper's NWC = 0
 // accuracy-drop regime at a smaller σ than LeNet; cmd/swim-fig2 exposes the
 // knob per panel.
-func Fig2At(w *Workload, sigma float64, cfg SweepConfig) map[string][]Cell {
+func Fig2At(w *Workload, sigma float64, cfg SweepConfig) (map[string][]Cell, error) {
 	out := make(map[string][]Cell, len(Methods))
 	for _, m := range Methods {
-		out[m] = Sweep(w, sigma, m, cfg)
+		cells, err := Sweep(w, sigma, m, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out[m] = cells
 	}
-	return out
+	return out, nil
 }
 
 // PrintFig2 renders one panel's series, one row per method.

@@ -45,14 +45,16 @@ func DefaultSweep() SweepConfig {
 // Sweep measures accuracy (mean ± std over Monte-Carlo trials) for one
 // workload, device σ and method at every NWC point. Each trial programs a
 // fresh device instance, spends the write budget per the method, and
-// evaluates on the test split — the paper's protocol.
-func Sweep(w *Workload, sigma float64, method string, cfg SweepConfig) []Cell {
+// evaluates on the test split — the paper's protocol. Trials run in parallel
+// on mc.Workers() goroutines; every trial owns its device instance and
+// network clone, and the aggregates are bit-identical for any worker count.
+func Sweep(w *Workload, sigma float64, method string, cfg SweepConfig) ([]Cell, error) {
 	dm := w.DeviceFor(sigma)
 	table := dm.CycleTable(300, rng.New(cfg.Seed^0x5eed))
 	points := len(cfg.NWCs)
 	evalX, evalY := data.Subset(w.DS.TestX, w.DS.TestY, mc.EvalSize(len(w.DS.TestY)))
 
-	agg := mc.RunSeries(cfg.Seed, cfg.Trials, points, func(r *rng.Source) []float64 {
+	agg, err := mc.RunSeries(cfg.Seed, cfg.Trials, points, func(r *rng.Source) []float64 {
 		out := make([]float64, points)
 		var sel swim.Selector
 		var order []int
@@ -79,25 +81,32 @@ func Sweep(w *Workload, sigma float64, method string, cfg SweepConfig) []Cell {
 		}
 		return out
 	})
+	if err != nil {
+		return nil, fmt.Errorf("sweep %s/%s at sigma=%.2f: %w", w.Name, method, sigma, err)
+	}
 
 	cells := make([]Cell, points)
 	for i, a := range agg {
 		cells[i] = Cell{Mean: a.Mean(), Std: a.Std()}
 	}
-	return cells
+	return cells, nil
 }
 
 // Table1 runs the full Table 1 grid: σ × method × NWC on the LeNet/MNIST
 // workload (or any other workload, for ablations).
-func Table1(w *Workload, sigmas []float64, cfg SweepConfig) map[float64]map[string][]Cell {
+func Table1(w *Workload, sigmas []float64, cfg SweepConfig) (map[float64]map[string][]Cell, error) {
 	out := make(map[float64]map[string][]Cell)
 	for _, sigma := range sigmas {
 		out[sigma] = make(map[string][]Cell)
 		for _, m := range Methods {
-			out[sigma][m] = Sweep(w, sigma, m, cfg)
+			cells, err := Sweep(w, sigma, m, cfg)
+			if err != nil {
+				return nil, err
+			}
+			out[sigma][m] = cells
 		}
 	}
-	return out
+	return out, nil
 }
 
 // PrintTable1 renders the grid in the paper's Table 1 layout.

@@ -27,6 +27,10 @@ import (
 // Workload bundles a trained quantized model, its dataset, and the
 // precomputed SWIM sensitivity data — everything the experiment drivers
 // consume. Workloads are built once per process and cached.
+//
+// A built Workload is immutable: Monte-Carlo trial bodies running on the
+// parallel mc engine may read it concurrently (Net only through TrialNet or
+// mapping.New, which clone), but must never write to Net, Hess or Weights.
 type Workload struct {
 	Name       string
 	Net        *nn.Network
@@ -152,6 +156,11 @@ func ResNetTiny() *Workload {
 		return buildWorkload("resnet-tiny", ds, net, 6, cfg, 320, 33)
 	})
 }
+
+// TrialNet returns a fresh deep clone of the trained master network for one
+// Monte-Carlo trial. Cloning only reads the master, so concurrent trials may
+// call TrialNet freely — the contract the parallel mc engine relies on.
+func (w *Workload) TrialNet() *nn.Network { return w.Net.Clone() }
 
 // DeviceFor returns the calibrated device model for the workload's weight
 // precision at the given σ.

@@ -3,11 +3,33 @@
 // both mean and standard deviation are reported"). Each trial receives an
 // independent child RNG stream split from the experiment seed, so results
 // are reproducible regardless of trial count.
+//
+// # Parallel execution
+//
+// Trials are embarrassingly parallel: one trial programs one simulated device
+// instance and never touches another trial's state. The engine pre-splits one
+// child stream per trial with rng.Source.SplitN, fans the trials out over a
+// worker pool (SWIM_WORKERS / -workers / runtime.NumCPU), and keeps one
+// stat.Welford accumulator per trial, folding them together afterwards with
+// Welford.Merge in trial order.
+//
+// Determinism contract: the trial streams depend only on (seed, trials), and
+// the merge order depends only on the trial indices — never on which worker
+// ran which trial or when it finished. Means and standard deviations are
+// therefore bit-for-bit identical for every worker count, including 1 (the
+// serial path). Note that per-worker accumulators merged in completion order
+// would NOT have this property; per-trial accumulators merged in index order
+// are what makes the reduction schedule-independent.
 package mc
 
 import (
+	"context"
+	"fmt"
 	"os"
+	"runtime"
 	"strconv"
+	"sync"
+	"sync/atomic"
 
 	"swim/internal/rng"
 	"swim/internal/stat"
@@ -40,16 +62,158 @@ func EvalSize(def int) int {
 // everything (used by CI-style runs of the benchmark suite).
 func Fast() bool { return os.Getenv("SWIM_FAST") != "" }
 
+// forcedWorkers, when positive, overrides SWIM_WORKERS and runtime.NumCPU.
+// The cmd binaries set it from their -workers flag.
+var forcedWorkers atomic.Int64
+
+// SetWorkers pins the default worker count used by Run, RunSeries and Map.
+// n <= 0 restores the SWIM_WORKERS / runtime.NumCPU default.
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	forcedWorkers.Store(int64(n))
+}
+
+// Workers returns the default Monte-Carlo worker count: SetWorkers if pinned,
+// else the SWIM_WORKERS environment variable, else runtime.NumCPU.
+func Workers() int {
+	if n := int(forcedWorkers.Load()); n > 0 {
+		return n
+	}
+	if v := os.Getenv("SWIM_WORKERS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return runtime.NumCPU()
+}
+
+// trialFn evaluates one trial from its pre-split stream. agg holds the
+// trial's point accumulators (len points; nil when the caller aggregates
+// nothing). A non-nil error aborts the whole run.
+type trialFn func(t int, r *rng.Source, agg []*stat.Welford) error
+
+func newAgg(points int) []*stat.Welford {
+	agg := make([]*stat.Welford, points)
+	for i := range agg {
+		agg[i] = &stat.Welford{}
+	}
+	return agg
+}
+
+// runTrials is the engine shared by Run, RunSeries and Map: it pre-splits
+// one stream per trial, executes the trials on workers goroutines, and folds
+// the per-trial accumulators in trial order (see the package comment for why
+// this — and not per-worker folding — keeps results worker-count invariant).
+func runTrials(ctx context.Context, seed uint64, trials, points, workers int, trial trialFn) ([]*stat.Welford, error) {
+	if trials < 0 {
+		return nil, fmt.Errorf("mc: negative trial count %d", trials)
+	}
+	if workers <= 0 {
+		workers = Workers()
+	}
+	if workers > trials {
+		workers = trials
+	}
+	out := newAgg(points)
+	if trials == 0 {
+		return out, ctx.Err()
+	}
+
+	streams := rng.New(seed).SplitN(trials)
+	perTrial := make([][]*stat.Welford, trials)
+	errs := make([]error, trials)
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range next {
+				if runCtx.Err() != nil {
+					return
+				}
+				agg := newAgg(points)
+				if err := safeTrial(trial, t, streams[t], agg); err != nil {
+					errs[t] = err
+					cancel()
+					return
+				}
+				perTrial[t] = agg
+			}
+		}()
+	}
+feed:
+	for t := 0; t < trials; t++ {
+		select {
+		case next <- t:
+		case <-runCtx.Done():
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// No trial errored and the parent context is live, so every trial ran to
+	// completion. Fold in trial order.
+	for _, agg := range perTrial {
+		for i := range out {
+			out[i].Merge(agg[i])
+		}
+	}
+	return out, nil
+}
+
+// safeTrial runs one trial, converting a panic in the trial body into an
+// error. Trials execute on worker goroutines, where an unrecovered panic
+// would kill the whole process and bypass the caller's deferred cleanup;
+// surfacing it through the error path keeps long sweeps failing cleanly.
+func safeTrial(trial trialFn, t int, r *rng.Source, agg []*stat.Welford) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("mc: trial %d panicked: %v", t, p)
+		}
+	}()
+	return trial(t, r, agg)
+}
+
 // Run executes trials Monte-Carlo trials of f, each with an independent
 // stream split from seed, and returns the aggregated statistics of the
-// returned metric.
+// returned metric. Trials run on Workers() goroutines; the aggregate is
+// bit-for-bit independent of the worker count.
 func Run(seed uint64, trials int, f func(r *rng.Source) float64) *stat.Welford {
-	base := rng.New(seed)
-	var w stat.Welford
-	for t := 0; t < trials; t++ {
-		w.Add(f(base.Split()))
+	w, err := RunCtx(context.Background(), seed, trials, 0, f)
+	if err != nil {
+		// Unreachable: a scalar trial cannot mismatch and the background
+		// context cannot be cancelled.
+		panic(err)
 	}
-	return &w
+	return w
+}
+
+// RunCtx is Run with an explicit context and worker count (0 = Workers()).
+// It returns the context's error if the run is cancelled mid-flight.
+func RunCtx(ctx context.Context, seed uint64, trials, workers int, f func(r *rng.Source) float64) (*stat.Welford, error) {
+	agg, err := runTrials(ctx, seed, trials, 1, workers, func(t int, r *rng.Source, agg []*stat.Welford) error {
+		agg[0].Add(f(r))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return agg[0], nil
 }
 
 // RunSeries executes trials Monte-Carlo trials of f, where each trial
@@ -58,20 +222,55 @@ func Run(seed uint64, trials int, f func(r *rng.Source) float64) *stat.Welford {
 // share the trial's stream, mirroring the paper's protocol in which one
 // Monte-Carlo run programs one device instance and measures the whole
 // sweep on it.
-func RunSeries(seed uint64, trials, points int, f func(r *rng.Source) []float64) []*stat.Welford {
-	base := rng.New(seed)
-	agg := make([]*stat.Welford, points)
-	for i := range agg {
-		agg[i] = &stat.Welford{}
+//
+// A trial returning the wrong number of values aborts the run with a
+// descriptive error (long sweeps must not panic mid-experiment).
+func RunSeries(seed uint64, trials, points int, f func(r *rng.Source) []float64) ([]*stat.Welford, error) {
+	return RunSeriesCtx(context.Background(), seed, trials, points, 0, f)
+}
+
+// RunSeriesCtx is RunSeries with an explicit context and worker count
+// (0 = Workers()). Cancelling the context aborts outstanding trials and
+// returns the context's error.
+func RunSeriesCtx(ctx context.Context, seed uint64, trials, points, workers int, f func(r *rng.Source) []float64) ([]*stat.Welford, error) {
+	if points < 0 {
+		return nil, fmt.Errorf("mc: negative series length %d", points)
 	}
-	for t := 0; t < trials; t++ {
-		vals := f(base.Split())
+	return runTrials(ctx, seed, trials, points, workers, func(t int, r *rng.Source, agg []*stat.Welford) error {
+		vals := f(r)
 		if len(vals) != points {
-			panic("mc: series length mismatch")
+			return fmt.Errorf("mc: trial %d returned %d series values, want %d", t, len(vals), points)
 		}
 		for i, v := range vals {
 			agg[i].Add(v)
 		}
+		return nil
+	})
+}
+
+// Map evaluates f(i, stream_i) for i in [0, n) on Workers() goroutines and
+// returns the results in index order. Each item owns an independent pre-split
+// stream, so the output is deterministic in seed and independent of the
+// worker count — the parallel-map counterpart of Run for experiments that
+// need per-item results rather than an aggregate (e.g. Fig. 1's per-weight
+// perturbation study).
+func Map[T any](seed uint64, n int, f func(i int, r *rng.Source) T) []T {
+	out, err := MapCtx(context.Background(), seed, n, 0, f)
+	if err != nil {
+		panic(err) // unreachable: background context, no trial errors
 	}
-	return agg
+	return out
+}
+
+// MapCtx is Map with an explicit context and worker count (0 = Workers()).
+func MapCtx[T any](ctx context.Context, seed uint64, n, workers int, f func(i int, r *rng.Source) T) ([]T, error) {
+	out := make([]T, n)
+	_, err := runTrials(ctx, seed, n, 0, workers, func(t int, r *rng.Source, _ []*stat.Welford) error {
+		out[t] = f(t, r)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }

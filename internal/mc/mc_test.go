@@ -1,8 +1,13 @@
 package mc
 
 import (
+	"context"
+	"errors"
 	"math"
 	"os"
+	"runtime"
+	"strings"
+	"sync/atomic"
 	"testing"
 
 	"swim/internal/rng"
@@ -48,6 +53,30 @@ func TestFast(t *testing.T) {
 	}
 }
 
+func TestWorkersEnvAndOverride(t *testing.T) {
+	os.Unsetenv("SWIM_WORKERS")
+	SetWorkers(0)
+	if Workers() != runtime.NumCPU() {
+		t.Fatalf("default workers = %d, want NumCPU %d", Workers(), runtime.NumCPU())
+	}
+	t.Setenv("SWIM_WORKERS", "3")
+	if Workers() != 3 {
+		t.Fatalf("SWIM_WORKERS not honoured: %d", Workers())
+	}
+	SetWorkers(5)
+	if Workers() != 5 {
+		t.Fatalf("SetWorkers not honoured: %d", Workers())
+	}
+	SetWorkers(0)
+	if Workers() != 3 {
+		t.Fatal("SetWorkers(0) should restore the environment default")
+	}
+	t.Setenv("SWIM_WORKERS", "bogus")
+	if Workers() != runtime.NumCPU() {
+		t.Fatal("bogus SWIM_WORKERS should fall back to NumCPU")
+	}
+}
+
 func TestRunAggregates(t *testing.T) {
 	w := Run(1, 2000, func(r *rng.Source) float64 { return r.Gauss(5, 1) })
 	if w.N() != 2000 {
@@ -71,10 +100,54 @@ func TestRunDeterministicInSeed(t *testing.T) {
 	}
 }
 
+// TestRunWorkerCountInvariance is the engine's core contract: the mean and
+// std are bit-for-bit identical for every worker count, including the serial
+// path (workers = 1).
+func TestRunWorkerCountInvariance(t *testing.T) {
+	f := func(r *rng.Source) float64 {
+		s := 0.0
+		for i := 0; i < 50; i++ {
+			s += r.Norm()
+		}
+		return s
+	}
+	serial, err := RunCtx(context.Background(), 11, 300, 1, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8, runtime.NumCPU()} {
+		w, err := RunCtx(context.Background(), 11, 300, workers, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.Mean() != serial.Mean() || w.Std() != serial.Std() || w.N() != serial.N() {
+			t.Fatalf("workers=%d: mean/std (%v, %v) != serial (%v, %v)",
+				workers, w.Mean(), w.Std(), serial.Mean(), serial.Std())
+		}
+	}
+}
+
+// TestRunHonoursSWIMWorkers pins the acceptance criterion: SWIM_WORKERS=4
+// through the public Run must match the serial path bit for bit.
+func TestRunHonoursSWIMWorkers(t *testing.T) {
+	f := func(r *rng.Source) float64 { return r.Gauss(0, 1) }
+	t.Setenv("SWIM_WORKERS", "1")
+	serial := Run(7, 257, f)
+	t.Setenv("SWIM_WORKERS", "4")
+	parallel := Run(7, 257, f)
+	if serial.Mean() != parallel.Mean() || serial.Std() != parallel.Std() {
+		t.Fatalf("SWIM_WORKERS=4 (%v, %v) != serial (%v, %v)",
+			parallel.Mean(), parallel.Std(), serial.Mean(), serial.Std())
+	}
+}
+
 func TestRunSeries(t *testing.T) {
-	agg := RunSeries(3, 100, 3, func(r *rng.Source) []float64 {
+	agg, err := RunSeries(3, 100, 3, func(r *rng.Source) []float64 {
 		return []float64{1, r.Float64(), 10}
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if agg[0].Mean() != 1 || agg[2].Mean() != 10 {
 		t.Fatal("constant series points wrong")
 	}
@@ -86,11 +159,120 @@ func TestRunSeries(t *testing.T) {
 	}
 }
 
-func TestRunSeriesLengthMismatchPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("length mismatch not caught")
+func TestRunSeriesWorkerCountInvariance(t *testing.T) {
+	f := func(r *rng.Source) []float64 {
+		return []float64{r.Float64(), r.Gauss(2, 3), r.Norm() * r.Norm()}
+	}
+	serial, err := RunSeriesCtx(context.Background(), 21, 211, 3, 1, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{3, runtime.NumCPU()} {
+		agg, err := RunSeriesCtx(context.Background(), 21, 211, 3, workers, f)
+		if err != nil {
+			t.Fatal(err)
 		}
-	}()
-	RunSeries(1, 2, 3, func(r *rng.Source) []float64 { return []float64{1} })
+		for i := range agg {
+			if agg[i].Mean() != serial[i].Mean() || agg[i].Std() != serial[i].Std() {
+				t.Fatalf("workers=%d point %d: (%v, %v) != serial (%v, %v)",
+					workers, i, agg[i].Mean(), agg[i].Std(), serial[i].Mean(), serial[i].Std())
+			}
+		}
+	}
+}
+
+func TestRunSeriesLengthMismatchError(t *testing.T) {
+	_, err := RunSeries(1, 8, 3, func(r *rng.Source) []float64 { return []float64{1} })
+	if err == nil {
+		t.Fatal("length mismatch not reported")
+	}
+	want := "returned 1 series values, want 3"
+	if got := err.Error(); !strings.Contains(got, want) {
+		t.Fatalf("error %q does not describe the mismatch (want substring %q)", got, want)
+	}
+}
+
+func TestRunSeriesCtxCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls atomic.Int64
+	_, err := RunSeriesCtx(ctx, 1, 10000, 1, 2, func(r *rng.Source) []float64 {
+		if calls.Add(1) == 5 {
+			cancel()
+		}
+		return []float64{r.Float64()}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run returned %v, want context.Canceled", err)
+	}
+	if n := calls.Load(); n >= 10000 {
+		t.Fatalf("cancellation did not stop the run (%d trials executed)", n)
+	}
+}
+
+func TestTrialPanicBecomesError(t *testing.T) {
+	// Trials execute on worker goroutines, where an unrecovered panic would
+	// kill the process; the engine must convert it into a returned error.
+	_, err := RunSeriesCtx(context.Background(), 1, 20, 1, 2, func(r *rng.Source) []float64 {
+		panic("device model exploded")
+	})
+	if err == nil || !strings.Contains(err.Error(), "device model exploded") {
+		t.Fatalf("trial panic not converted to a descriptive error: %v", err)
+	}
+}
+
+func TestRunSeriesCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunSeriesCtx(ctx, 1, 10, 1, 2, func(r *rng.Source) []float64 {
+		return []float64{1}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled run returned %v", err)
+	}
+}
+
+func TestRunZeroTrials(t *testing.T) {
+	w := Run(1, 0, func(r *rng.Source) float64 { t.Fatal("trial ran"); return 0 })
+	if w.N() != 0 || w.Mean() != 0 {
+		t.Fatalf("zero-trial aggregate: n=%d mean=%v", w.N(), w.Mean())
+	}
+}
+
+func TestMapOrderAndDeterminism(t *testing.T) {
+	f := func(i int, r *rng.Source) float64 { return float64(i) + r.Float64() }
+	serial, err := MapCtx(context.Background(), 5, 100, 1, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Values are in index order: integer part recovers the index.
+	for i, v := range serial {
+		if int(v) != i {
+			t.Fatalf("out[%d] = %v not in index order", i, v)
+		}
+	}
+	// And each item's stream matches a direct SplitN derivation.
+	streams := rng.New(5).SplitN(100)
+	for i, v := range serial {
+		if want := float64(i) + streams[i].Float64(); v != want {
+			t.Fatalf("item %d = %v, want %v from pre-split stream", i, v, want)
+		}
+	}
+	parallel, err := MapCtx(context.Background(), 5, 100, runtime.NumCPU(), f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("item %d differs across worker counts", i)
+		}
+	}
+}
+
+func TestMapGenericType(t *testing.T) {
+	words := Map(1, 3, func(i int, r *rng.Source) string {
+		return string(rune('a' + i))
+	})
+	if words[0] != "a" || words[1] != "b" || words[2] != "c" {
+		t.Fatalf("words = %v", words)
+	}
 }

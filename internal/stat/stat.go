@@ -25,6 +25,28 @@ func (w *Welford) Add(x float64) {
 	w.m2 += d * (x - w.mean)
 }
 
+// Merge folds another accumulator into w using the Chan et al. pairwise
+// combination: the merged mean and M2 are exactly those of the concatenated
+// streams up to rounding, and the update is numerically stable for any split
+// sizes. Merging per-chunk accumulators of a partitioned stream in a fixed
+// chunk order therefore yields results that do not depend on how the chunks
+// were scheduled across workers (package mc relies on this). o is left
+// unmodified.
+func (w *Welford) Merge(o *Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = *o
+		return
+	}
+	n := w.n + o.n
+	d := o.mean - w.mean
+	w.mean += d * float64(o.n) / float64(n)
+	w.m2 += o.m2 + d*d*float64(w.n)*float64(o.n)/float64(n)
+	w.n = n
+}
+
 // N returns the number of observations.
 func (w *Welford) N() int { return w.n }
 

@@ -48,6 +48,97 @@ func TestWelfordNumericalStability(t *testing.T) {
 	}
 }
 
+func TestWelfordMergeMatchesSingleStream(t *testing.T) {
+	// Property: for any data and any split point, Add-ing the two halves into
+	// separate accumulators and merging equals Add-ing the whole stream, up to
+	// floating-point rounding.
+	prop := func(seed int64, cut uint8) bool {
+		xs := quickSample(seed, 3+int(cut%97))
+		k := int(cut) % len(xs)
+		var whole, a, b Welford
+		for _, x := range xs {
+			whole.Add(x)
+		}
+		for _, x := range xs[:k] {
+			a.Add(x)
+		}
+		for _, x := range xs[k:] {
+			b.Add(x)
+		}
+		a.Merge(&b)
+		return a.N() == whole.N() &&
+			almost(a.Mean(), whole.Mean(), 1e-9*(1+math.Abs(whole.Mean()))) &&
+			almost(a.Var(), whole.Var(), 1e-9*(1+whole.Var()))
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWelfordMergeEdgeCases(t *testing.T) {
+	var a, b Welford
+	a.Merge(&b) // empty into empty
+	if a.N() != 0 || a.Mean() != 0 {
+		t.Fatal("empty merge changed the accumulator")
+	}
+	b.Add(2)
+	b.Add(4)
+	a.Merge(&b) // non-empty into empty copies exactly
+	if a.N() != 2 || a.Mean() != b.Mean() || a.Var() != b.Var() {
+		t.Fatal("merge into empty should copy")
+	}
+	var empty Welford
+	before := a
+	a.Merge(&empty) // empty into non-empty is a no-op
+	if a != before {
+		t.Fatal("merging an empty accumulator changed the result")
+	}
+	if b.N() != 2 || b.Mean() != 3 {
+		t.Fatal("merge modified its argument")
+	}
+}
+
+func TestWelfordMergeFoldOrderFixedIsDeterministic(t *testing.T) {
+	// Folding the same chunk accumulators in the same order must be
+	// bit-for-bit reproducible — the invariant the parallel Monte-Carlo
+	// engine's schedule independence rests on.
+	xs := quickSample(42, 257)
+	fold := func() (float64, float64) {
+		var total Welford
+		for c := 0; c < len(xs); c += 16 {
+			hi := c + 16
+			if hi > len(xs) {
+				hi = len(xs)
+			}
+			var chunk Welford
+			for _, x := range xs[c:hi] {
+				chunk.Add(x)
+			}
+			total.Merge(&chunk)
+		}
+		return total.Mean(), total.Std()
+	}
+	m1, s1 := fold()
+	m2, s2 := fold()
+	if m1 != m2 || s1 != s2 {
+		t.Fatal("identical fold produced different bits")
+	}
+}
+
+// quickSample derives a deterministic pseudo-random sample from a seed
+// without pulling in package rng (stat must stay dependency-free).
+func quickSample(seed int64, n int) []float64 {
+	s := uint64(seed)*0x9e3779b97f4a7c15 + 0x1234
+	xs := make([]float64, n)
+	for i := range xs {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		xs[i] = 1e3*(float64(s>>11)/(1<<53)) - 500
+	}
+	return xs
+}
+
 func TestPearsonPerfect(t *testing.T) {
 	xs := []float64{1, 2, 3, 4, 5}
 	ys := []float64{2, 4, 6, 8, 10}
