@@ -24,6 +24,7 @@ import (
 	"swim/internal/mapping"
 	"swim/internal/mc"
 	"swim/internal/models"
+	"swim/internal/program"
 	"swim/internal/rng"
 	"swim/internal/tensor"
 )
@@ -41,6 +42,16 @@ func printSeries(key string, f func()) {
 	if _, done := printOnce.LoadOrStore(key, true); !done {
 		f()
 	}
+}
+
+// swimPolicy resolves the paper's policy from the program registry.
+func swimPolicy(b *testing.B) program.Policy {
+	b.Helper()
+	pol, err := program.Lookup("swim")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return pol
 }
 
 // --- experiment benchmarks: one per paper artifact -------------------------
@@ -78,7 +89,10 @@ func BenchmarkFig1Correlation(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res := experiments.Fig1(w, cfg)
+		res, err := experiments.Fig1(w, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
 		printSeries("fig1", func() {
 			fmt.Printf("Fig1: Pearson(|w|, drop) = %+.3f  Pearson(d2f/dw2, drop) = %+.3f  Spearman = %+.3f\n",
 				res.PearsonMagnitude, res.PearsonHess, res.SpearmanHess)
@@ -127,7 +141,7 @@ func BenchmarkAblateGranularity(b *testing.B) {
 	w := experiments.LeNetMNIST()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.AblateGranularity(w, experiments.SigmaHigh, 1.0, []float64{0.05, 0.25}, 3, 40)
+		rows, err := experiments.AblateGranularity(w, swimPolicy(b), experiments.SigmaHigh, 1.0, []float64{0.05, 0.25}, 3, 40)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -139,7 +153,10 @@ func BenchmarkAblateTieBreak(b *testing.B) {
 	w := experiments.LeNetMNIST()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res := experiments.AblateTieBreak(w, experiments.SigmaHigh, 0.1, 3, 41)
+		res, err := experiments.AblateTieBreak(w, experiments.SigmaHigh, 0.1, 3, 41)
+		if err != nil {
+			b.Fatal(err)
+		}
 		printSeries("abl-tie", func() {
 			fmt.Printf("tie-break ablation: with %s / without %s (%.1f%% tied)\n",
 				res.WithTie, res.WithoutTie, 100*res.TiedFraction)
@@ -151,9 +168,12 @@ func BenchmarkAblateDeviceBits(b *testing.B) {
 	w := experiments.LeNetMNIST()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rows := experiments.AblateDeviceBits(w, experiments.SigmaTypical, 0.1, []int{2, 4}, 3, 42)
+		rows, err := experiments.AblateDeviceBits(w, swimPolicy(b), experiments.SigmaTypical, 0.1, []int{2, 4}, 3, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
 		printSeries("abl-k", func() {
-			experiments.PrintKBits(os.Stdout, w, experiments.SigmaTypical, 0.1, rows)
+			experiments.PrintKBits(os.Stdout, w, "swim", experiments.SigmaTypical, 0.1, rows)
 		})
 	}
 }
@@ -286,7 +306,9 @@ func BenchmarkMapNetwork(b *testing.B) {
 	r := rng.New(3)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		mapping.New(net, dm, table, r)
+		if _, err := mapping.New(net, dm, table, r); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

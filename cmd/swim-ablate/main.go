@@ -5,6 +5,11 @@
 //	kbits       — bits per device K (paper fixes K = 4, Eq. 15)
 //	hessian     — analytic vs finite-difference second-derivative ranking
 //	              (the Eq. 4→5 diagonal approximation)
+//	spatial     — §2.1 spatial-variation extension
+//	fisher      — Hessian-diagonal vs empirical-Fisher ranking
+//
+// -policy picks the registry policy the granularity/kbits/spatial ablations
+// probe (default swim); tiebreak, hessian and fisher are SWIM-specific.
 package main
 
 import (
@@ -14,10 +19,12 @@ import (
 
 	"swim/internal/experiments"
 	"swim/internal/mc"
+	"swim/internal/program"
 )
 
 func main() {
-	what := flag.String("what", "granularity", "granularity | tiebreak | kbits | hessian | all")
+	what := flag.String("what", "granularity", "granularity | tiebreak | kbits | hessian | spatial | fisher | all")
+	policy := flag.String("policy", "swim", "registry policy probed by the granularity/kbits/spatial ablations")
 	workers := flag.Int("workers", 0, "Monte-Carlo worker goroutines (0 = SWIM_WORKERS or all CPUs)")
 	flag.Parse()
 	mc.SetWorkers(*workers)
@@ -26,11 +33,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "swim-ablate:", err)
 		os.Exit(1)
 	}
+	pol, err := program.Lookup(*policy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "swim-ablate:", err)
+		os.Exit(2)
+	}
 	w := experiments.LeNetMNIST()
 	trials := mc.Trials(5)
 	run := map[string]func(){
 		"granularity": func() {
-			rows, err := experiments.AblateGranularity(w, experiments.SigmaHigh, 1.0,
+			rows, err := experiments.AblateGranularity(w, pol, experiments.SigmaHigh, 1.0,
 				[]float64{0.01, 0.05, 0.1, 0.25}, trials, 40)
 			if err != nil {
 				fatal(err)
@@ -38,16 +50,22 @@ func main() {
 			experiments.PrintGranularity(os.Stdout, w, 1.0, rows)
 		},
 		"tiebreak": func() {
-			res := experiments.AblateTieBreak(w, experiments.SigmaHigh, 0.1, trials, 41)
+			res, err := experiments.AblateTieBreak(w, experiments.SigmaHigh, 0.1, trials, 41)
+			if err != nil {
+				fatal(err)
+			}
 			fmt.Printf("Ablation: SWIM magnitude tie-breaker at NWC=%.1f (tied weights: %.1f%%)\n",
 				res.NWC, 100*res.TiedFraction)
 			fmt.Printf("  with tie-break    %s\n", res.WithTie)
 			fmt.Printf("  without tie-break %s\n", res.WithoutTie)
 		},
 		"kbits": func() {
-			rows := experiments.AblateDeviceBits(w, experiments.SigmaTypical, 0.1,
+			rows, err := experiments.AblateDeviceBits(w, pol, experiments.SigmaTypical, 0.1,
 				[]int{1, 2, 4}, trials, 42)
-			experiments.PrintKBits(os.Stdout, w, experiments.SigmaTypical, 0.1, rows)
+			if err != nil {
+				fatal(err)
+			}
+			experiments.PrintKBits(os.Stdout, w, pol.Name(), experiments.SigmaTypical, 0.1, rows)
 		},
 		"hessian": func() {
 			rho := experiments.HessianQuality(w, 40, 43)
@@ -55,14 +73,17 @@ func main() {
 			fmt.Printf("  Spearman(analytic second derivative, finite difference) = %.3f\n", rho)
 		},
 		"spatial": func() {
-			rows, err := experiments.AblateSpatial(w, experiments.SigmaHigh, 0.1, trials, 44)
+			rows, err := experiments.AblateSpatial(w, pol, experiments.SigmaHigh, 0.1, trials, 44)
 			if err != nil {
 				fatal(err)
 			}
-			experiments.PrintSpatial(os.Stdout, w, 0.1, rows)
+			experiments.PrintSpatial(os.Stdout, w, pol.Name(), 0.1, rows)
 		},
 		"fisher": func() {
-			sw, fi := experiments.CompareFisher(w, experiments.SigmaHigh, 0.1, trials, 45)
+			sw, fi, err := experiments.CompareFisher(w, experiments.SigmaHigh, 0.1, trials, 45)
+			if err != nil {
+				fatal(err)
+			}
 			fmt.Printf("Extension: ranking metric at NWC=0.1 (sigma=%.2f)\n", experiments.SigmaHigh)
 			fmt.Printf("  SWIM (Hessian diagonal)     %s\n", sw)
 			fmt.Printf("  empirical Fisher (grad^2)   %s\n", fi)

@@ -1,24 +1,35 @@
 // Command swim-calibrate reports the write-verify device model statistics
 // against the two anchors the paper adopts from Shim et al. (§4.1): an
 // average of about ten write cycles per weight and a post-write-verify
-// residual spread of σ ≈ 0.03.
+// residual spread of σ ≈ 0.03. These anchors underpin the NWC accounting
+// every program-pipeline policy is billed by; -list-policies prints the
+// registered policy names the other swim-* tools accept.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"strings"
 
 	"swim/internal/device"
 	"swim/internal/mc"
+	"swim/internal/program"
 	"swim/internal/rng"
 )
 
 func main() {
 	n := flag.Int("n", 100000, "simulated weights per row")
 	bits := flag.Int("bits", 4, "weight precision M")
+	listPolicies := flag.Bool("list-policies", false,
+		"print the registered programming policies (the -policy values other tools accept) and exit")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = SWIM_WORKERS or all CPUs)")
 	flag.Parse()
 	mc.SetWorkers(*workers)
+
+	if *listPolicies {
+		fmt.Println(strings.Join(program.Names(), "\n"))
+		return
+	}
 
 	fmt.Printf("device model calibration (M=%d, K=4, tolerance 0.06)\n\n", *bits)
 	fmt.Printf("%-8s %-22s %-22s %s\n", "sigma", "uniform magnitudes", "gaussian weights", "no-verify noise (LSB)")

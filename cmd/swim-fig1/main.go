@@ -5,11 +5,15 @@
 //
 // Usage:
 //
-//	swim-fig1 [-weights N] [-repeats N] [-sigma S]
+//	swim-fig1 [-weights N] [-repeats N] [-sigma S] [-policy swim]
+//
+// -policy names the selector-backed registry policy whose ranking
+// stratifies half the sampled weights across the sensitivity range.
 package main
 
 import (
 	"flag"
+	"fmt"
 	"os"
 
 	"swim/internal/experiments"
@@ -22,11 +26,18 @@ func main() {
 	flag.IntVar(&cfg.Repeats, "repeats", cfg.Repeats, "Monte-Carlo repeats per weight")
 	flag.Float64Var(&cfg.SigmaPerturb, "sigma", cfg.SigmaPerturb, "perturbation std (weight LSB)")
 	flag.IntVar(&cfg.EvalN, "eval", cfg.EvalN, "evaluation subset size")
+	flag.IntVar(&cfg.EvalBatch, "batch", cfg.EvalBatch, "accuracy-measurement batch size")
+	flag.StringVar(&cfg.Rank, "policy", cfg.Rank,
+		"selector-backed registry policy whose ranking stratifies the weight sample")
 	workers := flag.Int("workers", 0, "Monte-Carlo worker goroutines (0 = SWIM_WORKERS or all CPUs)")
 	flag.Parse()
 	mc.SetWorkers(*workers)
 
 	w := experiments.LeNetMNIST()
-	res := experiments.Fig1(w, cfg)
+	res, err := experiments.Fig1(w, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "swim-fig1:", err)
+		os.Exit(2)
+	}
 	experiments.PrintFig1(os.Stdout, w, cfg, res)
 }

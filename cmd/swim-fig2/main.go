@@ -1,20 +1,23 @@
 // Command swim-fig2 regenerates one panel of the paper's Fig. 2: accuracy
-// versus normalized write cycles for all four methods at the high-variation
-// operating point.
+// versus normalized write cycles for the configured policies at the
+// high-variation operating point.
 //
 // Usage:
 //
 //	swim-fig2 -panel a|b|c     (a: ConvNet/CIFAR, b: ResNet-18/CIFAR,
 //	                            c: ResNet-18/TinyImageNet)
+//	          [-policies swim,magnitude,random,insitu]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"swim/internal/experiments"
 	"swim/internal/mc"
+	"swim/internal/program"
 )
 
 func main() {
@@ -23,13 +26,26 @@ func main() {
 	workers := flag.Int("workers", 0, "Monte-Carlo worker goroutines (0 = SWIM_WORKERS or all CPUs)")
 	sigma := flag.Float64("sigma", experiments.SigmaHigh,
 		"device variation before write-verify (deeper models reach the paper's drop regime at lower sigma)")
+	policiesFlag := flag.String("policies", "",
+		"comma-separated programming policies from the registry (default swim,magnitude,random,insitu; 'list' prints the registered names)")
 	flag.Parse()
 	mc.SetWorkers(*workers)
+
+	if *policiesFlag == "list" {
+		fmt.Println(strings.Join(program.Names(), "\n"))
+		return
+	}
 
 	cfg := experiments.DefaultSweep()
 	if *trials > 0 {
 		cfg.Trials = *trials
 	}
+	policies, err := program.ResolveNames(*policiesFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "swim-fig2:", err)
+		os.Exit(2)
+	}
+	cfg.Policies = policies
 
 	var w *experiments.Workload
 	switch *panel {

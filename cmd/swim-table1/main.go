@@ -1,13 +1,14 @@
 // Command swim-table1 regenerates the paper's Table 1: accuracy (mean ± std)
-// versus normalized write cycles for SWIM, magnitude-based selection, random
-// selection and in-situ training on LeNet/MNIST-like, across three device-σ
-// levels.
+// versus normalized write cycles on LeNet/MNIST-like, across three device-σ
+// levels, for any set of registered programming policies.
 //
 // Usage:
 //
-//	swim-table1 [-trials N] [-sigmas 0.5,0.75,1.0]
+//	swim-table1 [-trials N] [-sigmas 0.5,0.75,1.0] [-policies swim,magnitude,random,insitu]
 //
-// Environment: SWIM_MC (trials), SWIM_FAST (CI-scale workloads).
+// Policies resolve through the program registry; -policies list prints the
+// registered names. Environment: SWIM_MC (trials), SWIM_FAST (CI-scale
+// workloads).
 package main
 
 import (
@@ -19,19 +20,33 @@ import (
 
 	"swim/internal/experiments"
 	"swim/internal/mc"
+	"swim/internal/program"
 )
 
 func main() {
 	trials := flag.Int("trials", 0, "Monte-Carlo trials (0 = default / SWIM_MC)")
 	workers := flag.Int("workers", 0, "Monte-Carlo worker goroutines (0 = SWIM_WORKERS or all CPUs)")
 	sigmaFlag := flag.String("sigmas", "", "comma-separated device sigma grid (default 0.5,0.75,1.0)")
+	policiesFlag := flag.String("policies", "",
+		"comma-separated programming policies from the registry (default swim,magnitude,random,insitu; 'list' prints the registered names)")
 	flag.Parse()
 	mc.SetWorkers(*workers)
+
+	if *policiesFlag == "list" {
+		fmt.Println(strings.Join(program.Names(), "\n"))
+		return
+	}
 
 	cfg := experiments.DefaultSweep()
 	if *trials > 0 {
 		cfg.Trials = *trials
 	}
+	policies, err := program.ResolveNames(*policiesFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "swim-table1:", err)
+		os.Exit(2)
+	}
+	cfg.Policies = policies
 	sigmas := experiments.SigmaGrid()
 	if *sigmaFlag != "" {
 		sigmas = nil
@@ -54,12 +69,20 @@ func main() {
 	}
 	experiments.PrintTable1(os.Stdout, w, sigmas, cfg, res)
 
-	// Headline speedups at the paper's NWC = 0.1 operating point.
+	// Headline speedups at the paper's NWC = 0.1 operating point, against
+	// every other policy in the run.
+	if len(policies) == 0 {
+		policies = experiments.Methods
+	}
+	if len(policies) < 2 {
+		return
+	}
+	ref := policies[0]
 	nwcs := cfg.NWCs
 	for _, sigma := range sigmas {
-		sw := res[sigma]["swim"]
-		fmt.Printf("\nsigma %.2f speedups for matching SWIM@NWC=0.1 accuracy:\n", sigma)
-		for _, m := range []string{"magnitude", "random", "insitu"} {
+		sw := res[sigma][ref]
+		fmt.Printf("\nsigma %.2f speedups for matching %s@NWC=0.1 accuracy:\n", sigma, ref)
+		for _, m := range policies[1:] {
 			s := experiments.SpeedupAt(sw, res[sigma][m], nwcs, 0.1)
 			fmt.Printf("  vs %-10s %.0fx\n", m, s)
 		}

@@ -6,17 +6,26 @@
 //
 //	swim-train -model lenet|convnet|resnet18 [-epochs N] [-save path]
 //	swim-train -model lenet -load path        # evaluate a saved state
+//	swim-train -model lenet -policy swim -nwc 0.1 -sigma 1.0
+//	    # also measure on-device accuracy via the program pipeline
+//
+// With -policy, the trained model is programmed onto simulated devices and
+// evaluated at the given write budget through the named registry policy; the
+// pipeline computes sensitivities from a calibration split on its own.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"swim/internal/data"
+	"swim/internal/device"
 	"swim/internal/mc"
 	"swim/internal/models"
 	"swim/internal/nn"
+	"swim/internal/program"
 	"swim/internal/rng"
 	"swim/internal/serialize"
 	"swim/internal/train"
@@ -29,6 +38,11 @@ func main() {
 	testN := flag.Int("test", 800, "test samples")
 	save := flag.String("save", "", "write trained state to this path")
 	load := flag.String("load", "", "load state from this path instead of training")
+	policy := flag.String("policy", "",
+		"after training, evaluate on-device accuracy with this registry policy (empty = skip)")
+	nwc := flag.Float64("nwc", 0.1, "write budget for the -policy evaluation (normalized write cycles)")
+	sigma := flag.Float64("sigma", 1.0, "device variation for the -policy evaluation")
+	trials := flag.Int("trials", 0, "Monte-Carlo trials for the -policy evaluation (0 = default / SWIM_MC)")
 	workers := flag.Int("workers", 0,
 		"Monte-Carlo worker goroutines for downstream mc-based paths (0 = SWIM_WORKERS or all CPUs)")
 	flag.Parse()
@@ -82,6 +96,38 @@ func main() {
 	acc := train.Evaluate(net, ds.TestX, ds.TestY, 64)
 	fmt.Printf("%s: test accuracy %.2f%% (%d mapped weights, %d-bit)\n",
 		*model, acc, net.NumMappedWeights(), bits)
+
+	if *policy != "" {
+		pol, err := program.Lookup(*policy)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "swim-train:", err)
+			os.Exit(2)
+		}
+		calX, calY := data.Subset(ds.TrainX, ds.TrainY, 512)
+		opts := []program.Option{
+			program.WithDevice(device.Default(bits, *sigma)),
+			program.WithEval(ds.TestX, ds.TestY),
+			program.WithCalibration(calX, calY),
+			program.WithTraining(ds.TrainX, ds.TrainY),
+			program.WithSeed(1000),
+		}
+		if *trials > 0 {
+			opts = append(opts, program.WithTrials(*trials))
+		}
+		p, err := program.New(net, pol, program.GridBudget(*nwc), opts...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "swim-train:", err)
+			os.Exit(1)
+		}
+		res, err := p.Run(context.Background())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "swim-train:", err)
+			os.Exit(1)
+		}
+		pt := res.Points[0]
+		fmt.Printf("on-device accuracy via %s at NWC %.2f (sigma=%.2f, %d trials): %s\n",
+			res.Policy, pt.Target, *sigma, res.Trials, pt.Accuracy)
+	}
 
 	if *save != "" {
 		f, err := os.Create(*save)

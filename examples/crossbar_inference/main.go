@@ -12,6 +12,7 @@ package main
 import (
 	"fmt"
 	"math"
+	"os"
 
 	"swim/internal/crossbar"
 	"swim/internal/data"
@@ -57,7 +58,11 @@ func main() {
 		return 100 * float64(correct) / float64(len(ds.TestY))
 	}
 
-	arr := crossbar.NewArray(fabric, fc.W.Data, rng.New(7))
+	arr, err := crossbar.NewArray(fabric, fc.W.Data, rng.New(7))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crossbar_inference:", err)
+		os.Exit(1)
+	}
 	out, in := arr.Shape()
 	fmt.Printf("array: %dx%d weights on %d tile(s), %d devices/weight (K=%d)\n",
 		out, in, arr.Tiles(), dev.NumDevices(), dev.DeviceBits)

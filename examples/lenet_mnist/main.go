@@ -1,19 +1,26 @@
 // lenet_mnist reproduces the paper's Algorithm 1 end to end on LeNet: given a
 // maximum acceptable accuracy drop δA, iteratively write-verify 5% granules
 // of the most sensitive weights until the mapped accuracy is within δA of the
-// clean model, and report the NWC (programming time) each selector needs.
+// clean model, and report the NWC (programming time) each policy needs.
+//
+// Each policy runs as a drop-budget program pipeline: the stopping rule is a
+// Budget value, the ranking is a registry Policy, and the Result carries the
+// per-granule accuracy trace that used to require hand-rolled loops.
 //
 // Run with: go run ./examples/lenet_mnist -drop 1.0
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"os"
 
 	"swim/internal/data"
 	"swim/internal/device"
-	"swim/internal/mapping"
 	"swim/internal/models"
+	"swim/internal/program"
 	"swim/internal/rng"
 	"swim/internal/swim"
 	"swim/internal/train"
@@ -39,27 +46,39 @@ func main() {
 	hess := swim.Sensitivity(net, calX, calY, 64)
 	weights := swim.FlatWeights(net)
 
-	dm := device.Default(4, *sigma)
-	table := dm.CycleTable(300, rng.New(99))
-
-	for _, sel := range []swim.Selector{
-		swim.NewSWIMSelector(hess, weights),
-		swim.NewMagnitudeSelector(weights),
-		swim.NewRandomSelector(net.NumMappedWeights()),
-	} {
-		tr := rng.New(7)
-		mp := mapping.New(net, dm, table, tr)
-		res := swim.Algorithm1(mp, sel, 0.05, clean, *drop, ds.TestX, ds.TestY, 64, tr)
-		last := res.Steps[len(res.Steps)-1]
-		status := "met"
-		if !res.Achieved {
-			status = "NOT met"
+	for _, name := range []string{"swim", "magnitude", "random"} {
+		pol, err := program.Lookup(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lenet_mnist:", err)
+			os.Exit(1)
 		}
+		p, err := program.New(net, pol, program.DropBudget(clean, *drop),
+			program.WithDevice(device.Default(4, *sigma)),
+			program.WithEval(ds.TestX, ds.TestY),
+			program.WithSensitivity(hess, weights),
+			program.WithGranularity(0.05),
+			program.WithSeed(7),
+			program.WithTrials(1),
+		)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lenet_mnist:", err)
+			os.Exit(1)
+		}
+		res, err := p.Run(context.Background())
+		status := "met"
+		switch {
+		case errors.Is(err, program.ErrBudgetExhausted):
+			status = "NOT met"
+		case err != nil:
+			fmt.Fprintln(os.Stderr, "lenet_mnist:", err)
+			os.Exit(1)
+		}
+		last := res.Trace[len(res.Trace)-1]
 		fmt.Printf("%-10s target %s: NWC %.2f, %.0f%% of weights verified, final accuracy %.2f%%\n",
-			sel.Name(), status, last.NWC, 100*last.FractionVerified, last.Accuracy)
-		for _, s := range res.Steps {
+			res.Policy, status, res.NWC.Mean(), 100*last.FractionVerified, last.Accuracy.Mean())
+		for _, s := range res.Trace {
 			fmt.Printf("    verified %5.1f%%  NWC %.3f  accuracy %.2f%%\n",
-				100*s.FractionVerified, s.NWC, s.Accuracy)
+				100*s.FractionVerified, s.NWC.Mean(), s.Accuracy.Mean())
 		}
 	}
 }

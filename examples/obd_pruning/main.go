@@ -9,14 +9,15 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"os"
 
 	"swim/internal/data"
 	"swim/internal/device"
-	"swim/internal/mapping"
 	"swim/internal/models"
+	"swim/internal/program"
 	"swim/internal/rng"
-	"swim/internal/stat"
 	"swim/internal/swim"
 	"swim/internal/train"
 )
@@ -44,22 +45,34 @@ func main() {
 			100*frac, n, acc, 100*swim.SparsityOf(pruned))
 	}
 
-	// Pruning + SWIM write-verify stack: map the half-pruned model and
-	// verify the top 10% most sensitive of what remains.
+	// Pruning + SWIM write-verify stack: map the half-pruned model through
+	// the program pipeline and verify the top 10% most sensitive of what
+	// remains. The pipeline recomputes sensitivities for the pruned network
+	// from the calibration split on its own (WithCalibration).
 	fmt.Println("\npruned 50% + SWIM write-verify at NWC 0.1 under sigma = 1.0:")
 	pruned := net.Clone()
 	swim.PruneBySensitivity(pruned, hess, 0.5)
-	prunedHess := swim.Sensitivity(pruned, calX, calY, 64)
-	sel := swim.NewSWIMSelector(prunedHess, swim.FlatWeights(pruned))
-	dm := device.Default(4, 1.0)
-	table := dm.CycleTable(300, rng.New(99))
-	var acc stat.Welford
-	base := rng.New(1234)
-	for t := 0; t < 6; t++ {
-		tr := base.Split()
-		mp := mapping.New(pruned, dm, table, tr)
-		swim.WriteVerifyToNWC(mp, sel.Order(tr), 0.1, tr)
-		acc.Add(mp.Accuracy(ds.TestX, ds.TestY, 64))
+	pol, err := program.Lookup("swim")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "obd_pruning:", err)
+		os.Exit(1)
 	}
-	fmt.Printf("on-device accuracy: %s (half the devices, a tenth of the write cycles)\n", acc.String())
+	p, err := program.New(pruned, pol, program.GridBudget(0.1),
+		program.WithDevice(device.Default(4, 1.0)),
+		program.WithEval(ds.TestX, ds.TestY),
+		program.WithCalibration(calX, calY),
+		program.WithSeed(1234),
+		program.WithTrials(6),
+	)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "obd_pruning:", err)
+		os.Exit(1)
+	}
+	res, err := p.Run(context.Background())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "obd_pruning:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("on-device accuracy: %s (half the devices, a tenth of the write cycles)\n",
+		res.Points[0].Accuracy)
 }

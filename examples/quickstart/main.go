@@ -1,24 +1,24 @@
 // Quickstart: the complete SWIM pipeline in one file.
 //
 // It trains a small quantized network, computes per-weight sensitivities with
-// the single-pass second-derivative backprop, maps the network onto simulated
-// NVM devices, and shows that write-verifying just the top 10% most sensitive
-// weights recovers almost all of the accuracy lost to programming noise —
-// the paper's headline result.
+// the single-pass second-derivative backprop, and runs the program pipeline:
+// the network is mapped onto simulated NVM devices and write-verifying just
+// the top 10% most sensitive weights recovers almost all of the accuracy
+// lost to programming noise — the paper's headline result.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
 	"swim/internal/data"
 	"swim/internal/device"
-	"swim/internal/mapping"
 	"swim/internal/models"
+	"swim/internal/program"
 	"swim/internal/rng"
-	"swim/internal/stat"
 	"swim/internal/swim"
 	"swim/internal/train"
 )
@@ -42,23 +42,36 @@ func main() {
 	calX, calY := data.Subset(ds.TrainX, ds.TrainY, 512)
 	hess := swim.Sensitivity(net, calX, calY, 64)
 	weights := swim.FlatWeights(net)
-	sel := swim.NewSWIMSelector(hess, weights)
 	fmt.Printf("sensitivities computed for %d weights in a single pass\n\n", len(hess))
 
-	// 3. Map to devices and compare write budgets.
+	// 3. One pipeline run walks the whole write-budget grid: the "swim"
+	// policy resolves from the registry, the fixed-NWC budget is a value,
+	// and the Result aggregates accuracy mean ± std over parallel
+	// Monte-Carlo trials.
 	fmt.Println("== 3. program onto NVM devices (sigma = 1.0) and selectively write-verify")
-	dm := device.Default(4, 1.0)
-	table := dm.CycleTable(300, rng.New(99))
-	for _, nwc := range []float64{0, 0.1, 0.5, 1.0} {
-		var acc stat.Welford
-		base := rng.New(1234)
-		for t := 0; t < 6; t++ {
-			tr := base.Split()
-			mp := mapping.New(net, dm, table, tr)
-			swim.WriteVerifyToNWC(mp, sel.Order(tr), nwc, tr)
-			acc.Add(mp.Accuracy(ds.TestX, ds.TestY, 64))
-		}
-		fmt.Printf("NWC %.1f  accuracy %s\n", nwc, acc.String())
+	pol, err := program.Lookup("swim")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+	p, err := program.New(net, pol, program.GridBudget(0, 0.1, 0.5, 1.0),
+		program.WithDevice(device.Default(4, 1.0)),
+		program.WithEval(ds.TestX, ds.TestY),
+		program.WithSensitivity(hess, weights),
+		program.WithSeed(1234),
+		program.WithTrials(6),
+	)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+	res, err := p.Run(context.Background())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+	for _, pt := range res.Points {
+		fmt.Printf("NWC %.1f  accuracy %s\n", pt.Target, pt.Accuracy)
 	}
 	fmt.Println("\nwrite-verifying ~10% of weights (NWC 0.1) recovers nearly the full-")
 	fmt.Println("verify accuracy: that is SWIM's ~10x programming speedup.")

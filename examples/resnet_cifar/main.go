@@ -1,22 +1,23 @@
 // resnet_cifar exercises SWIM on a deep residual network — the paper's
 // Fig. 2b setting: ResNet-18 on a CIFAR-like task, quantized to 6 bits. It
 // demonstrates that the second-derivative backprop handles skip connections,
-// batch normalization and strided projections, and compares SWIM to random
-// selection at a 10% write budget.
+// batch normalization and strided projections, and compares the "swim" and
+// "random" registry policies at a 10% write budget on one shared pipeline
+// configuration.
 //
 // Run with: go run ./examples/resnet_cifar
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
 	"swim/internal/data"
 	"swim/internal/device"
-	"swim/internal/mapping"
 	"swim/internal/models"
+	"swim/internal/program"
 	"swim/internal/rng"
-	"swim/internal/stat"
 	"swim/internal/swim"
 	"swim/internal/train"
 )
@@ -40,23 +41,28 @@ func main() {
 	weights := swim.FlatWeights(net)
 	fmt.Println("sensitivities computed through 8 residual blocks in one pass")
 
-	dm := device.Default(6, 1.0)
-	table := dm.CycleTable(300, rng.New(99))
-	for _, mode := range []struct {
-		name string
-		sel  swim.Selector
-	}{
-		{"swim", swim.NewSWIMSelector(hess, weights)},
-		{"random", swim.NewRandomSelector(net.NumMappedWeights())},
-	} {
-		var acc stat.Welford
-		base := rng.New(1234)
-		for t := 0; t < 4; t++ {
-			tr := base.Split()
-			mp := mapping.New(net, dm, table, tr)
-			swim.WriteVerifyToNWC(mp, mode.sel.Order(tr), 0.1, tr)
-			acc.Add(mp.Accuracy(ds.TestX, ds.TestY, 64))
+	for _, name := range []string{"swim", "random"} {
+		pol, err := program.Lookup(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "resnet_cifar:", err)
+			os.Exit(1)
 		}
-		fmt.Printf("NWC 0.1 via %-7s accuracy %s\n", mode.name, acc.String())
+		p, err := program.New(net, pol, program.GridBudget(0.1),
+			program.WithDevice(device.Default(6, 1.0)),
+			program.WithEval(ds.TestX, ds.TestY),
+			program.WithSensitivity(hess, weights),
+			program.WithSeed(1234),
+			program.WithTrials(4),
+		)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "resnet_cifar:", err)
+			os.Exit(1)
+		}
+		res, err := p.Run(context.Background())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "resnet_cifar:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("NWC 0.1 via %-7s accuracy %s\n", res.Policy, res.Points[0].Accuracy)
 	}
 }

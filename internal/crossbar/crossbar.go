@@ -67,12 +67,15 @@ type Array struct {
 
 // NewArray programs weight matrix w ([out, in]) onto the fabric with
 // unverified writes. Use WriteVerify afterwards to refine chosen weights.
-func NewArray(cfg Config, w *tensor.Tensor, r *rng.Source) *Array {
+// Invalid fabric parameters or a non-matrix weight tensor are reported as
+// errors: NewArray is called from builder code (BuildAnalog) that may run
+// inside Monte-Carlo workers, where a panic would take down the pool.
+func NewArray(cfg Config, w *tensor.Tensor, r *rng.Source) (*Array, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, fmt.Errorf("crossbar: invalid fabric: %w", err)
 	}
 	if len(w.Shape) != 2 {
-		panic("crossbar: weights must be rank 2")
+		return nil, fmt.Errorf("crossbar: weights must be rank 2, got shape %v", w.Shape)
 	}
 	out, in := w.Shape[0], w.Shape[1]
 	a := &Array{
@@ -91,7 +94,7 @@ func NewArray(cfg Config, w *tensor.Tensor, r *rng.Source) *Array {
 			a.conduct[d][i] = signs[i] * (float64(target) + r.Gauss(0, cfg.Device.Sigma))
 		}
 	}
-	return a
+	return a, nil
 }
 
 // Tiles returns how many physical tiles the matrix occupies.

@@ -9,6 +9,15 @@ import (
 	"swim/internal/tensor"
 )
 
+func mustArray(t *testing.T, cfg Config, w *tensor.Tensor, r *rng.Source) *Array {
+	t.Helper()
+	a, err := NewArray(cfg, w, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
 func randMat(r *rng.Source, m, n int) *tensor.Tensor {
 	t := tensor.New(m, n)
 	for i := range t.Data {
@@ -38,7 +47,7 @@ func TestTileCount(t *testing.T) {
 	cfg := DefaultConfig(device.Default(6, 0.05))
 	cfg.TileRows, cfg.TileCols = 64, 64
 	r := rng.New(1)
-	a := NewArray(cfg, randMat(r, 100, 200), r)
+	a := mustArray(t, cfg, randMat(r, 100, 200), r)
 	// 100 outs over 64-wide cols = 2; 200 ins over 64 rows = 4.
 	if a.Tiles() != 8 {
 		t.Fatalf("tiles = %d, want 8", a.Tiles())
@@ -57,7 +66,7 @@ func TestMatVecApproximatesIdeal(t *testing.T) {
 	cfg.DACBits, cfg.ADCBits = 10, 12
 	r := rng.New(2)
 	w := randMat(r, 16, 32)
-	a := NewArray(cfg, w, r)
+	a := mustArray(t, cfg, w, r)
 	x := make([]float64, 32)
 	for i := range x {
 		x[i] = r.Gauss(0, 1)
@@ -92,7 +101,10 @@ func TestNoiseDegradesWithSigma(t *testing.T) {
 		rr := rng.New(seed)
 		var errNorm, refNorm float64
 		for trial := 0; trial < 10; trial++ {
-			a := NewArray(cfg, w, rr)
+			a, err := NewArray(cfg, w, rr)
+			if err != nil {
+				panic(err)
+			}
 			got := a.MatVec(x)
 			for o := 0; o < 12; o++ {
 				ref := 0.0
@@ -116,7 +128,7 @@ func TestWriteVerifyImprovesAccuracyOfStoredWeights(t *testing.T) {
 	cfg := DefaultConfig(dev)
 	r := rng.New(6)
 	w := randMat(r, 8, 8)
-	a := NewArray(cfg, w, r)
+	a := mustArray(t, cfg, w, r)
 	cycles := 0
 	for o := 0; o < 8; o++ {
 		for i := 0; i < 8; i++ {
@@ -141,7 +153,7 @@ func TestWriteVerifyImprovesAccuracyOfStoredWeights(t *testing.T) {
 func TestDACZeroInput(t *testing.T) {
 	dev := device.Default(4, 0.05)
 	r := rng.New(7)
-	a := NewArray(DefaultConfig(dev), randMat(r, 4, 6), r)
+	a := mustArray(t, DefaultConfig(dev), randMat(r, 4, 6), r)
 	out := a.MatVec(make([]float64, 6))
 	for _, v := range out {
 		if v != 0 {
@@ -153,11 +165,25 @@ func TestDACZeroInput(t *testing.T) {
 func TestMatVecPanicsOnBadLength(t *testing.T) {
 	dev := device.Default(4, 0.05)
 	r := rng.New(8)
-	a := NewArray(DefaultConfig(dev), randMat(r, 4, 6), r)
+	a := mustArray(t, DefaultConfig(dev), randMat(r, 4, 6), r)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("accepted wrong input length")
 		}
 	}()
 	a.MatVec(make([]float64, 5))
+}
+
+func TestNewArrayRejectsInvalidInputs(t *testing.T) {
+	dev := device.Default(4, 0.1)
+	r := rng.New(9)
+	// Rank-3 weights are not a matrix.
+	if _, err := NewArray(DefaultConfig(dev), tensor.New(2, 3, 4), r); err == nil {
+		t.Fatal("rank-3 weights accepted")
+	}
+	bad := DefaultConfig(dev)
+	bad.TileRows = 0
+	if _, err := NewArray(bad, randMat(r, 4, 6), r); err == nil {
+		t.Fatal("invalid fabric accepted")
+	}
 }

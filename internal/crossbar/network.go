@@ -113,33 +113,55 @@ func (a *AnalogConv2D) Clone() nn.Layer { return a }
 // under cfg's device model, while activation, pooling, normalization and
 // quantization layers stay digital. The returned network shares no weight
 // state with the original. Total tiles used is also reported.
-func BuildAnalog(net *nn.Network, cfg Config, r *rng.Source) (*nn.Network, int) {
+//
+// An invalid fabric configuration or an unexpected trunk shape is returned
+// as an error so callers driving builds from Monte-Carlo workers can fail
+// the trial instead of the process.
+func BuildAnalog(net *nn.Network, cfg Config, r *rng.Source) (*nn.Network, int, error) {
 	tiles := 0
-	var convert func(l nn.Layer) nn.Layer
-	convert = func(l nn.Layer) nn.Layer {
+	var convert func(l nn.Layer) (nn.Layer, error)
+	convert = func(l nn.Layer) (nn.Layer, error) {
 		switch v := l.(type) {
 		case *nn.Sequential:
 			out := make([]nn.Layer, len(v.Layers))
 			for i, child := range v.Layers {
-				out[i] = convert(child)
+				c, err := convert(child)
+				if err != nil {
+					return nil, err
+				}
+				out[i] = c
 			}
-			return nn.NewSequential(v.Name(), out...)
+			return nn.NewSequential(v.Name(), out...), nil
 		case *nn.Residual:
 			var short nn.Layer
 			if v.Shortcut != nil {
-				short = convert(v.Shortcut)
+				s, err := convert(v.Shortcut)
+				if err != nil {
+					return nil, err
+				}
+				short = s
 			}
-			return nn.NewResidual(v.Name(), convert(v.Body), short)
+			body, err := convert(v.Body)
+			if err != nil {
+				return nil, err
+			}
+			return nn.NewResidual(v.Name(), body, short), nil
 		case *nn.Linear:
-			arr := NewArray(cfg, v.W.Data, r)
+			arr, err := NewArray(cfg, v.W.Data, r)
+			if err != nil {
+				return nil, fmt.Errorf("layer %s: %w", v.Name(), err)
+			}
 			tiles += arr.Tiles()
 			return &AnalogLinear{
 				name: v.Name() + ".analog",
 				arr:  arr,
 				bias: append([]float64(nil), v.B.Data.Data...),
-			}
+			}, nil
 		case *nn.Conv2D:
-			arr := NewArray(cfg, v.W.Data, r)
+			arr, err := NewArray(cfg, v.W.Data, r)
+			if err != nil {
+				return nil, fmt.Errorf("layer %s: %w", v.Name(), err)
+			}
 			tiles += arr.Tiles()
 			return &AnalogConv2D{
 				name: v.Name() + ".analog",
@@ -147,14 +169,18 @@ func BuildAnalog(net *nn.Network, cfg Config, r *rng.Source) (*nn.Network, int) 
 				geom: v.Geom,
 				outC: v.OutC,
 				bias: append([]float64(nil), v.B.Data.Data...),
-			}
+			}, nil
 		default:
-			return l.Clone()
+			return l.Clone(), nil
 		}
 	}
-	trunk, ok := convert(net.Trunk).(*nn.Sequential)
-	if !ok {
-		panic(fmt.Sprintf("crossbar: unexpected trunk type %T", net.Trunk))
+	converted, err := convert(net.Trunk)
+	if err != nil {
+		return nil, 0, fmt.Errorf("crossbar: building analog twin of %s: %w", net.Name, err)
 	}
-	return nn.NewNetwork(net.Name+"-analog", trunk, nn.NewSoftmaxCrossEntropy()), tiles
+	trunk, ok := converted.(*nn.Sequential)
+	if !ok {
+		return nil, 0, fmt.Errorf("crossbar: unexpected trunk type %T", net.Trunk)
+	}
+	return nn.NewNetwork(net.Name+"-analog", trunk, nn.NewSoftmaxCrossEntropy()), tiles, nil
 }

@@ -23,7 +23,10 @@ func TestBuildAnalogLeNetMatchesDigitalAtLowNoise(t *testing.T) {
 	dev := device.Default(4, 0.02) // near-ideal devices
 	fab := DefaultConfig(dev)
 	fab.DACBits, fab.ADCBits = 10, 12
-	analog, tiles := BuildAnalog(net, fab, rng.New(3))
+	analog, tiles, err := BuildAnalog(net, fab, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if tiles <= 0 {
 		t.Fatal("no tiles allocated")
 	}
@@ -44,7 +47,10 @@ func TestBuildAnalogNoiseHurts(t *testing.T) {
 
 	acc := func(sigma float64) float64 {
 		dev := device.Default(4, sigma)
-		analog, _ := BuildAnalog(net, DefaultConfig(dev), rng.New(4))
+		analog, _, err := BuildAnalog(net, DefaultConfig(dev), rng.New(4))
+		if err != nil {
+			t.Fatal(err)
+		}
 		return train.Evaluate(analog, ds.TestX, ds.TestY, 16)
 	}
 	if lo, hi := acc(2.5), acc(0.05); lo >= hi {
@@ -56,7 +62,10 @@ func TestAnalogLayersRefuseTraining(t *testing.T) {
 	dev := device.Default(4, 0.1)
 	r := rng.New(5)
 	net := models.LeNet(10, 4, r)
-	analog, _ := BuildAnalog(net, DefaultConfig(dev), r)
+	analog, _, err := BuildAnalog(net, DefaultConfig(dev), r)
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer func() {
 		if recover() == nil {
 			t.Fatal("backward through analog layer should panic")
@@ -71,7 +80,9 @@ func TestBuildAnalogSharesNoState(t *testing.T) {
 	r := rng.New(6)
 	net := models.LeNet(10, 4, r)
 	before := net.MappedParams()[0].Data.Clone()
-	BuildAnalog(net, DefaultConfig(dev), r)
+	if _, _, err := BuildAnalog(net, DefaultConfig(dev), r); err != nil {
+		t.Fatal(err)
+	}
 	after := net.MappedParams()[0].Data
 	for i := range before.Data {
 		if before.Data[i] != after.Data[i] {

@@ -1,20 +1,42 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sort"
-	"sync/atomic"
 
 	"swim/internal/data"
 	"swim/internal/device"
 	"swim/internal/mapping"
-	"swim/internal/mc"
 	"swim/internal/nn"
+	"swim/internal/program"
 	"swim/internal/rng"
 	"swim/internal/stat"
 	"swim/internal/swim"
 )
+
+// pointCell runs one policy at a single write budget through the pipeline
+// and returns the accuracy cell — the primitive every probe-budget ablation
+// shares. It evaluates on the full test split with the workload's cached
+// sensitivity data.
+func pointCell(w *Workload, pol program.Policy, sigma float64, table []float64,
+	nwc float64, trials int, seed uint64) (Cell, error) {
+
+	p, err := program.New(w.Net, pol, program.GridBudget(nwc),
+		append(w.Options(sigma),
+			program.WithCycleTable(table),
+			program.WithSeed(seed),
+			program.WithTrials(trials))...)
+	if err != nil {
+		return Cell{}, err
+	}
+	res, err := p.Run(nil)
+	if err != nil {
+		return Cell{}, err
+	}
+	return cellOf(res.Points[0].Accuracy), nil
+}
 
 // GranularityResult is one row of the Algorithm-1 granularity ablation.
 type GranularityResult struct {
@@ -28,34 +50,39 @@ type GranularityResult struct {
 // AblateGranularity justifies the paper's p = 5% choice (§3.1): finer
 // granules stop write-verifying sooner (lower NWC) but cost more accuracy
 // evaluations of the mapped network; coarser granules overshoot the write
-// budget. The ablation runs Algorithm 1 with the SWIM selector at several p
-// and a fixed accuracy-drop target.
-func AblateGranularity(w *Workload, sigma, maxDrop float64, ps []float64, trials int, seed uint64) ([]GranularityResult, error) {
+// budget. The ablation runs a drop-budget pipeline with the given policy at
+// several granularities and a fixed accuracy-drop target. A run in which no
+// trial meets the target is still a valid row (Achieved = 0), so the
+// pipeline's ErrBudgetExhausted is tolerated rather than propagated.
+func AblateGranularity(w *Workload, pol program.Policy, sigma, maxDrop float64,
+	ps []float64, trials int, seed uint64) ([]GranularityResult, error) {
+
 	dm := w.DeviceFor(sigma)
 	table := dm.CycleTable(300, rng.New(seed^0xab1a7e))
+	budget := program.DropBudget(w.CleanAcc, maxDrop)
+	// Policies that never exhaust themselves (in-situ) need a spend cap;
+	// 8× the full write-verify bill is far beyond any selector policy.
+	budget.MaxNWC = 8
 	var out []GranularityResult
-	for _, p := range ps {
-		// Per trial: NWC at stop and accuracy evaluations. The achieved count
-		// is exact, so it bypasses the float aggregates.
-		var achieved atomic.Int64
-		agg, err := mc.RunSeries(seed, trials, 2, func(r *rng.Source) []float64 {
-			mp := mapping.New(w.Net, dm, table, r)
-			res := swim.Algorithm1(mp, w.Selector("swim"), p, w.CleanAcc, maxDrop,
-				w.DS.TestX, w.DS.TestY, 64, r)
-			if res.Achieved {
-				achieved.Add(1)
-			}
-			return []float64{mp.NWC(), float64(len(res.Steps))}
-		})
+	for _, gp := range ps {
+		p, err := program.New(w.Net, pol, budget,
+			append(w.Options(sigma),
+				program.WithCycleTable(table),
+				program.WithGranularity(gp),
+				program.WithSeed(seed),
+				program.WithTrials(trials))...)
 		if err != nil {
-			return nil, fmt.Errorf("granularity ablation at p=%.3f: %w", p, err)
+			return nil, fmt.Errorf("granularity ablation at p=%.3f: %w", gp, err)
 		}
-		nwc, evals := agg[0], agg[1]
+		res, err := p.Run(nil)
+		if err != nil && !errors.Is(err, program.ErrBudgetExhausted) {
+			return nil, fmt.Errorf("granularity ablation at p=%.3f: %w", gp, err)
+		}
 		out = append(out, GranularityResult{
-			Granularity: p,
-			NWC:         Cell{nwc.Mean(), nwc.Std()},
-			Evals:       Cell{evals.Mean(), evals.Std()},
-			Achieved:    int(achieved.Load()),
+			Granularity: gp,
+			NWC:         cellOf(res.NWC),
+			Evals:       cellOf(res.Evals),
+			Achieved:    res.Achieved,
 			Trials:      trials,
 		})
 	}
@@ -95,8 +122,10 @@ func (s *noTieSelector) Order(*rng.Source) []int {
 
 // AblateTieBreak measures whether the paper's magnitude tie-breaker (§3.2)
 // matters at a given write budget. Ties are common in ReLU networks: weights
-// behind dead activations share an exactly-zero second derivative.
-func AblateTieBreak(w *Workload, sigma, nwc float64, trials int, seed uint64) TieBreakResult {
+// behind dead activations share an exactly-zero second derivative. The
+// no-tiebreak variant runs as an unregistered SelectorPolicy on the same
+// pipeline as the built-in.
+func AblateTieBreak(w *Workload, sigma, nwc float64, trials int, seed uint64) (TieBreakResult, error) {
 	dm := w.DeviceFor(sigma)
 	table := dm.CycleTable(300, rng.New(seed^0x7eb4))
 
@@ -111,20 +140,27 @@ func AblateTieBreak(w *Workload, sigma, nwc float64, trials int, seed uint64) Ti
 		}
 	}
 
-	run := func(sel swim.Selector, seed uint64) Cell {
-		agg := mc.Run(seed, trials, func(r *rng.Source) float64 {
-			mp := mapping.New(w.Net, dm, table, r)
-			swim.WriteVerifyToNWC(mp, sel.Order(r), nwc, r)
-			return mp.Accuracy(w.DS.TestX, w.DS.TestY, 64)
-		})
-		return Cell{agg.Mean(), agg.Std()}
+	swimPol, err := program.Lookup("swim")
+	if err != nil {
+		return TieBreakResult{}, err
+	}
+	noTie := program.SelectorPolicy("swim-no-tiebreak", func(env *program.Env) (swim.Selector, error) {
+		return &noTieSelector{hess: env.Hess}, nil
+	})
+	withTie, err := pointCell(w, swimPol, sigma, table, nwc, trials, seed)
+	if err != nil {
+		return TieBreakResult{}, fmt.Errorf("tie-break ablation: %w", err)
+	}
+	withoutTie, err := pointCell(w, noTie, sigma, table, nwc, trials, seed)
+	if err != nil {
+		return TieBreakResult{}, fmt.Errorf("tie-break ablation: %w", err)
 	}
 	return TieBreakResult{
 		NWC:          nwc,
-		WithTie:      run(w.Selector("swim"), seed),
-		WithoutTie:   run(&noTieSelector{hess: w.Hess}, seed),
+		WithTie:      withTie,
+		WithoutTie:   withoutTie,
 		TiedFraction: float64(tied) / float64(len(w.Hess)),
-	}
+	}, nil
 }
 
 // KBitsResult is one row of the device bit-width ablation.
@@ -133,42 +169,66 @@ type KBitsResult struct {
 	Devices  int
 	NoiseStd float64 // unverified weight-level noise (LSB units, Eq. 16)
 	NoVerify Cell    // accuracy with no write-verify
-	AtNWC    Cell    // accuracy with SWIM at the probe NWC
+	AtNWC    Cell    // accuracy with the policy at the probe NWC
 }
 
 // AblateDeviceBits sweeps K, the bits per device (Eq. 15). Fewer bits per
 // device means more devices per weight, which changes both the Eq. 16 noise
-// amplification and the write-verify cost structure.
-func AblateDeviceBits(w *Workload, sigma, nwc float64, ks []int, trials int, seed uint64) []KBitsResult {
+// amplification and the write-verify cost structure. The no-verify rows run
+// the registered "noverify" policy; the probe rows run pol.
+func AblateDeviceBits(w *Workload, pol program.Policy, sigma, nwc float64,
+	ks []int, trials int, seed uint64) ([]KBitsResult, error) {
+
+	noVerify, err := program.Lookup("noverify")
+	if err != nil {
+		return nil, err
+	}
 	var out []KBitsResult
 	for _, k := range ks {
 		dm := w.DeviceFor(sigma)
 		dm.DeviceBits = k
 		table := dm.CycleTable(300, rng.New(seed^uint64(k)))
-		sel := w.Selector("swim")
-
-		noVer := mc.Run(seed+uint64(k), trials, func(r *rng.Source) float64 {
-			mp := mapping.New(w.Net, dm, table, r)
-			return mp.Accuracy(w.DS.TestX, w.DS.TestY, 64)
-		})
-		at := mc.Run(seed+uint64(k)+999, trials, func(r *rng.Source) float64 {
-			mp := mapping.New(w.Net, dm, table, r)
-			swim.WriteVerifyToNWC(mp, sel.Order(r), nwc, r)
-			return mp.Accuracy(w.DS.TestX, w.DS.TestY, 64)
-		})
+		run := func(p program.Policy, target float64, seed uint64) (Cell, error) {
+			// The workload's standard options, then the K-modified device
+			// on top (options apply in order, so the later WithDevice
+			// wins) — keeping the training split available for -policy
+			// insitu runs.
+			pl, err := program.New(w.Net, p, program.GridBudget(target),
+				append(w.Options(sigma),
+					program.WithDevice(dm),
+					program.WithCycleTable(table),
+					program.WithSeed(seed),
+					program.WithTrials(trials))...)
+			if err != nil {
+				return Cell{}, fmt.Errorf("kbits ablation at K=%d: %w", k, err)
+			}
+			res, err := pl.Run(nil)
+			if err != nil {
+				return Cell{}, fmt.Errorf("kbits ablation at K=%d: %w", k, err)
+			}
+			return cellOf(res.Points[0].Accuracy), nil
+		}
+		noVer, err := run(noVerify, 0, seed+uint64(k))
+		if err != nil {
+			return nil, err
+		}
+		at, err := run(pol, nwc, seed+uint64(k)+999)
+		if err != nil {
+			return nil, err
+		}
 		out = append(out, KBitsResult{
 			K: k, Devices: dm.NumDevices(), NoiseStd: dm.NoiseStd(),
-			NoVerify: Cell{noVer.Mean(), noVer.Std()},
-			AtNWC:    Cell{at.Mean(), at.Std()},
+			NoVerify: noVer,
+			AtNWC:    at,
 		})
 	}
-	return out
+	return out, nil
 }
 
-// PrintKBits renders the device bit-width ablation.
-func PrintKBits(out io.Writer, w *Workload, sigma, nwc float64, rows []KBitsResult) {
-	fmt.Fprintf(out, "Ablation: device bits K on %s (sigma=%.2f, SWIM at NWC=%.1f)\n", w.Name, sigma, nwc)
-	fmt.Fprintf(out, "%-4s %-8s %-12s %-16s %s\n", "K", "devices", "noise(LSB)", "no write-verify", "SWIM")
+// PrintKBits renders the device bit-width ablation for the named policy.
+func PrintKBits(out io.Writer, w *Workload, policy string, sigma, nwc float64, rows []KBitsResult) {
+	fmt.Fprintf(out, "Ablation: device bits K on %s (sigma=%.2f, %s at NWC=%.1f)\n", w.Name, sigma, policy, nwc)
+	fmt.Fprintf(out, "%-4s %-8s %-12s %-16s %s\n", "K", "devices", "noise(LSB)", "no write-verify", policy)
 	for _, row := range rows {
 		fmt.Fprintf(out, "%-4d %-8d %-12.3f %-16s %s\n",
 			row.K, row.Devices, row.NoiseStd, row.NoVerify, row.AtNWC)
@@ -184,13 +244,17 @@ type SpatialResult struct {
 
 // AblateSpatial exercises the §2.1 extension: programming under combined
 // temporal + spatial (globally and locally correlated) variation, with and
-// without SWIM write-verify at the probe budget. Write-verify corrects the
-// read-back error whatever its source, so SWIM's recovery should survive the
-// extra variation — the claim the paper defers to future work.
-func AblateSpatial(w *Workload, sigma, nwc float64, trials int, seed uint64) ([]SpatialResult, error) {
+// without write-verify at the probe budget. One pipeline run covers both
+// cells of a row: the NWC grid {0, nwc} measures the unverified accuracy and
+// the post-verify accuracy on the same device instance per trial.
+// Write-verify corrects the read-back error whatever its source, so the
+// policy's recovery should survive the extra variation — the claim the paper
+// defers to future work.
+func AblateSpatial(w *Workload, pol program.Policy, sigma, nwc float64,
+	trials int, seed uint64) ([]SpatialResult, error) {
+
 	dm := w.DeviceFor(sigma)
 	table := dm.CycleTable(300, rng.New(seed^0x59a7))
-	sel := w.Selector("swim")
 	side := 1
 	for side*side < w.Net.NumMappedWeights() {
 		side *= 2
@@ -199,25 +263,25 @@ func AblateSpatial(w *Workload, sigma, nwc float64, trials int, seed uint64) ([]
 
 	run := func(spatial bool, seed uint64) (SpatialResult, error) {
 		label := "temporal only"
+		opts := append(w.Options(sigma),
+			program.WithCycleTable(table),
+			program.WithSeed(seed),
+			program.WithTrials(trials))
 		if spatial {
 			label = "temporal + spatial"
+			opts = append(opts, program.WithSpatial(scfg))
 		}
-		// Per trial: accuracy before and after write-verify on one instance.
-		agg, err := mc.RunSeries(seed, trials, 2, func(r *rng.Source) []float64 {
-			mp := mapping.New(w.Net, dm, table, r)
-			if spatial {
-				mp.ProgramAllSpatial(r, device.NewSpatialField(scfg, r))
-			}
-			noV := mp.Accuracy(w.DS.TestX, w.DS.TestY, 64)
-			swim.WriteVerifyToNWC(mp, sel.Order(r), nwc, r)
-			return []float64{noV, mp.Accuracy(w.DS.TestX, w.DS.TestY, 64)}
-		})
+		p, err := program.New(w.Net, pol, program.GridBudget(0, nwc), opts...)
+		if err != nil {
+			return SpatialResult{}, fmt.Errorf("spatial ablation (%s): %w", label, err)
+		}
+		res, err := p.Run(nil)
 		if err != nil {
 			return SpatialResult{}, fmt.Errorf("spatial ablation (%s): %w", label, err)
 		}
 		return SpatialResult{Label: label,
-			NoVerify: Cell{agg[0].Mean(), agg[0].Std()},
-			SWIMAt:   Cell{agg[1].Mean(), agg[1].Std()}}, nil
+			NoVerify: cellOf(res.Points[0].Accuracy),
+			SWIMAt:   cellOf(res.Points[1].Accuracy)}, nil
 	}
 	temporal, err := run(false, seed)
 	if err != nil {
@@ -230,31 +294,37 @@ func AblateSpatial(w *Workload, sigma, nwc float64, trials int, seed uint64) ([]
 	return []SpatialResult{temporal, both}, nil
 }
 
-// PrintSpatial renders the spatial-extension experiment.
-func PrintSpatial(out io.Writer, w *Workload, nwc float64, rows []SpatialResult) {
-	fmt.Fprintf(out, "Extension: spatial variation (sec 2.1) on %s, SWIM at NWC=%.1f\n", w.Name, nwc)
-	fmt.Fprintf(out, "%-22s %-16s %s\n", "variation", "no write-verify", "SWIM")
+// PrintSpatial renders the spatial-extension experiment for the named policy.
+func PrintSpatial(out io.Writer, w *Workload, policy string, nwc float64, rows []SpatialResult) {
+	fmt.Fprintf(out, "Extension: spatial variation (sec 2.1) on %s, %s at NWC=%.1f\n", w.Name, policy, nwc)
+	fmt.Fprintf(out, "%-22s %-16s %s\n", "variation", "no write-verify", policy)
 	for _, r := range rows {
 		fmt.Fprintf(out, "%-22s %-16s %s\n", r.Label, r.NoVerify, r.SWIMAt)
 	}
 }
 
 // CompareFisher pits SWIM's Hessian-diagonal ranking against the
-// empirical-Fisher (squared gradient) alternative at the probe budget.
-func CompareFisher(w *Workload, sigma, nwc float64, trials int, seed uint64) (swimCell, fisherCell Cell) {
+// empirical-Fisher (squared gradient) alternative at the probe budget, both
+// running as policies on the same pipeline.
+func CompareFisher(w *Workload, sigma, nwc float64, trials int, seed uint64) (swimCell, fisherCell Cell, err error) {
 	dm := w.DeviceFor(sigma)
 	table := dm.CycleTable(300, rng.New(seed^0xf15e))
 	cx, cy := data.Subset(w.DS.TrainX, w.DS.TrainY, 384)
 	fisher := swim.FisherSensitivity(w.Net, cx, cy, 64)
-	run := func(sel swim.Selector, seed uint64) Cell {
-		agg := mc.Run(seed, trials, func(r *rng.Source) float64 {
-			mp := mapping.New(w.Net, dm, table, r)
-			swim.WriteVerifyToNWC(mp, sel.Order(r), nwc, r)
-			return mp.Accuracy(w.DS.TestX, w.DS.TestY, 64)
-		})
-		return Cell{agg.Mean(), agg.Std()}
+	swimPol, err := program.Lookup("swim")
+	if err != nil {
+		return Cell{}, Cell{}, err
 	}
-	return run(w.Selector("swim"), seed), run(swim.NewFisherSelector(fisher, w.Weights), seed)
+	fisherPol := program.SelectorPolicy("fisher", func(env *program.Env) (swim.Selector, error) {
+		return swim.NewFisherSelector(fisher, env.Weights), nil
+	})
+	if swimCell, err = pointCell(w, swimPol, sigma, table, nwc, trials, seed); err != nil {
+		return Cell{}, Cell{}, fmt.Errorf("fisher comparison: %w", err)
+	}
+	if fisherCell, err = pointCell(w, fisherPol, sigma, table, nwc, trials, seed); err != nil {
+		return Cell{}, Cell{}, fmt.Errorf("fisher comparison: %w", err)
+	}
+	return swimCell, fisherCell, nil
 }
 
 // HessianQuality compares the analytic second derivatives against central
@@ -274,6 +344,7 @@ func HessianQuality(w *Workload, sample int, seed uint64) float64 {
 		}
 	})
 	params := net.MappedParams()
+	loc := mapping.NewLocator(params)
 	evalX, evalY := data.Subset(w.DS.TrainX, w.DS.TrainY, 256)
 
 	net.ZeroHess()
@@ -310,8 +381,7 @@ func HessianQuality(w *Workload, sample int, seed uint64) float64 {
 	f0 := lossAt()
 	for k := 0; k < sample; k++ {
 		flat := order[k*span/sample]
-		pi, off := locateFlat(params, flat)
-		p := params[pi]
+		p, off := loc.Param(flat)
 		orig := p.Data.Data[off]
 		p.Data.Data[off] = orig + eps
 		fp := lossAt()

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"swim/internal/mc"
+	"swim/internal/program"
 )
 
 func TestMain(m *testing.M) {
@@ -30,19 +31,12 @@ func TestLeNetWorkloadBuildsOnceAndTrains(t *testing.T) {
 	}
 }
 
-func TestSelectorFactory(t *testing.T) {
+func TestSweepRejectsUnknownPolicy(t *testing.T) {
 	w := LeNetMNIST()
-	for _, name := range []string{"swim", "magnitude", "random"} {
-		if got := w.Selector(name).Name(); got != name && !(name == "swim" && got == "swim") {
-			t.Fatalf("selector %q produced %q", name, got)
-		}
+	cfg := SweepConfig{NWCs: []float64{0}, Trials: 2, Seed: 8}
+	if _, err := Sweep(w, SigmaHigh, "bogus", cfg); err == nil {
+		t.Fatal("unknown policy accepted")
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("unknown selector accepted")
-		}
-	}()
-	w.Selector("bogus")
 }
 
 func TestSweepShapesAndMonotoneTrend(t *testing.T) {
@@ -125,7 +119,10 @@ func TestTable1AndPrint(t *testing.T) {
 func TestFig1Correlations(t *testing.T) {
 	w := LeNetMNIST()
 	cfg := Fig1Config{NumWeights: 24, Repeats: 3, SigmaPerturb: 3, EvalN: 120, Seed: 12}
-	res := Fig1(w, cfg)
+	res, err := Fig1(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res.Drop) != 24 {
 		t.Fatalf("drops = %d", len(res.Drop))
 	}
@@ -172,7 +169,11 @@ func TestSpeedupAt(t *testing.T) {
 
 func TestAblateGranularity(t *testing.T) {
 	w := LeNetMNIST()
-	rows, err := AblateGranularity(w, SigmaHigh, 5.0, []float64{0.05, 0.25}, 2, 14)
+	pol, err := program.Lookup("swim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := AblateGranularity(w, pol, SigmaHigh, 5.0, []float64{0.05, 0.25}, 2, 14)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +189,10 @@ func TestAblateGranularity(t *testing.T) {
 
 func TestAblateTieBreak(t *testing.T) {
 	w := LeNetMNIST()
-	res := AblateTieBreak(w, SigmaHigh, 0.1, 2, 15)
+	res, err := AblateTieBreak(w, SigmaHigh, 0.1, 2, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.TiedFraction < 0 || res.TiedFraction > 1 {
 		t.Fatalf("tied fraction %v", res.TiedFraction)
 	}
@@ -196,7 +200,14 @@ func TestAblateTieBreak(t *testing.T) {
 
 func TestAblateDeviceBits(t *testing.T) {
 	w := LeNetMNIST()
-	rows := AblateDeviceBits(w, SigmaTypical, 0.1, []int{2, 4}, 2, 16)
+	pol, err := program.Lookup("swim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := AblateDeviceBits(w, pol, SigmaTypical, 0.1, []int{2, 4}, 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 2 {
 		t.Fatal("rows missing")
 	}
@@ -204,7 +215,7 @@ func TestAblateDeviceBits(t *testing.T) {
 		t.Fatalf("K=2 should need more devices than K=4: %+v", rows)
 	}
 	var buf bytes.Buffer
-	PrintKBits(&buf, w, SigmaTypical, 0.1, rows)
+	PrintKBits(&buf, w, "swim", SigmaTypical, 0.1, rows)
 	if buf.Len() == 0 {
 		t.Fatal("kbits print empty")
 	}

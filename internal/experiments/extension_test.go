@@ -3,11 +3,17 @@ package experiments
 import (
 	"bytes"
 	"testing"
+
+	"swim/internal/program"
 )
 
 func TestAblateSpatial(t *testing.T) {
 	w := LeNetMNIST()
-	rows, err := AblateSpatial(w, SigmaTypical, 0.2, 2, 60)
+	pol, err := program.Lookup("swim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := AblateSpatial(w, pol, SigmaTypical, 0.2, 2, 60)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,7 +31,7 @@ func TestAblateSpatial(t *testing.T) {
 		}
 	}
 	var buf bytes.Buffer
-	PrintSpatial(&buf, w, 0.2, rows)
+	PrintSpatial(&buf, w, "swim", 0.2, rows)
 	if !bytes.Contains(buf.Bytes(), []byte("spatial")) {
 		t.Fatal("print missing content")
 	}
@@ -33,7 +39,10 @@ func TestAblateSpatial(t *testing.T) {
 
 func TestCompareFisher(t *testing.T) {
 	w := LeNetMNIST()
-	sw, fi := CompareFisher(w, SigmaHigh, 0.1, 2, 61)
+	sw, fi, err := CompareFisher(w, SigmaHigh, 0.1, 2, 61)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, c := range []Cell{sw, fi} {
 		if c.Mean < 0 || c.Mean > 100 {
 			t.Fatalf("bad cell %+v", c)

@@ -5,11 +5,14 @@ import (
 	"io"
 
 	"swim/internal/data"
+	"swim/internal/mapping"
 	"swim/internal/mc"
 	"swim/internal/plot"
+	"swim/internal/program"
+	"swim/internal/quant"
 	"swim/internal/rng"
 	"swim/internal/stat"
-	"swim/internal/swim"
+	"swim/internal/train"
 )
 
 // Fig1Config parameterizes the Fig. 1 correlation study.
@@ -25,12 +28,18 @@ type Fig1Config struct {
 	// EvalN caps the evaluation subset (accuracy must be re-measured per
 	// perturbation, which dominates the cost).
 	EvalN int
-	Seed  uint64
+	// EvalBatch is the accuracy-measurement batch size (0 = 64).
+	EvalBatch int
+	// Rank names the selector-backed registry policy whose ordering
+	// stratifies half the sample across the sensitivity range ("" = swim).
+	Rank string
+	Seed uint64
 }
 
 // DefaultFig1 returns the Fig. 1 configuration.
 func DefaultFig1() Fig1Config {
-	return Fig1Config{NumWeights: 100, Repeats: 6, SigmaPerturb: 3.0, EvalN: 300, Seed: 77}
+	return Fig1Config{NumWeights: 100, Repeats: 6, SigmaPerturb: 3.0, EvalN: 300,
+		EvalBatch: 64, Rank: "swim", Seed: 77}
 }
 
 // Fig1Result holds the per-weight scatter data of Fig. 1 and the correlation
@@ -53,26 +62,47 @@ type Fig1Result struct {
 // are measured in parallel via mc.Map: every weight perturbs its own clone
 // of the master network, so the drops are deterministic in the seed and
 // independent of the worker count.
-func Fig1(w *Workload, cfg Fig1Config) Fig1Result {
+func Fig1(w *Workload, cfg Fig1Config) (Fig1Result, error) {
+	batch := cfg.EvalBatch
+	if batch <= 0 {
+		batch = 64
+	}
 	r := rng.New(cfg.Seed)
 	evalX, evalY := data.Subset(w.DS.TestX, w.DS.TestY, cfg.EvalN)
-	baseAcc := accuracyOf(w.TrialNet(), evalX, evalY)
+	baseAcc := train.Evaluate(w.TrialNet(), evalX, evalY, batch)
 
 	// Per-parameter quantization scales convert LSB-unit perturbations to
 	// float weight units, exactly as the mapping path does.
 	masterParams := w.Net.MappedParams()
 	scales := make([]float64, len(masterParams))
 	for i, p := range masterParams {
-		scales[i] = scaleOf(p, w.WeightBits)
+		scales[i] = quant.ScaleFor(p.Data, w.WeightBits)
 	}
 	total := len(w.Weights)
 
 	// Sample half the weights uniformly and half stratified across the
-	// sensitivity ordering. Pure uniform sampling lands almost entirely on
-	// zero-sensitivity weights (the tie-break ablation shows they are the
-	// majority), which pins most drops at exactly zero and attenuates the
-	// correlations; the paper's scatter visibly spans the sensitivity range.
-	order := swim.NewSWIMSelector(w.Hess, w.Weights).Order(nil)
+	// ranking of the configured selector policy. Pure uniform sampling lands
+	// almost entirely on zero-sensitivity weights (the tie-break ablation
+	// shows they are the majority), which pins most drops at exactly zero
+	// and attenuates the correlations; the paper's scatter visibly spans the
+	// sensitivity range.
+	rankName := cfg.Rank
+	if rankName == "" {
+		rankName = "swim"
+	}
+	pol, err := program.Lookup(rankName)
+	if err != nil {
+		return Fig1Result{}, fmt.Errorf("fig1 on %s: %w", w.Name, err)
+	}
+	ranked, ok := pol.(program.SelectorBacked)
+	if !ok {
+		return Fig1Result{}, fmt.Errorf("fig1 on %s: policy %q has no weight ranking", w.Name, rankName)
+	}
+	sel, err := ranked.Selector(&program.Env{Net: w.Net, Hess: w.Hess, Weights: w.Weights})
+	if err != nil {
+		return Fig1Result{}, fmt.Errorf("fig1 on %s: %w", w.Name, err)
+	}
+	order := sel.Order(rng.New(cfg.Seed ^ 0x0a9de9))
 	span := len(order) / 2
 	picks := make([]int, 0, cfg.NumWeights)
 	for k := 0; k < cfg.NumWeights/2; k++ {
@@ -82,16 +112,24 @@ func Fig1(w *Workload, cfg Fig1Config) Fig1Result {
 		picks = append(picks, r.Intn(total))
 	}
 
+	// Resolve every pick to (param index, offset) once on the master — the
+	// clone layout is identical — instead of building a locator per trial.
+	loc := mapping.NewLocator(masterParams)
+	pis := make([]int, len(picks))
+	offs := make([]int, len(picks))
+	for k, flat := range picks {
+		pis[k], offs[k] = loc.Locate(flat)
+	}
+
 	drops := mc.Map(cfg.Seed^0xf161, len(picks), func(k int, r *rng.Source) float64 {
 		net := w.TrialNet()
-		params := net.MappedParams()
-		pi, off := locateFlat(params, picks[k])
-		p := params[pi]
+		pi, off := pis[k], offs[k]
+		p := net.MappedParams()[pi]
 		orig := p.Data.Data[off]
 		var acc stat.Welford
 		for rep := 0; rep < cfg.Repeats; rep++ {
 			p.Data.Data[off] = orig + r.Gauss(0, cfg.SigmaPerturb*scales[pi])
-			acc.Add(accuracyOf(net, evalX, evalY))
+			acc.Add(train.Evaluate(net, evalX, evalY, batch))
 		}
 		return baseAcc - acc.Mean()
 	})
@@ -105,7 +143,7 @@ func Fig1(w *Workload, cfg Fig1Config) Fig1Result {
 	res.PearsonMagnitude = stat.Pearson(res.Magnitude, res.Drop)
 	res.PearsonHess = stat.Pearson(res.Hess, res.Drop)
 	res.SpearmanHess = stat.Spearman(res.Hess, res.Drop)
-	return res
+	return res, nil
 }
 
 // PrintFig1 renders the correlation summary.

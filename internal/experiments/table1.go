@@ -5,14 +5,13 @@ import (
 	"io"
 
 	"swim/internal/data"
-	"swim/internal/mapping"
 	"swim/internal/mc"
-	"swim/internal/rng"
+	"swim/internal/program"
 	"swim/internal/stat"
-	"swim/internal/swim"
 )
 
-// Methods in the order the paper's Table 1 lists them.
+// Methods is the default policy set, in the order the paper's Table 1 lists
+// them. Every name resolves through the program registry.
 var Methods = []string{"swim", "magnitude", "random", "insitu"}
 
 // Cell is one mean ± std entry.
@@ -22,12 +21,20 @@ type Cell struct {
 
 func (c Cell) String() string { return fmt.Sprintf("%.2f ± %.2f", c.Mean, c.Std) }
 
+// cellOf converts a Welford aggregate into a table cell.
+func cellOf(w *stat.Welford) Cell { return Cell{Mean: w.Mean(), Std: w.Std()} }
+
 // SweepConfig parameterizes an accuracy-vs-NWC sweep (Table 1 rows and the
 // Fig. 2 curves share it).
 type SweepConfig struct {
 	NWCs   []float64
 	Trials int
 	Seed   uint64
+	// EvalBatch is the accuracy-measurement batch size (0 = 64).
+	EvalBatch int
+	// Policies overrides the policy set (nil = Methods). Names resolve
+	// through the program registry.
+	Policies []string
 }
 
 // DefaultNWCs is the paper's Table 1 NWC grid.
@@ -39,66 +46,68 @@ func DefaultSweep() SweepConfig {
 	if mc.Fast() {
 		trials = mc.Trials(3)
 	}
-	return SweepConfig{NWCs: DefaultNWCs(), Trials: trials, Seed: 1000}
+	return SweepConfig{NWCs: DefaultNWCs(), Trials: trials, Seed: 1000, EvalBatch: 64}
+}
+
+func (cfg SweepConfig) policies() []string {
+	if len(cfg.Policies) > 0 {
+		return cfg.Policies
+	}
+	return Methods
+}
+
+func (cfg SweepConfig) evalBatch() int {
+	if cfg.EvalBatch > 0 {
+		return cfg.EvalBatch
+	}
+	return 64
 }
 
 // Sweep measures accuracy (mean ± std over Monte-Carlo trials) for one
-// workload, device σ and method at every NWC point. Each trial programs a
-// fresh device instance, spends the write budget per the method, and
-// evaluates on the test split — the paper's protocol. Trials run in parallel
-// on mc.Workers() goroutines; every trial owns its device instance and
-// network clone, and the aggregates are bit-identical for any worker count.
+// workload, device σ and registry policy name at every NWC point, by running
+// one program.Pipeline over the fixed-NWC grid.
 func Sweep(w *Workload, sigma float64, method string, cfg SweepConfig) ([]Cell, error) {
-	dm := w.DeviceFor(sigma)
-	table := dm.CycleTable(300, rng.New(cfg.Seed^0x5eed))
-	points := len(cfg.NWCs)
-	evalX, evalY := data.Subset(w.DS.TestX, w.DS.TestY, mc.EvalSize(len(w.DS.TestY)))
-
-	agg, err := mc.RunSeries(cfg.Seed, cfg.Trials, points, func(r *rng.Source) []float64 {
-		out := make([]float64, points)
-		var sel swim.Selector
-		var order []int
-		if method != "insitu" {
-			sel = w.Selector(method)
-			order = sel.Order(r)
-		}
-		// One trial walks the NWC grid incrementally on a single device
-		// instance: write budgets are cumulative, matching how a sweep
-		// would run on one physical chip.
-		mp := mapping.New(w.Net, dm, table, r)
-		insituStart := 0
-		for i, nwc := range cfg.NWCs {
-			switch {
-			case method == "insitu":
-				budget := nwc * mp.BaselineCycles()
-				for mp.CyclesUsed < budget {
-					insituStart = swim.InSituStep(mp, w.DS.TrainX, w.DS.TrainY, insituStart, swim.DefaultInSitu(), r)
-				}
-			default:
-				swim.WriteVerifyToNWC(mp, order, nwc, r)
-			}
-			out[i] = mp.Accuracy(evalX, evalY, 64)
-		}
-		return out
-	})
+	pol, err := program.Lookup(method)
 	if err != nil {
-		return nil, fmt.Errorf("sweep %s/%s at sigma=%.2f: %w", w.Name, method, sigma, err)
+		return nil, fmt.Errorf("sweep %s at sigma=%.2f: %w", w.Name, sigma, err)
 	}
+	return SweepPolicy(w, sigma, pol, cfg)
+}
 
-	cells := make([]Cell, points)
-	for i, a := range agg {
-		cells[i] = Cell{Mean: a.Mean(), Std: a.Std()}
+// SweepPolicy is Sweep for a policy value (registered or not): each trial
+// programs a fresh device instance, walks the write-budget grid cumulatively
+// per the policy, and evaluates on the test split — the paper's protocol.
+// Trials run in parallel on mc.Workers() goroutines and the aggregates are
+// bit-identical for any worker count.
+func SweepPolicy(w *Workload, sigma float64, pol program.Policy, cfg SweepConfig) ([]Cell, error) {
+	evalX, evalY := data.Subset(w.DS.TestX, w.DS.TestY, mc.EvalSize(len(w.DS.TestY)))
+	p, err := program.New(w.Net, pol, program.GridBudget(cfg.NWCs...),
+		append(w.Options(sigma),
+			program.WithEval(evalX, evalY),
+			program.WithEvalBatch(cfg.evalBatch()),
+			program.WithSeed(cfg.Seed),
+			program.WithTrials(cfg.Trials))...)
+	if err != nil {
+		return nil, fmt.Errorf("sweep %s/%s at sigma=%.2f: %w", w.Name, pol.Name(), sigma, err)
+	}
+	res, err := p.Run(nil)
+	if err != nil {
+		return nil, fmt.Errorf("sweep %s/%s at sigma=%.2f: %w", w.Name, pol.Name(), sigma, err)
+	}
+	cells := make([]Cell, len(res.Points))
+	for i, pt := range res.Points {
+		cells[i] = cellOf(pt.Accuracy)
 	}
 	return cells, nil
 }
 
-// Table1 runs the full Table 1 grid: σ × method × NWC on the LeNet/MNIST
+// Table1 runs the full Table 1 grid: σ × policy × NWC on the LeNet/MNIST
 // workload (or any other workload, for ablations).
 func Table1(w *Workload, sigmas []float64, cfg SweepConfig) (map[float64]map[string][]Cell, error) {
 	out := make(map[float64]map[string][]Cell)
 	for _, sigma := range sigmas {
 		out[sigma] = make(map[string][]Cell)
-		for _, m := range Methods {
+		for _, m := range cfg.policies() {
 			cells, err := Sweep(w, sigma, m, cfg)
 			if err != nil {
 				return nil, err
@@ -113,13 +122,13 @@ func Table1(w *Workload, sigmas []float64, cfg SweepConfig) (map[float64]map[str
 func PrintTable1(out io.Writer, w *Workload, sigmas []float64, cfg SweepConfig, res map[float64]map[string][]Cell) {
 	fmt.Fprintf(out, "Table 1: accuracy (%%) vs NWC on %s (clean accuracy %.2f%%, %d weights, %d MC trials)\n",
 		w.Name, w.CleanAcc, w.Net.NumMappedWeights(), cfg.Trials)
-	fmt.Fprintf(out, "%-6s %-10s", "sigma", "method")
+	fmt.Fprintf(out, "%-6s %-10s", "sigma", "policy")
 	for _, nwc := range cfg.NWCs {
 		fmt.Fprintf(out, " %13.1f", nwc)
 	}
 	fmt.Fprintln(out)
 	for _, sigma := range sigmas {
-		for _, m := range Methods {
+		for _, m := range cfg.policies() {
 			fmt.Fprintf(out, "%-6.2f %-10s", sigma, m)
 			for _, c := range res[sigma][m] {
 				fmt.Fprintf(out, " %6.2f ± %4.2f", c.Mean, c.Std)
@@ -161,7 +170,7 @@ func SpeedupAt(cells, rival []Cell, nwcs []float64, targetNWC float64) float64 {
 func WelfordCells(ws []*stat.Welford) []Cell {
 	out := make([]Cell, len(ws))
 	for i, w := range ws {
-		out[i] = Cell{Mean: w.Mean(), Std: w.Std()}
+		out[i] = cellOf(w)
 	}
 	return out
 }

@@ -11,7 +11,6 @@
 package experiments
 
 import (
-	"fmt"
 	"sync"
 
 	"swim/internal/data"
@@ -19,6 +18,7 @@ import (
 	"swim/internal/mc"
 	"swim/internal/models"
 	"swim/internal/nn"
+	"swim/internal/program"
 	"swim/internal/rng"
 	"swim/internal/swim"
 	"swim/internal/train"
@@ -168,17 +168,16 @@ func (w *Workload) DeviceFor(sigma float64) device.Model {
 	return device.Default(w.WeightBits, sigma)
 }
 
-// Selector builds the named selector over this workload. Valid names:
-// "swim", "magnitude", "random".
-func (w *Workload) Selector(name string) swim.Selector {
-	switch name {
-	case "swim":
-		return swim.NewSWIMSelector(w.Hess, w.Weights)
-	case "magnitude":
-		return swim.NewMagnitudeSelector(w.Weights)
-	case "random":
-		return swim.NewRandomSelector(w.Net.NumMappedWeights())
-	default:
-		panic(fmt.Sprintf("experiments: unknown selector %q", name))
+// Options returns the pipeline options every experiment on this workload
+// shares: the device model at σ, full test-split evaluation, the cached
+// sensitivity data (so pipelines skip the calibration pass), and the
+// training split for in-situ policies. Callers append overrides — options
+// apply in order, so a later WithEval narrows the evaluation subset.
+func (w *Workload) Options(sigma float64) []program.Option {
+	return []program.Option{
+		program.WithDevice(w.DeviceFor(sigma)),
+		program.WithEval(w.DS.TestX, w.DS.TestY),
+		program.WithSensitivity(w.Hess, w.Weights),
+		program.WithTraining(w.DS.TrainX, w.DS.TrainY),
 	}
 }

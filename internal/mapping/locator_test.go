@@ -1,0 +1,75 @@
+package mapping
+
+import (
+	"testing"
+
+	"swim/internal/device"
+	"swim/internal/models"
+	"swim/internal/nn"
+	"swim/internal/rng"
+)
+
+func TestLocatorAgreesWithLinearScan(t *testing.T) {
+	net := models.LeNet(10, 4, rng.New(1))
+	params := net.MappedParams()
+	loc := NewLocator(params)
+	if loc.Total() != net.NumMappedWeights() {
+		t.Fatalf("Total = %d, want %d", loc.Total(), net.NumMappedWeights())
+	}
+	// Reference: the O(params) scan the locator replaces.
+	scan := func(flat int) (int, int) {
+		for i, p := range params {
+			if flat < p.Size() {
+				return i, flat
+			}
+			flat -= p.Size()
+		}
+		t.Fatalf("flat index %d out of range", flat)
+		return 0, 0
+	}
+	for _, flat := range []int{0, 1, 149, 150, 151, loc.Total() / 2, loc.Total() - 1} {
+		wantPi, wantOff := scan(flat)
+		pi, off := loc.Locate(flat)
+		if pi != wantPi || off != wantOff {
+			t.Fatalf("Locate(%d) = (%d,%d), want (%d,%d)", flat, pi, off, wantPi, wantOff)
+		}
+		p, off2 := loc.Param(flat)
+		if p != params[wantPi] || off2 != wantOff {
+			t.Fatalf("Param(%d) returned wrong param/offset", flat)
+		}
+	}
+}
+
+func TestLocatorPanicsOutOfRange(t *testing.T) {
+	loc := NewLocator(models.LeNet(10, 4, rng.New(1)).MappedParams())
+	for _, bad := range []int{-1, loc.Total()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Locate(%d) did not panic", bad)
+				}
+			}()
+			loc.Locate(bad)
+		}()
+	}
+}
+
+func TestNewRejectsInvalidInputs(t *testing.T) {
+	net := models.LeNet(10, 4, rng.New(1))
+	good := device.Default(4, 0.5)
+
+	if _, err := New(nil, good, nil, rng.New(2)); err == nil {
+		t.Fatal("nil master accepted")
+	}
+	bad := good
+	bad.WeightBits = 0
+	if _, err := New(net, bad, nil, rng.New(2)); err == nil {
+		t.Fatal("invalid device model accepted")
+	}
+	// A network with no mapped parameters cannot be programmed.
+	empty := nn.NewNetwork("empty", nn.NewSequential("trunk", nn.NewFlatten()),
+		nn.NewSoftmaxCrossEntropy())
+	if _, err := New(empty, good, nil, rng.New(2)); err == nil {
+		t.Fatal("unmappable network accepted")
+	}
+}

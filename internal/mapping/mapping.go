@@ -30,10 +30,9 @@ type Mapped struct {
 	// Model is the device/programming model in force.
 	Model device.Model
 
-	params  []*nn.Param // mapped params of Net, layer order
-	offsets []int       // flat start index of each param
-	scales  []float64   // per-param quantization step
-	total   int
+	loc    *Locator  // O(1) flat index -> (param, offset) resolution
+	scales []float64 // per-param quantization step
+	total  int
 
 	desired []float64 // flat desired float weights (on the quantized grid)
 	mags    []int     // flat integer magnitudes
@@ -52,15 +51,25 @@ type Mapped struct {
 // New quantizes the master network's mapped weights onto the device grid,
 // programs every weight with unverified noise (Eq. 16), and returns the
 // trial state. The master network is not modified.
-func New(master *nn.Network, m device.Model, cycleTable []float64, r *rng.Source) *Mapped {
+//
+// An invalid device model or a network with no mapped parameters is reported
+// as an error rather than a panic: New is the API boundary every Monte-Carlo
+// worker crosses, and a panic there would kill the whole trial pool instead
+// of surfacing through the experiment's error path.
+func New(master *nn.Network, m device.Model, cycleTable []float64, r *rng.Source) (*Mapped, error) {
+	if master == nil {
+		return nil, fmt.Errorf("mapping: nil master network")
+	}
 	if err := m.Validate(); err != nil {
-		panic(err)
+		return nil, fmt.Errorf("mapping: invalid device model: %w", err)
 	}
 	net := master.Clone()
+	params := net.MappedParams()
+	if len(params) == 0 {
+		return nil, fmt.Errorf("mapping: network %q has no mapped parameters", master.Name)
+	}
 	mp := &Mapped{Net: net, Model: m, cycleTable: cycleTable}
-	for _, p := range net.MappedParams() {
-		mp.offsets = append(mp.offsets, mp.total)
-		mp.params = append(mp.params, p)
+	for _, p := range params {
 		scale := quant.ScaleFor(p.Data, m.WeightBits)
 		mp.scales = append(mp.scales, scale)
 		mags, signs := quant.QuantizeInt(p.Data, scale, m.WeightBits)
@@ -70,12 +79,13 @@ func New(master *nn.Network, m device.Model, cycleTable []float64, r *rng.Source
 		mp.desired = append(mp.desired, des...)
 		mp.total += p.Size()
 	}
+	mp.loc = NewLocator(params)
 	mp.Verified = make([]bool, mp.total)
 	if mp.cycleTable == nil {
 		mp.cycleTable = m.CycleTable(200, r.Split())
 	}
 	mp.ProgramAll(r)
-	return mp
+	return mp, nil
 }
 
 // TotalWeights returns |W0|, the number of mapped scalar weights.
@@ -83,16 +93,8 @@ func (mp *Mapped) TotalWeights() int { return mp.total }
 
 // locate maps a flat weight index to its parameter and in-parameter offset.
 func (mp *Mapped) locate(i int) (*nn.Param, int, float64) {
-	if i < 0 || i >= mp.total {
-		panic(fmt.Sprintf("mapping: weight index %d out of range [0,%d)", i, mp.total))
-	}
-	// Linear scan over params: networks here have tens of params at most.
-	for k := len(mp.params) - 1; k >= 0; k-- {
-		if i >= mp.offsets[k] {
-			return mp.params[k], i - mp.offsets[k], mp.scales[k]
-		}
-	}
-	panic("unreachable")
+	pi, off := mp.loc.Locate(i)
+	return mp.loc.params[pi], off, mp.scales[pi]
 }
 
 // Desired returns the flat desired (quantized) weight values.

@@ -7,8 +7,18 @@ import (
 	"swim/internal/data"
 	"swim/internal/device"
 	"swim/internal/models"
+	"swim/internal/nn"
 	"swim/internal/rng"
 )
+
+func mustNew(t *testing.T, net *nn.Network, dm device.Model, table []float64, r *rng.Source) *Mapped {
+	t.Helper()
+	mp, err := New(net, dm, table, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mp
+}
 
 func testNetAndDevice(t *testing.T) (*Mapped, device.Model) {
 	t.Helper()
@@ -16,7 +26,7 @@ func testNetAndDevice(t *testing.T) (*Mapped, device.Model) {
 	net := models.LeNet(10, 4, r)
 	dm := device.Default(4, 0.5)
 	table := dm.CycleTable(50, rng.New(2))
-	return New(net, dm, table, rng.New(3)), dm
+	return mustNew(t, net, dm, table, rng.New(3)), dm
 }
 
 func TestNewPreservesMaster(t *testing.T) {
@@ -24,7 +34,7 @@ func TestNewPreservesMaster(t *testing.T) {
 	net := models.LeNet(10, 4, r)
 	before := net.MappedParams()[0].Data.Clone()
 	dm := device.Default(4, 0.5)
-	New(net, dm, dm.CycleTable(50, rng.New(2)), rng.New(3))
+	mustNew(t, net, dm, dm.CycleTable(50, rng.New(2)), rng.New(3))
 	after := net.MappedParams()[0].Data
 	for i := range before.Data {
 		if before.Data[i] != after.Data[i] {
@@ -162,7 +172,7 @@ func TestAccuracyRunsOnProgrammedWeights(t *testing.T) {
 	net := models.LeNet(10, 4, r)
 	ds := data.MNISTLike(60, 60, 5)
 	dm := device.Default(4, 0.0) // zero noise: programmed == desired
-	mp := New(net, dm, dm.CycleTable(10, rng.New(2)), rng.New(3))
+	mp := mustNew(t, net, dm, dm.CycleTable(10, rng.New(2)), rng.New(3))
 	got := mp.Accuracy(ds.TestX, ds.TestY, 32)
 	if got < 0 || got > 100 {
 		t.Fatalf("accuracy out of range: %v", got)

@@ -14,7 +14,7 @@ func TestProgramAllSpatialAddsCorrelatedError(t *testing.T) {
 	r := rng.New(1)
 	net := models.LeNet(10, 4, r)
 	dm := device.Default(4, 0.0) // isolate the spatial component
-	mp := New(net, dm, dm.CycleTable(20, rng.New(2)), rng.New(3))
+	mp := mustNew(t, net, dm, dm.CycleTable(20, rng.New(2)), rng.New(3))
 
 	side := 256
 	cfg := device.SpatialConfig{GlobalStd: 0, LocalStd: 0.3, CorrLength: 32, Rows: side, Cols: side}
@@ -45,7 +45,7 @@ func TestWriteVerifyRemovesSpatialError(t *testing.T) {
 	r := rng.New(1)
 	net := models.LeNet(10, 4, r)
 	dm := device.Default(4, 0.1)
-	mp := New(net, dm, dm.CycleTable(20, rng.New(2)), rng.New(3))
+	mp := mustNew(t, net, dm, dm.CycleTable(20, rng.New(2)), rng.New(3))
 	field := device.NewSpatialField(device.DefaultSpatial(256, 256), rng.New(4))
 	mp.ProgramAllSpatial(rng.New(5), field)
 

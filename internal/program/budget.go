@@ -1,0 +1,68 @@
+package program
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Budget is what "enough programming" means for a pipeline run, carried as a
+// value instead of encoded in which function gets called. The two kinds are
+// NWCGrid (fixed write budgets — the Table 1 / Fig. 2 protocol) and
+// DropTarget (a maximum acceptable accuracy drop — Algorithm 1). The
+// interface is closed: its only implementations live in this package, so
+// Pipeline.Run can switch exhaustively.
+type Budget interface {
+	validate() error
+}
+
+// NWCGrid spends fixed write budgets: each target is a normalized-write-cycle
+// level, walked cumulatively on a single device instance per trial (the
+// paper's protocol: one Monte-Carlo run programs one chip and measures the
+// whole sweep on it). Targets must be non-negative and non-decreasing.
+type NWCGrid struct {
+	Targets []float64
+}
+
+// GridBudget builds a fixed-NWC budget over the given grid.
+func GridBudget(targets ...float64) NWCGrid { return NWCGrid{Targets: targets} }
+
+func (b NWCGrid) validate() error {
+	if len(b.Targets) == 0 {
+		return errors.New("empty NWC grid")
+	}
+	prev := 0.0
+	for i, t := range b.Targets {
+		if t < 0 {
+			return fmt.Errorf("negative NWC target %g at grid point %d", t, i)
+		}
+		if t < prev {
+			return fmt.Errorf("NWC grid must be non-decreasing (cumulative spend on one instance), got %g after %g", t, prev)
+		}
+		prev = t
+	}
+	return nil
+}
+
+// DropTarget stops programming as soon as the measured accuracy drop from
+// BaseAccuracy is at most MaxDrop percentage points — the paper's
+// Algorithm 1 stopping rule, evaluated once per granule (WithGranularity).
+// MaxNWC, when positive, caps the spend for policies that never exhaust
+// themselves (in-situ training can write forever); 0 means uncapped.
+type DropTarget struct {
+	BaseAccuracy float64
+	MaxDrop      float64
+	MaxNWC       float64
+}
+
+// DropBudget builds an accuracy-drop budget against the given baseline
+// accuracy (%).
+func DropBudget(baseAccuracy, maxDrop float64) DropTarget {
+	return DropTarget{BaseAccuracy: baseAccuracy, MaxDrop: maxDrop}
+}
+
+func (b DropTarget) validate() error {
+	if b.MaxNWC < 0 {
+		return fmt.Errorf("negative MaxNWC %g", b.MaxNWC)
+	}
+	return nil
+}

@@ -1,0 +1,529 @@
+// Package program is the unified pipeline API for the paper's core loop:
+// sensitivity → selection → write-verify programming → on-device evaluation.
+//
+// It replaces the per-experiment glue that used to stitch the swim
+// primitives (swim.Algorithm1, swim.WriteVerifyToNWC, swim.InSituToNWC)
+// together by hand. The API has three small pieces:
+//
+//   - Policy — a named programming strategy (how the write budget is spent).
+//     The built-ins "swim", "magnitude", "random", "insitu" and "noverify"
+//     are registered in a string registry (Register / Lookup), so new device
+//     models and selectors plug in by name; SelectorPolicy adapts any
+//     swim.Selector into a Policy.
+//
+//   - Budget — what "enough programming" means, as a value rather than a
+//     separate function entry point: GridBudget fixes a (cumulative) grid of
+//     normalized-write-cycle targets, DropBudget fixes a maximum acceptable
+//     accuracy drop (the paper's Algorithm 1 stopping rule).
+//
+//   - Pipeline — built with functional options (WithDevice, WithEval,
+//     WithCalibration, WithGranularity, WithWorkers, ...) whose single
+//     Run(ctx) drives the parallel Monte-Carlo engine (package mc) and
+//     returns a structured Result: per-point accuracy mean/std via
+//     stat.Welford, NWC spent, the per-granule accuracy trace, and the
+//     policy name.
+//
+// # Determinism
+//
+// Run is bit-for-bit reproducible in (seed, trials) and independent of the
+// worker count, because every trial owns a pre-split RNG stream and the
+// aggregation order is fixed (see package mc). The per-trial stream is
+// consumed in exactly the order the legacy free-function glue consumed it —
+// selector order first, then device programming, then budget spending — so
+// for a fixed seed the pipeline reproduces swim.Algorithm1,
+// swim.WriteVerifyToNWC and swim.InSituToNWC results bit-for-bit
+// (equivalence_test.go pins this).
+//
+// # Migration from the swim.* entry points
+//
+//	swim.WriteVerifyToNWC(mp, sel.Order(r), nwc, r)   →  GridBudget(nwc...)
+//	swim.Algorithm1(mp, sel, p, base, drop, ...)      →  DropBudget(base, drop) + WithGranularity(p)
+//	swim.InSituToNWC(mp, x, y, nwc, cfg, r)           →  Lookup("insitu") + GridBudget(nwc...)
+//
+// The swim primitives remain available for single-instance, caller-managed
+// use; the pipeline is the supported entry point for experiments.
+package program
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"swim/internal/device"
+	"swim/internal/mapping"
+	"swim/internal/mc"
+	"swim/internal/nn"
+	"swim/internal/rng"
+	"swim/internal/stat"
+	"swim/internal/swim"
+	"swim/internal/tensor"
+)
+
+// ErrBudgetExhausted reports that a drop-budget run spent everything a
+// policy had to offer (or hit its MaxNWC cap) without any trial reaching the
+// accuracy target. The Result returned alongside it is still valid; test
+// with errors.Is.
+var ErrBudgetExhausted = errors.New("program: budget exhausted before the accuracy target was met")
+
+// Pipeline is a configured programming/evaluation run. Build one with New
+// and the With... functional options, then call Run. A Pipeline is immutable
+// after New and safe to Run multiple times (each Run re-derives everything
+// from the seed).
+type Pipeline struct {
+	policy Policy
+	budget Budget
+	env    Env
+
+	evalX     *tensor.Tensor
+	evalY     []int
+	evalBatch int
+	calX      *tensor.Tensor
+	calY      []int
+
+	granularity   float64
+	seed          uint64
+	trials        int
+	workers       int
+	cycleTable    []float64
+	spatial       *device.SpatialConfig
+	selectorSplit bool
+	baseCtx       context.Context
+
+	deviceSet bool
+}
+
+// Option configures a Pipeline. Options validate eagerly: New returns the
+// first option error instead of deferring misconfiguration into a worker.
+type Option func(*Pipeline) error
+
+// WithDevice sets the device/programming model (required).
+func WithDevice(m device.Model) Option {
+	return func(p *Pipeline) error {
+		p.env.Device = m
+		p.deviceSet = true
+		return nil
+	}
+}
+
+// WithEval sets the evaluation split accuracy is measured on (required).
+func WithEval(x *tensor.Tensor, y []int) Option {
+	return func(p *Pipeline) error {
+		if x == nil || len(y) == 0 {
+			return errors.New("nil or empty evaluation set")
+		}
+		if x.Shape[0] != len(y) {
+			return fmt.Errorf("evaluation set mismatch: %d samples vs %d labels", x.Shape[0], len(y))
+		}
+		p.evalX, p.evalY = x, y
+		return nil
+	}
+}
+
+// WithEvalBatch sets the batch size used for every accuracy measurement
+// (and for the calibration sensitivity pass). Default 64.
+func WithEvalBatch(n int) Option {
+	return func(p *Pipeline) error {
+		if n < 1 {
+			return fmt.Errorf("evaluation batch must be positive, got %d", n)
+		}
+		p.evalBatch = n
+		return nil
+	}
+}
+
+// WithCalibration sets the calibration split the pipeline computes
+// second-derivative sensitivities from (one forward + one second-derivative
+// backward pass) when none are injected via WithSensitivity. Policies that
+// rank by sensitivity ("swim") need one or the other.
+func WithCalibration(x *tensor.Tensor, y []int) Option {
+	return func(p *Pipeline) error {
+		if x == nil || len(y) == 0 {
+			return errors.New("nil or empty calibration set")
+		}
+		if x.Shape[0] != len(y) {
+			return fmt.Errorf("calibration set mismatch: %d samples vs %d labels", x.Shape[0], len(y))
+		}
+		p.calX, p.calY = x, y
+		return nil
+	}
+}
+
+// WithSensitivity injects precomputed Hessian-diagonal sensitivities (and
+// optionally weight magnitudes; nil recomputes them from the network),
+// skipping the calibration pass. Workload caches use this to share one
+// sensitivity computation across many runs.
+func WithSensitivity(hess, weights []float64) Option {
+	return func(p *Pipeline) error {
+		if len(hess) == 0 {
+			return errors.New("empty sensitivity vector")
+		}
+		if weights != nil && len(weights) != len(hess) {
+			return fmt.Errorf("sensitivity/weights length mismatch: %d vs %d", len(hess), len(weights))
+		}
+		p.env.Hess, p.env.Weights = hess, weights
+		return nil
+	}
+}
+
+// WithTraining sets the training split in-situ policies iterate on.
+func WithTraining(x *tensor.Tensor, y []int) Option {
+	return func(p *Pipeline) error {
+		if x == nil || len(y) == 0 {
+			return errors.New("nil or empty training set")
+		}
+		if x.Shape[0] != len(y) {
+			return fmt.Errorf("training set mismatch: %d samples vs %d labels", x.Shape[0], len(y))
+		}
+		p.env.TrainX, p.env.TrainY = x, y
+		return nil
+	}
+}
+
+// WithInSitu overrides the in-situ training configuration (default
+// swim.DefaultInSitu).
+func WithInSitu(cfg swim.InSituConfig) Option {
+	return func(p *Pipeline) error {
+		if cfg.LR <= 0 || cfg.Batch < 1 {
+			return fmt.Errorf("invalid in-situ config: lr=%g batch=%d", cfg.LR, cfg.Batch)
+		}
+		p.env.InSitu = cfg
+		return nil
+	}
+}
+
+// WithGranularity sets the Algorithm-1 granule size p ∈ (0, 1] used by
+// drop-budget runs (the paper uses 5%). Default 0.05.
+func WithGranularity(g float64) Option {
+	return func(p *Pipeline) error {
+		if g <= 0 || g > 1 {
+			return fmt.Errorf("granularity must be in (0, 1], got %g", g)
+		}
+		p.granularity = g
+		return nil
+	}
+}
+
+// WithSeed sets the Monte-Carlo master seed. Default 1.
+func WithSeed(seed uint64) Option {
+	return func(p *Pipeline) error {
+		p.seed = seed
+		return nil
+	}
+}
+
+// WithTrials sets the Monte-Carlo trial count. Default mc.Trials(8), i.e. 8
+// unless the SWIM_MC environment variable overrides it.
+func WithTrials(n int) Option {
+	return func(p *Pipeline) error {
+		if n < 1 {
+			return fmt.Errorf("trial count must be positive, got %d", n)
+		}
+		p.trials = n
+		return nil
+	}
+}
+
+// WithWorkers pins the worker-goroutine count for this pipeline. Results are
+// bit-identical for every worker count; without this option the mc default
+// (SWIM_WORKERS / runtime.NumCPU) applies.
+func WithWorkers(n int) Option {
+	return func(p *Pipeline) error {
+		if n < 1 {
+			return fmt.Errorf("worker count must be positive, got %d (omit the option for the default)", n)
+		}
+		p.workers = n
+		return nil
+	}
+}
+
+// WithContext sets the context used when Run is called with a nil context.
+func WithContext(ctx context.Context) Option {
+	return func(p *Pipeline) error {
+		if ctx == nil {
+			return errors.New("nil context")
+		}
+		p.baseCtx = ctx
+		return nil
+	}
+}
+
+// WithCycleTable injects a precomputed expected-write-cycles-per-magnitude
+// table (device.Model.CycleTable). Without it the pipeline derives one from
+// the seed, so runs sharing a table across policies must pass it explicitly.
+func WithCycleTable(table []float64) Option {
+	return func(p *Pipeline) error {
+		if len(table) == 0 {
+			return errors.New("empty cycle table")
+		}
+		p.cycleTable = table
+		return nil
+	}
+}
+
+// WithSpatial adds a per-trial spatial variation field (the §2.1 extension):
+// after the parallel programming pass, every trial draws a fresh correlated
+// field and re-programs under temporal + spatial error.
+func WithSpatial(cfg device.SpatialConfig) Option {
+	return func(p *Pipeline) error {
+		if cfg.Rows < 1 || cfg.Cols < 1 {
+			return fmt.Errorf("invalid spatial field geometry %dx%d", cfg.Rows, cfg.Cols)
+		}
+		p.spatial = &cfg
+		return nil
+	}
+}
+
+// WithSelectorSeedSplit draws each trial's selector order from a dedicated
+// child stream split off the trial stream, instead of the trial stream
+// itself. The device-programming noise then no longer depends on how much
+// randomness the selector consumed, so policies differing only in selector
+// see identical device instances (common random numbers across policies).
+// Off by default: the default consumption order is bit-compatible with the
+// legacy swim.* glue.
+func WithSelectorSeedSplit() Option {
+	return func(p *Pipeline) error {
+		p.selectorSplit = true
+		return nil
+	}
+}
+
+// New validates the configuration and returns a runnable Pipeline. master is
+// the trained network to program (never mutated: every trial clones it).
+func New(master *nn.Network, pol Policy, b Budget, opts ...Option) (*Pipeline, error) {
+	if master == nil {
+		return nil, errors.New("program: nil network")
+	}
+	if pol == nil {
+		return nil, errors.New("program: nil policy")
+	}
+	if b == nil {
+		return nil, errors.New("program: nil budget")
+	}
+	p := &Pipeline{
+		policy:      pol,
+		budget:      b,
+		evalBatch:   64,
+		granularity: 0.05,
+		seed:        1,
+		trials:      mc.Trials(8),
+		baseCtx:     context.Background(),
+	}
+	p.env.Net = master
+	p.env.InSitu = swim.DefaultInSitu()
+	for _, o := range opts {
+		if err := o(p); err != nil {
+			return nil, fmt.Errorf("program: %w", err)
+		}
+	}
+	if !p.deviceSet {
+		return nil, errors.New("program: no device model (use WithDevice)")
+	}
+	if err := p.env.Device.Validate(); err != nil {
+		return nil, fmt.Errorf("program: invalid device model: %w", err)
+	}
+	if p.evalX == nil {
+		return nil, errors.New("program: no evaluation set (use WithEval)")
+	}
+	if err := b.validate(); err != nil {
+		return nil, fmt.Errorf("program: %w", err)
+	}
+	return p, nil
+}
+
+// Run executes the configured Monte-Carlo programming run. A nil ctx falls
+// back to WithContext (default context.Background). The returned Result is
+// valid even when err is ErrBudgetExhausted (drop budgets only); any other
+// error leaves the Result nil.
+func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
+	if ctx == nil {
+		ctx = p.baseCtx
+	}
+	env := p.env // shallow copy: Run never mutates the Pipeline
+	if env.Weights == nil {
+		env.Weights = swim.FlatWeights(env.Net)
+	}
+	if env.Hess == nil && p.calX != nil {
+		// Sensitivity mutates the network's Hessian buffers, so run it on a
+		// clone; the values are deterministic in (weights, calibration set).
+		env.Hess = swim.Sensitivity(env.Net.Clone(), p.calX, p.calY, p.evalBatch)
+	}
+	// Preflight the policy against the environment so a misconfiguration
+	// (missing sensitivities, missing training data) surfaces here as a
+	// typed error rather than as a wrapped panic from inside a worker.
+	// Policies implementing envValidator are checked without paying for a
+	// throwaway trial (the built-ins all do); others mint and discard one.
+	if v, ok := p.policy.(envValidator); ok {
+		if err := v.validateEnv(&env); err != nil {
+			return nil, fmt.Errorf("program: policy %q: %w", p.policy.Name(), err)
+		}
+	} else if _, err := p.policy.NewTrial(&env, rng.New(p.seed^0x9a11e7)); err != nil {
+		return nil, fmt.Errorf("program: policy %q: %w", p.policy.Name(), err)
+	}
+	table := p.cycleTable
+	if table == nil {
+		table = env.Device.CycleTable(300, rng.New(p.seed^0x5eed))
+	}
+	switch b := p.budget.(type) {
+	case NWCGrid:
+		return p.runGrid(ctx, &env, table, b)
+	case DropTarget:
+		return p.runDrop(ctx, &env, table, b)
+	}
+	return nil, fmt.Errorf("program: unsupported budget type %T", p.budget)
+}
+
+// setupTrial builds one Monte-Carlo trial: the policy's per-trial state
+// (selector order) first, then the programmed device instance — exactly the
+// stream-consumption order of the legacy experiment glue, which the
+// bit-for-bit equivalence guarantee depends on. Errors panic; the mc engine
+// converts worker panics into run errors, and Run preflights the policy so
+// the only reachable panics are programming bugs.
+func (p *Pipeline) setupTrial(env *Env, table []float64, r *rng.Source) (*mapping.Mapped, Trial) {
+	selR := r
+	if p.selectorSplit {
+		selR = r.Split()
+	}
+	trial, err := p.policy.NewTrial(env, selR)
+	if err != nil {
+		panic(err)
+	}
+	mp, err := mapping.New(env.Net, env.Device, table, r)
+	if err != nil {
+		panic(err)
+	}
+	if p.spatial != nil {
+		mp.ProgramAllSpatial(r, device.NewSpatialField(*p.spatial, r))
+	}
+	return mp, trial
+}
+
+// runGrid walks the cumulative NWC grid on one device instance per trial —
+// the paper's Table 1 / Fig. 2 protocol.
+func (p *Pipeline) runGrid(ctx context.Context, env *Env, table []float64, b NWCGrid) (*Result, error) {
+	points := len(b.Targets)
+	agg, err := mc.RunSeriesCtx(ctx, p.seed, p.trials, 2*points, p.workers, func(r *rng.Source) []float64 {
+		out := make([]float64, 2*points)
+		mp, trial := p.setupTrial(env, table, r)
+		for i, nwc := range b.Targets {
+			trial.SpendTo(mp, nwc, r)
+			out[i] = mp.Accuracy(p.evalX, p.evalY, p.evalBatch)
+			out[points+i] = mp.NWC()
+		}
+		return out
+	})
+	if err != nil {
+		return nil, fmt.Errorf("program: policy %q: %w", p.policy.Name(), err)
+	}
+	res := &Result{Policy: p.policy.Name(), Budget: p.budget, Trials: p.trials}
+	for i, target := range b.Targets {
+		res.Points = append(res.Points, Point{Target: target, Accuracy: agg[i], NWC: agg[points+i]})
+	}
+	return res, nil
+}
+
+// dropOut is one trial's outcome under a drop budget.
+type dropOut struct {
+	accs     []float64 // accuracy after each granule, including step 0
+	nwcs     []float64 // NWC after each granule
+	fracs    []float64 // fraction of the priority order verified
+	achieved bool
+}
+
+// runDrop runs the paper's Algorithm 1 under the configured policy: verify
+// one granule at a time, re-evaluating after each, until the accuracy drop
+// from the budget's base is within MaxDrop, the policy is exhausted, or the
+// MaxNWC cap is hit.
+func (p *Pipeline) runDrop(ctx context.Context, env *Env, table []float64, b DropTarget) (*Result, error) {
+	outs, err := mc.MapCtx(ctx, p.seed, p.trials, p.workers, func(_ int, r *rng.Source) dropOut {
+		mp, trial := p.setupTrial(env, table, r)
+		n := mp.TotalWeights()
+		granule := granuleSize(p.granularity, n)
+		var o dropOut
+		record := func(frac float64) float64 {
+			acc := mp.Accuracy(p.evalX, p.evalY, p.evalBatch)
+			o.accs = append(o.accs, acc)
+			o.nwcs = append(o.nwcs, mp.NWC())
+			o.fracs = append(o.fracs, frac)
+			return acc
+		}
+		// FractionVerified mirrors Algorithm 1's bookkeeping over the full
+		// weight count; trials that know their real order coverage
+		// (selector policies, whose order may be a subset) report it
+		// themselves via progresser.
+		fraction := func(done int) float64 {
+			if pr, ok := trial.(progresser); ok {
+				return pr.progress()
+			}
+			return float64(done) / float64(n)
+		}
+		// Step 0: accuracy right after the parallel (unverified) programming.
+		if acc := record(0); b.BaseAccuracy-acc <= b.MaxDrop {
+			o.achieved = true
+			return o
+		}
+		for done := 0; ; {
+			// A policy that never exhausts itself (in-situ) under an
+			// unreachable target with no MaxNWC cap would loop forever;
+			// honour cancellation per granule so Run(ctx) stays killable
+			// mid-trial (the engine surfaces ctx.Err for the whole run).
+			if ctx.Err() != nil {
+				break
+			}
+			exhausted := trial.Step(mp, p.granularity, r)
+			if done += granule; done > n {
+				done = n
+			}
+			acc := record(fraction(done))
+			if b.BaseAccuracy-acc <= b.MaxDrop {
+				o.achieved = true
+				break
+			}
+			if exhausted || (b.MaxNWC > 0 && mp.NWC() >= b.MaxNWC) {
+				break
+			}
+		}
+		return o
+	})
+	if err != nil {
+		return nil, fmt.Errorf("program: policy %q: %w", p.policy.Name(), err)
+	}
+
+	res := &Result{
+		Policy: p.policy.Name(), Budget: p.budget, Trials: p.trials,
+		NWC: &stat.Welford{}, Evals: &stat.Welford{},
+	}
+	// Fold per-trial singleton accumulators in trial order — the same
+	// schedule-independent reduction the mc engine uses, so aggregates are
+	// bit-identical for any worker count.
+	for _, o := range outs {
+		for i := range o.accs {
+			if i == len(res.Trace) {
+				res.Trace = append(res.Trace, TraceStep{
+					FractionVerified: o.fracs[i],
+					Accuracy:         &stat.Welford{},
+					NWC:              &stat.Welford{},
+				})
+			}
+			addObs(res.Trace[i].Accuracy, o.accs[i])
+			addObs(res.Trace[i].NWC, o.nwcs[i])
+		}
+		addObs(res.NWC, o.nwcs[len(o.nwcs)-1])
+		addObs(res.Evals, float64(len(o.accs)))
+		if o.achieved {
+			res.Achieved++
+		}
+	}
+	if res.Achieved == 0 {
+		return res, fmt.Errorf("program: policy %q: no trial reached drop <= %g pp: %w",
+			p.policy.Name(), b.MaxDrop, ErrBudgetExhausted)
+	}
+	return res, nil
+}
+
+// addObs folds one observation into w as a singleton merge, mirroring the mc
+// engine's per-trial-accumulator reduction bit for bit.
+func addObs(w *stat.Welford, v float64) {
+	var s stat.Welford
+	s.Add(v)
+	w.Merge(&s)
+}

@@ -1,0 +1,59 @@
+package program
+
+import "swim/internal/stat"
+
+// Result is the structured outcome of one Pipeline.Run.
+//
+// For NWCGrid budgets, Points holds one entry per grid target. For
+// DropTarget budgets, Trace holds the per-granule accuracy trajectory and
+// NWC / Evals / Achieved summarize where Algorithm 1 stopped.
+type Result struct {
+	// Policy is the name of the policy that produced this result.
+	Policy string
+	// Budget is the budget the run was configured with.
+	Budget Budget
+	// Trials is the Monte-Carlo trial count.
+	Trials int
+
+	// Points is the per-grid-point outcome (NWCGrid budgets only).
+	Points []Point
+
+	// Trace is the per-granule accuracy trajectory (DropTarget budgets
+	// only). Step 0 is the accuracy right after the free parallel
+	// programming pass. Later steps may aggregate fewer trials than
+	// earlier ones: a trial stops contributing once it meets the target.
+	Trace []TraceStep
+	// NWC aggregates the normalized write cycles spent when each trial
+	// stopped (DropTarget budgets only).
+	NWC *stat.Welford
+	// Evals aggregates the number of accuracy evaluations per trial — the
+	// cost the granularity p trades off (DropTarget budgets only).
+	Evals *stat.Welford
+	// Achieved counts the trials that met the accuracy-drop target
+	// (DropTarget budgets only).
+	Achieved int
+}
+
+// Point is one fixed-NWC grid entry aggregated over all trials.
+type Point struct {
+	// Target is the grid's normalized-write-cycle budget.
+	Target float64
+	// Accuracy aggregates on-device accuracy (%) across trials.
+	Accuracy *stat.Welford
+	// NWC aggregates the write cycles actually spent, which can undershoot
+	// the target when the policy ran out of weights to verify.
+	NWC *stat.Welford
+}
+
+// TraceStep is one granule of a drop-budget run aggregated over the trials
+// that reached it.
+type TraceStep struct {
+	// FractionVerified is the fraction of the priority order covered after
+	// this granule (0 for step 0). For policies without an order (in-situ)
+	// it is the granule index times the granularity.
+	FractionVerified float64
+	// Accuracy aggregates on-device accuracy (%) at this step.
+	Accuracy *stat.Welford
+	// NWC aggregates normalized write cycles spent by this step.
+	NWC *stat.Welford
+}

@@ -13,6 +13,16 @@ import (
 	"swim/internal/train"
 )
 
+// mustMap programs net onto dm, failing the test on a constructor error.
+func mustMap(t *testing.T, net *nn.Network, dm device.Model, table []float64, r *rng.Source) *mapping.Mapped {
+	t.Helper()
+	mp, err := mapping.New(net, dm, table, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mp
+}
+
 // smallWorkload trains a tiny LeNet so selection has real sensitivities.
 func smallWorkload(t *testing.T) (*nn.Network, *data.Dataset, []float64, []float64) {
 	t.Helper()
@@ -130,7 +140,7 @@ func TestWriteVerifyToNWCRespectsBudget(t *testing.T) {
 	dm := device.Default(4, 0.5)
 	table := dm.CycleTable(50, rng.New(3))
 	r := rng.New(4)
-	mp := mapping.New(net, dm, table, r)
+	mp := mustMap(t, net, dm, table, r)
 	sel := NewSWIMSelector(hess, weights)
 	n := WriteVerifyToNWC(mp, sel.Order(r), 0.2, r)
 	if n == 0 {
@@ -151,7 +161,7 @@ func TestAlgorithm1StopsAtTarget(t *testing.T) {
 	dm := device.Default(4, 0.5)
 	table := dm.CycleTable(50, rng.New(5))
 	r := rng.New(6)
-	mp := mapping.New(net, dm, table, r)
+	mp := mustMap(t, net, dm, table, r)
 	res := Algorithm1(mp, NewSWIMSelector(hess, weights), 0.05, clean, 2.0,
 		ds.TestX, ds.TestY, 64, r)
 	if len(res.Steps) == 0 {
@@ -172,7 +182,7 @@ func TestAlgorithm1StopsAtTarget(t *testing.T) {
 func TestAlgorithm1GranularityValidation(t *testing.T) {
 	net, ds, hess, weights := smallWorkload(t)
 	dm := device.Default(4, 0.5)
-	mp := mapping.New(net, dm, dm.CycleTable(20, rng.New(1)), rng.New(2))
+	mp := mustMap(t, net, dm, dm.CycleTable(20, rng.New(1)), rng.New(2))
 	defer func() {
 		if recover() == nil {
 			t.Fatal("granularity 0 accepted")
@@ -185,7 +195,7 @@ func TestInSituStepBillsOneWritePerMappedWeight(t *testing.T) {
 	net, ds, _, _ := smallWorkload(t)
 	dm := device.Default(4, 0.5)
 	r := rng.New(7)
-	mp := mapping.New(net, dm, dm.CycleTable(50, rng.New(8)), r)
+	mp := mustMap(t, net, dm, dm.CycleTable(50, rng.New(8)), r)
 	InSituStep(mp, ds.TrainX, ds.TrainY, 0, DefaultInSitu(), r)
 	if int(mp.CyclesUsed) != mp.TotalWeights() {
 		t.Fatalf("one in-situ iteration billed %v cycles, want %d", mp.CyclesUsed, mp.TotalWeights())
@@ -197,7 +207,7 @@ func TestInSituImprovesNoisyNetwork(t *testing.T) {
 	dm := device.Default(4, 1.2) // heavy noise so there is room to recover
 	table := dm.CycleTable(50, rng.New(9))
 	r := rng.New(10)
-	mp := mapping.New(net, dm, table, r)
+	mp := mustMap(t, net, dm, table, r)
 	before := mp.Accuracy(ds.TestX, ds.TestY, 64)
 	InSituToNWC(mp, ds.TrainX, ds.TrainY, 1.0, DefaultInSitu(), r)
 	after := mp.Accuracy(ds.TestX, ds.TestY, 64)
@@ -213,7 +223,7 @@ func TestInSituBatchCycling(t *testing.T) {
 	net, ds, _, _ := smallWorkload(t)
 	dm := device.Default(4, 0.5)
 	r := rng.New(11)
-	mp := mapping.New(net, dm, dm.CycleTable(50, rng.New(12)), r)
+	mp := mustMap(t, net, dm, dm.CycleTable(50, rng.New(12)), r)
 	cfg := DefaultInSitu()
 	start := 0
 	seen := map[int]bool{}
@@ -239,7 +249,7 @@ func TestSWIMBeatsRandomAtLowNWC(t *testing.T) {
 		const trials = 6
 		for i := 0; i < trials; i++ {
 			r := base.Split()
-			mp := mapping.New(net, dm, table, r)
+			mp := mustMap(t, net, dm, table, r)
 			WriteVerifyToNWC(mp, sel.Order(r), 0.1, r)
 			total += mp.Accuracy(ds.TestX, ds.TestY, 64)
 		}
