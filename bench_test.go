@@ -4,6 +4,15 @@
 // cost claims. Each experiment benchmark prints the regenerated rows/series
 // once, so `go test -bench=. -benchmem` doubles as the reproduction run.
 //
+// Allocation benchmarks: the BenchmarkEvalPlan* family measures the compiled
+// evaluation engine (internal/eval) with -benchmem and must report 0
+// allocs/op in steady state — CI's allocation-regression step parses the
+// benchmark output and fails the build if the plan path ever allocates. The
+// BenchmarkEvalLegacy* twins keep the allocating per-layer Forward path
+// measured for comparison (the before/after numbers are recorded in
+// EXPERIMENTS.md), and BenchmarkEvalParallel tracks plan-based evaluation
+// under concurrent per-worker evaluators at 1 and NumCPU workers.
+//
 // Scale: by default the harness forces SWIM_FAST workloads so the whole
 // suite completes on a laptop core in minutes. Set SWIM_FULL=1 (and
 // optionally SWIM_MC) to run the paper-scale workloads used for
@@ -20,10 +29,12 @@ import (
 
 	"swim/internal/data"
 	"swim/internal/device"
+	"swim/internal/eval"
 	"swim/internal/experiments"
 	"swim/internal/mapping"
 	"swim/internal/mc"
 	"swim/internal/models"
+	"swim/internal/nn"
 	"swim/internal/program"
 	"swim/internal/rng"
 	"swim/internal/tensor"
@@ -285,6 +296,98 @@ func BenchmarkForwardLeNet(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		net.Forward(x, false)
+	}
+}
+
+// --- compiled evaluation engine: plan vs legacy Forward ---------------------
+//
+// BenchmarkEvalPlan* runs full-dataset accuracy through the compiled
+// zero-allocation engine (internal/eval); the allocation-regression CI step
+// pins its steady state at 0 allocs/op. BenchmarkEvalLegacy* is the same
+// workload on the allocating per-layer Forward path, kept for comparison.
+
+// evalWorkload builds a (network, eval set) pair for the eval benchmarks.
+func evalWorkload(model string) (*nn.Network, *tensor.Tensor, []int) {
+	switch model {
+	case "lenet":
+		ds := data.MNISTLike(64, 64, 42)
+		return models.LeNet(10, 4, rng.New(1)), ds.TrainX, ds.TrainY
+	case "resnet":
+		ds := data.CIFARLike(64, 64, 42)
+		return models.ResNet18(10, 4, 6, rng.New(1)), ds.TrainX, ds.TrainY
+	}
+	panic("unknown eval workload " + model)
+}
+
+func benchEvalPlan(b *testing.B, model string) {
+	net, x, y := evalWorkload(model)
+	ev := eval.NewEvaluator(net, nil)
+	if _, err := ev.Accuracy(x, y, 32); err != nil { // compile + warm up plans
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.Accuracy(x, y, 32); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchEvalLegacy(b *testing.B, model string) {
+	net, x, y := evalWorkload(model)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, bt := range data.Batches(x, y, 32) {
+			net.CountCorrect(bt.X, bt.Y)
+		}
+	}
+}
+
+func BenchmarkEvalPlanLeNet(b *testing.B)    { benchEvalPlan(b, "lenet") }
+func BenchmarkEvalPlanResNet(b *testing.B)   { benchEvalPlan(b, "resnet") }
+func BenchmarkEvalLegacyLeNet(b *testing.B)  { benchEvalLegacy(b, "lenet") }
+func BenchmarkEvalLegacyResNet(b *testing.B) { benchEvalLegacy(b, "resnet") }
+
+// BenchmarkEvalParallel measures plan-based evaluation under the pipeline's
+// concurrency model: W workers, each owning one network clone, one evaluator
+// and one scratch arena (plans are not goroutine-safe; arenas are
+// per-worker). Compare workers=1 against workers=NumCPU for scaling, and
+// against BenchmarkEvalLegacy* for the allocation win under contention —
+// the legacy path's per-Forward garbage serializes workers in the GC.
+func BenchmarkEvalParallel(b *testing.B) {
+	workerCounts := []int{1}
+	if n := runtime.NumCPU(); n > 1 {
+		workerCounts = append(workerCounts, n)
+	}
+	for _, model := range []string{"lenet", "resnet"} {
+		master, x, y := evalWorkload(model)
+		for _, workers := range workerCounts {
+			evs := make([]*eval.Evaluator, workers)
+			for w := range evs {
+				evs[w] = eval.NewEvaluator(master.Clone(), nil)
+				if _, err := evs[w].Accuracy(x, y, 32); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.Run(fmt.Sprintf("%s/workers=%d", model, workers), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					var wg sync.WaitGroup
+					for w := 0; w < workers; w++ {
+						wg.Add(1)
+						go func(w int) {
+							defer wg.Done()
+							if _, err := evs[w].Accuracy(x, y, 32); err != nil {
+								panic(err)
+							}
+						}(w)
+					}
+					wg.Wait()
+				}
+			})
+		}
 	}
 }
 

@@ -131,11 +131,25 @@ func (a *Array) WriteVerify(row, col int, r *rng.Source) int {
 // result. Reconstruction weighs slice d by 2^(d·K) and rescales by the
 // quantization step.
 func (a *Array) MatVec(x []float64) []float64 {
+	y := make([]float64, a.out)
+	a.MatVecInto(y, x, make([]float64, a.in))
+	return y
+}
+
+// MatVecInto is the allocation-free MatVec: y receives the result (length
+// out) and xq is caller-provided scratch for the DAC-quantized input (length
+// in). The arithmetic is identical to MatVec.
+func (a *Array) MatVecInto(y, x, xq []float64) {
 	if len(x) != a.in {
 		panic(fmt.Sprintf("crossbar: input length %d, want %d", len(x), a.in))
 	}
-	xq := a.dac(x)
-	y := make([]float64, a.out)
+	if len(y) != a.out || len(xq) != a.in {
+		panic(fmt.Sprintf("crossbar: MatVecInto buffers %d/%d, want %d/%d", len(y), len(xq), a.out, a.in))
+	}
+	a.dacInto(xq, x)
+	for o := range y {
+		y[o] = 0
+	}
 	for d := range a.conduct {
 		weight := math.Pow(2, float64(d*a.cfg.Device.DeviceBits))
 		cd := a.conduct[d]
@@ -151,27 +165,29 @@ func (a *Array) MatVec(x []float64) []float64 {
 	for o := range y {
 		y[o] *= a.scale
 	}
-	return a.adc(y)
+	a.adc(y)
 }
 
-// dac quantizes the input vector to DACBits uniform levels over its range.
-func (a *Array) dac(x []float64) []float64 {
+// dacInto quantizes the input vector to DACBits uniform levels over its
+// range, writing into dst.
+func (a *Array) dacInto(dst, x []float64) {
 	maxAbs := 0.0
 	for _, v := range x {
 		if m := math.Abs(v); m > maxAbs {
 			maxAbs = m
 		}
 	}
-	out := make([]float64, len(x))
 	if maxAbs == 0 {
-		return out
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
 	}
 	levels := float64(int(1)<<a.cfg.DACBits - 1)
 	step := maxAbs / levels
 	for i, v := range x {
-		out[i] = math.Round(v/step) * step
+		dst[i] = math.Round(v/step) * step
 	}
-	return out
 }
 
 // adc quantizes the output currents to ADCBits uniform levels over range.

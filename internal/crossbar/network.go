@@ -8,6 +8,14 @@ import (
 	"swim/internal/tensor"
 )
 
+// The analog layers satisfy the compiled-evaluation contract so plan-based
+// inference (package eval) reuses the per-worker scratch arena for analog
+// networks too.
+var (
+	_ nn.PlanLayer = (*AnalogLinear)(nil)
+	_ nn.PlanLayer = (*AnalogConv2D)(nil)
+)
+
 // AnalogLinear is an inference-only fully connected layer whose weights live
 // on a crossbar Array; the bias adds digitally in the peripheral, as on real
 // nvCiM parts.
@@ -20,18 +28,37 @@ type AnalogLinear struct {
 // Name implements nn.Layer.
 func (a *AnalogLinear) Name() string { return a.name }
 
-// Forward implements nn.Layer.
+// Forward implements nn.Layer as a thin wrapper over ForwardInto.
 func (a *AnalogLinear) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	out, _ := a.arr.Shape()
+	y := tensor.New(x.Shape[0], out)
+	a.ForwardInto(y, x, nil)
+	return y
+}
+
+// OutShape implements nn.PlanLayer.
+func (a *AnalogLinear) OutShape(in []int) ([]int, error) {
+	out, fanIn := a.arr.Shape()
+	if len(in) != 2 || in[1] != fanIn {
+		return nil, fmt.Errorf("%s: want input shape [B %d], got %v", a.name, fanIn, in)
+	}
+	return []int{in[0], out}, nil
+}
+
+// ForwardInto implements nn.PlanLayer: analog inference with the DAC scratch
+// and output rows carved from the arena (heap when scratch is nil), so plan
+// execution over the crossbar fabric stays allocation-free.
+func (a *AnalogLinear) ForwardInto(dst, x *tensor.Tensor, s *tensor.Arena) {
 	b := x.Shape[0]
 	out, in := a.arr.Shape()
-	y := tensor.New(b, out)
+	xq := tensor.ScratchFloats(s, in)
 	for bi := 0; bi < b; bi++ {
-		row := a.arr.MatVec(x.Data[bi*in : (bi+1)*in])
-		for j, v := range row {
-			y.Data[bi*out+j] = v + a.bias[j]
+		row := dst.Data[bi*out : (bi+1)*out]
+		a.arr.MatVecInto(row, x.Data[bi*in:(bi+1)*in], xq)
+		for j := range row {
+			row[j] += a.bias[j]
 		}
 	}
-	return y
 }
 
 // Backward implements nn.Layer (analog arrays are inference-only here).
@@ -66,30 +93,55 @@ type AnalogConv2D struct {
 // Name implements nn.Layer.
 func (a *AnalogConv2D) Name() string { return a.name }
 
-// Forward implements nn.Layer.
+// Forward implements nn.Layer as a thin wrapper over ForwardInto.
 func (a *AnalogConv2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	g := a.geom
+	out := tensor.New(x.Shape[0], a.outC, g.OutH, g.OutW)
+	a.ForwardInto(out, x, nil)
+	return out
+}
+
+// OutShape implements nn.PlanLayer.
+func (a *AnalogConv2D) OutShape(in []int) ([]int, error) {
+	g := a.geom
+	if len(in) != 4 || in[1] != g.InC || in[2] != g.InH || in[3] != g.InW {
+		return nil, fmt.Errorf("%s: want input shape [B %d %d %d], got %v", a.name, g.InC, g.InH, g.InW, in)
+	}
+	return []int{in[0], a.outC, g.OutH, g.OutW}, nil
+}
+
+// ForwardInto implements nn.PlanLayer: every im2col patch streams through
+// the crossbar with all temporaries (lowered columns, patch vector, DAC
+// scratch, ADC output row) carved from the arena.
+func (a *AnalogConv2D) ForwardInto(dst, x *tensor.Tensor, s *tensor.Arena) {
 	b := x.Shape[0]
 	g := a.geom
-	if a.cols == nil {
-		a.cols = tensor.New(g.ColRows(), g.ColCols())
+	var cols *tensor.Tensor
+	if s != nil {
+		cols = s.Alloc(g.ColRows(), g.ColCols())
+	} else {
+		if a.cols == nil {
+			a.cols = tensor.New(g.ColRows(), g.ColCols())
+		}
+		cols = a.cols
 	}
-	out := tensor.New(b, a.outC, g.OutH, g.OutW)
 	sampleIn := g.InC * g.InH * g.InW
-	patch := make([]float64, g.ColRows())
+	patch := tensor.ScratchFloats(s, g.ColRows())
+	xq := tensor.ScratchFloats(s, g.ColRows())
+	y := tensor.ScratchFloats(s, a.outC)
 	nc := g.ColCols()
 	for bi := 0; bi < b; bi++ {
-		g.Im2ColInto(a.cols, x.Data[bi*sampleIn:(bi+1)*sampleIn])
+		g.Im2ColInto(cols, x.Data[bi*sampleIn:(bi+1)*sampleIn])
 		for p := 0; p < nc; p++ {
 			for r := 0; r < g.ColRows(); r++ {
-				patch[r] = a.cols.Data[r*nc+p]
+				patch[r] = cols.Data[r*nc+p]
 			}
-			y := a.arr.MatVec(patch)
+			a.arr.MatVecInto(y, patch, xq)
 			for oc := 0; oc < a.outC; oc++ {
-				out.Data[((bi*a.outC+oc)*g.OutH*g.OutW)+p] = y[oc] + a.bias[oc]
+				dst.Data[((bi*a.outC+oc)*g.OutH*g.OutW)+p] = y[oc] + a.bias[oc]
 			}
 		}
 	}
-	return out
 }
 
 // Backward implements nn.Layer.

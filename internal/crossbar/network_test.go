@@ -5,6 +5,7 @@ import (
 
 	"swim/internal/data"
 	"swim/internal/device"
+	"swim/internal/eval"
 	"swim/internal/models"
 	"swim/internal/rng"
 	"swim/internal/train"
@@ -88,5 +89,36 @@ func TestBuildAnalogSharesNoState(t *testing.T) {
 		if before.Data[i] != after.Data[i] {
 			t.Fatal("building the analog twin mutated the source network")
 		}
+	}
+}
+
+// TestAnalogPlanMatchesLegacyForward pins compiled-plan evaluation of an
+// analog network bit-for-bit against the legacy per-layer Forward: the
+// analog layers implement the same PlanLayer contract as the digital ones,
+// so crossbar inference reuses the scratch arena too.
+func TestAnalogPlanMatchesLegacyForward(t *testing.T) {
+	dev := device.Default(4, 0.1)
+	r := rng.New(8)
+	net := models.LeNet(10, 4, r)
+	analog, _, err := BuildAnalog(net, DefaultConfig(dev), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := data.MNISTLike(20, 20, 12).TrainX
+	x, _ := data.Subset(full, make([]int, full.Shape[0]), 7) // odd batch
+
+	plan, err := eval.Compile(analog, x.Shape, nil)
+	if err != nil {
+		t.Fatalf("Compile(analog): %v", err)
+	}
+	want := analog.Forward(x, false)
+	got := plan.Forward(x)
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("analog logit [%d] = %v, legacy %v", i, got.Data[i], want.Data[i])
+		}
+	}
+	if allocs := testing.AllocsPerRun(5, func() { plan.Forward(x) }); allocs != 0 {
+		t.Fatalf("analog Plan.Forward allocates %v times per call, want 0", allocs)
 	}
 }

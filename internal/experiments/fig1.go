@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"swim/internal/data"
+	"swim/internal/eval"
 	"swim/internal/mapping"
 	"swim/internal/mc"
 	"swim/internal/plot"
@@ -126,9 +127,23 @@ func Fig1(w *Workload, cfg Fig1Config) (Fig1Result, error) {
 		pi, off := pis[k], offs[k]
 		p := net.MappedParams()[pi]
 		orig := p.Data.Data[off]
+		// One compiled evaluator per clone: plans read live weights, so the
+		// per-repeat perturbations are visible without recompiling. If the
+		// compiled path ever fails (it cannot for the internal/models
+		// networks), pin the legacy path for the remaining repeats instead of
+		// re-attempting a doomed compile per repeat.
+		ev := eval.NewEvaluator(net, nil)
+		useEval := true
 		var acc stat.Welford
 		for rep := 0; rep < cfg.Repeats; rep++ {
 			p.Data.Data[off] = orig + r.Gauss(0, cfg.SigmaPerturb*scales[pi])
+			if useEval {
+				if a, err := ev.Accuracy(evalX, evalY, batch); err == nil {
+					acc.Add(a)
+					continue
+				}
+				useEval = false
+			}
 			acc.Add(train.Evaluate(net, evalX, evalY, batch))
 		}
 		return baseAcc - acc.Mean()

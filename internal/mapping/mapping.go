@@ -11,11 +11,13 @@
 package mapping
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"swim/internal/data"
 	"swim/internal/device"
+	"swim/internal/eval"
 	"swim/internal/nn"
 	"swim/internal/quant"
 	"swim/internal/rng"
@@ -46,6 +48,16 @@ type Mapped struct {
 	CyclesUsed float64
 
 	cycleTable []float64 // expected WV cycles per magnitude
+
+	// Compiled-evaluation state: Accuracy routes through an eval.Evaluator
+	// (zero steady-state allocations; see package eval) compiled lazily on
+	// first use. evalArena optionally shares one scratch arena across the
+	// trials a Monte-Carlo worker runs; evalLegacy records that compilation
+	// failed (a layer outside the PlanLayer contract) and pins the legacy
+	// Forward path for the rest of the trial.
+	ev         *eval.Evaluator
+	evalArena  *tensor.Arena
+	evalLegacy bool
 }
 
 // New quantizes the master network's mapped weights onto the device grid,
@@ -219,9 +231,33 @@ func (mp *Mapped) NWC() float64 {
 	return mp.CyclesUsed / mp.BaselineCycles()
 }
 
+// SetEvalArena shares a scratch arena with the compiled evaluation engine,
+// so successive trials handled by the same Monte-Carlo worker reuse one
+// arena instead of growing a fresh one each. Call it before the first
+// Accuracy measurement; the arena must not be used concurrently.
+func (mp *Mapped) SetEvalArena(a *tensor.Arena) { mp.evalArena = a }
+
 // Accuracy evaluates the programmed network's top-1 accuracy (%) over the
-// given evaluation set.
+// given evaluation set. It runs through a compiled evaluation plan (package
+// eval) — bit-for-bit identical to the legacy Forward path but with zero
+// steady-state allocations. The legacy per-layer Forward remains the
+// fallback: pinned for the rest of the trial when the network contains a
+// layer outside the PlanLayer contract (eval.ErrUnsupported), or used for
+// just this call on any other evaluator error, reproducing the legacy
+// behaviour for malformed inputs.
 func (mp *Mapped) Accuracy(x *tensor.Tensor, y []int, batch int) float64 {
+	if !mp.evalLegacy {
+		if mp.ev == nil {
+			mp.ev = eval.NewEvaluator(mp.Net, mp.evalArena)
+		}
+		acc, err := mp.ev.Accuracy(x, y, batch)
+		if err == nil {
+			return acc
+		}
+		if errors.Is(err, eval.ErrUnsupported) {
+			mp.evalLegacy = true
+		}
+	}
 	correct := 0
 	for _, b := range data.Batches(x, y, batch) {
 		correct += mp.Net.CountCorrect(b.X, b.Y)

@@ -37,6 +37,20 @@ func (r *ReLU) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	return out
 }
 
+// OutShape implements PlanLayer.
+func (r *ReLU) OutShape(in []int) ([]int, error) { return in, nil }
+
+// ForwardInto implements PlanLayer (no mask bookkeeping — inference only).
+func (r *ReLU) ForwardInto(dst, x *tensor.Tensor, _ *tensor.Arena) {
+	for i, v := range x.Data {
+		if v > 0 {
+			dst.Data[i] = v
+		} else {
+			dst.Data[i] = 0
+		}
+	}
+}
+
 // Backward implements Layer.
 func (r *ReLU) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	gradIn := gradOut.Clone()
@@ -138,6 +152,33 @@ func (q *QuantAct) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		}
 	}
 	return out
+}
+
+// OutShape implements PlanLayer.
+func (q *QuantAct) OutShape(in []int) ([]int, error) { return in, nil }
+
+// ForwardInto implements PlanLayer: the evaluation-mode quantization (no
+// range calibration, no straight-through mask bookkeeping). The arithmetic
+// matches Forward(x, false) bit for bit.
+func (q *QuantAct) ForwardInto(dst, x *tensor.Tensor, _ *tensor.Arena) {
+	if q.Disabled {
+		copy(dst.Data, x.Data)
+		return
+	}
+	step := q.Max / float64(q.Levels())
+	if step == 0 {
+		copy(dst.Data, x.Data)
+		return
+	}
+	for i, v := range x.Data {
+		if v < 0 {
+			dst.Data[i] = 0
+		} else if v > q.Max {
+			dst.Data[i] = q.Max
+		} else {
+			dst.Data[i] = math.Round(v/step) * step
+		}
+	}
 }
 
 // Backward implements Layer.

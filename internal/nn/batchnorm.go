@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"fmt"
 	"math"
 
 	"swim/internal/tensor"
@@ -115,6 +116,34 @@ func (bn *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		}
 	}
 	return out
+}
+
+// OutShape implements PlanLayer.
+func (bn *BatchNorm2D) OutShape(in []int) ([]int, error) {
+	if len(in) != 4 || in[1] != bn.C {
+		return nil, fmt.Errorf("%s: want input shape [B %d H W], got %v", bn.name, bn.C, in)
+	}
+	return in, nil
+}
+
+// ForwardInto implements PlanLayer: the frozen-statistics affine map
+// y = γ·(x − μ)/σ + β per channel, computed with exactly the expressions the
+// evaluation-mode Forward uses (no x̂ caching — inference only).
+func (bn *BatchNorm2D) ForwardInto(dst, x *tensor.Tensor, _ *tensor.Arena) {
+	b, c := x.Shape[0], x.Shape[1]
+	hw := x.Shape[2] * x.Shape[3]
+	for bi := 0; bi < b; bi++ {
+		for ci := 0; ci < c; ci++ {
+			base := (bi*c + ci) * hw
+			g, bta := bn.Gamma.Data.Data[ci], bn.Beta.Data.Data[ci]
+			m := bn.RunMean.Data[ci]
+			is := 1.0 / math.Sqrt(bn.RunVar.Data[ci]+bn.Eps)
+			for i := base; i < base+hw; i++ {
+				xh := (x.Data[i] - m) * is
+				dst.Data[i] = g*xh + bta
+			}
+		}
+	}
 }
 
 // Backward implements Layer.

@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"fmt"
 	"math"
 
 	"swim/internal/rng"
@@ -18,8 +19,9 @@ type Conv2D struct {
 	Geom tensor.Conv2DGeom
 	W, B *Param // W is [outC, inC*kh*kw]
 
-	x    *tensor.Tensor // cached input [B, inC, inH, inW]
-	cols *tensor.Tensor // scratch im2col buffer, reused across calls
+	x       *tensor.Tensor // cached input [B, inC, inH, inW]
+	cols    *tensor.Tensor // scratch im2col buffer, reused across calls
+	omShape []int          // cached [outC, colCols] view shape for ForwardInto
 }
 
 // NewConv2D builds a convolution for a fixed input geometry (channels ×
@@ -43,8 +45,14 @@ func NewConv2D(name string, inC, inH, inW, outC, kh, kw, stride, pad int, r *rng
 // Name implements Layer.
 func (c *Conv2D) Name() string { return c.name }
 
-// OutShape returns the per-sample output shape.
-func (c *Conv2D) OutShape() (int, int, int) { return c.OutC, c.Geom.OutH, c.Geom.OutW }
+// OutShape implements PlanLayer.
+func (c *Conv2D) OutShape(in []int) ([]int, error) {
+	g := c.Geom
+	if len(in) != 4 || in[1] != g.InC || in[2] != g.InH || in[3] != g.InW {
+		return nil, fmt.Errorf("%s: want input shape [B %d %d %d], got %v", c.name, g.InC, g.InH, g.InW, in)
+	}
+	return []int{in[0], c.OutC, g.OutH, g.OutW}, nil
+}
 
 func (c *Conv2D) scratch() *tensor.Tensor {
 	if c.cols == nil {
@@ -53,33 +61,50 @@ func (c *Conv2D) scratch() *tensor.Tensor {
 	return c.cols
 }
 
-// Forward implements Layer.
+// Forward implements Layer as a thin wrapper over ForwardInto that
+// additionally caches the input for the backward passes.
 func (c *Conv2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	checkBatched(x, 4, c.name)
 	c.x = x
+	out := tensor.New(x.Shape[0], c.OutC, c.Geom.OutH, c.Geom.OutW)
+	c.ForwardInto(out, x, nil)
+	return out
+}
+
+// ForwardInto implements PlanLayer. The im2col buffer comes from scratch
+// when provided (nil scratch falls back to the layer-owned buffer, as the
+// legacy path always did).
+func (c *Conv2D) ForwardInto(dst, x *tensor.Tensor, s *tensor.Arena) {
 	b := x.Shape[0]
 	g := c.Geom
-	out := tensor.New(b, c.OutC, g.OutH, g.OutW)
-	cols := c.scratch()
+	var cols *tensor.Tensor
+	if s != nil {
+		cols = s.Alloc(g.ColRows(), g.ColCols())
+	} else {
+		cols = c.scratch()
+	}
 	sampleIn := g.InC * g.InH * g.InW
 	sampleOut := c.OutC * g.OutH * g.OutW
+	if c.omShape == nil {
+		c.omShape = []int{c.OutC, g.ColCols()}
+	}
+	om := tensor.Tensor{Shape: c.omShape}
 	for bi := 0; bi < b; bi++ {
 		g.Im2ColInto(cols, x.Data[bi*sampleIn:(bi+1)*sampleIn])
-		om := tensor.FromSlice(out.Data[bi*sampleOut:(bi+1)*sampleOut], c.OutC, g.ColCols())
-		tensor.MatMulInto(om, c.W.Data, cols, false)
+		om.Data = dst.Data[bi*sampleOut : (bi+1)*sampleOut]
+		tensor.MatMulInto(&om, c.W.Data, cols, false)
 	}
 	// Broadcast bias across spatial positions.
 	hw := g.OutH * g.OutW
 	for bi := 0; bi < b; bi++ {
 		for oc := 0; oc < c.OutC; oc++ {
 			bias := c.B.Data.Data[oc]
-			seg := out.Data[(bi*c.OutC+oc)*hw : (bi*c.OutC+oc+1)*hw]
+			seg := dst.Data[(bi*c.OutC+oc)*hw : (bi*c.OutC+oc+1)*hw]
 			for i := range seg {
 				seg[i] += bias
 			}
 		}
 	}
-	return out
 }
 
 // Backward implements Layer.

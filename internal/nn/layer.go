@@ -14,7 +14,10 @@ type Layer interface {
 	// Name returns a short human-readable identifier.
 	Name() string
 	// Forward computes the layer output for a batch (axis 0 is the batch).
-	// train selects training behaviour (batch-norm batch statistics).
+	// train selects training behaviour (batch-norm batch statistics). The
+	// returned tensor may be a layer-owned buffer that the next Forward call
+	// overwrites (Residual does this); callers holding outputs across calls
+	// must Clone them.
 	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
 	// Backward consumes df/dOutput and returns df/dInput, accumulating
 	// parameter gradients. It must follow a Forward call.
@@ -93,6 +96,12 @@ type Residual struct {
 	name     string
 	Body     Layer
 	Shortcut Layer // nil means identity
+
+	// out is the cached forward output buffer, reused across calls when the
+	// batch shape is unchanged so the legacy path stops paying a Clone per
+	// Forward. The buffer is owned by this layer and overwritten by the next
+	// Forward call with a matching shape.
+	out *tensor.Tensor
 }
 
 // NewResidual builds a residual block from a body and optional projection
@@ -104,15 +113,24 @@ func NewResidual(name string, body, shortcut Layer) *Residual {
 // Name implements Layer.
 func (r *Residual) Name() string { return r.name }
 
-// Forward implements Layer.
+// Forward implements Layer. Unlike most layers, the returned tensor is a
+// layer-owned buffer that the next same-shape Forward call overwrites in
+// place: callers that need the output across two forward passes must Clone
+// it. (Training loops never do — each Forward is consumed by its backward
+// pass before the next call — and the compiled evaluation path documents the
+// same valid-until-next-Forward semantics.)
 func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	out := r.Body.Forward(x, train).Clone()
-	if r.Shortcut != nil {
-		out.Add(r.Shortcut.Forward(x, train))
-	} else {
-		out.Add(x)
+	body := r.Body.Forward(x, train)
+	if r.out == nil || !r.out.SameShape(body) {
+		r.out = tensor.New(body.Shape...)
 	}
-	return out
+	copy(r.out.Data, body.Data)
+	if r.Shortcut != nil {
+		r.out.Add(r.Shortcut.Forward(x, train))
+	} else {
+		r.out.Add(x)
+	}
+	return r.out
 }
 
 // Backward implements Layer.

@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"fmt"
 	"math"
 
 	"swim/internal/rng"
@@ -50,21 +51,35 @@ func stdScale(invFan float64) float64 {
 // Name implements Layer.
 func (l *Linear) Name() string { return l.name }
 
-// Forward implements Layer.
+// Forward implements Layer as a thin wrapper over ForwardInto that
+// additionally caches the input for the backward passes.
 func (l *Linear) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	checkBatched(x, 2, l.name)
 	l.x = x
+	out := tensor.New(x.Shape[0], l.Out)
+	l.ForwardInto(out, x, nil)
+	return out
+}
+
+// OutShape implements PlanLayer.
+func (l *Linear) OutShape(in []int) ([]int, error) {
+	if len(in) != 2 || in[1] != l.In {
+		return nil, fmt.Errorf("%s: want input shape [B %d], got %v", l.name, l.In, in)
+	}
+	return []int{in[0], l.Out}, nil
+}
+
+// ForwardInto implements PlanLayer.
+func (l *Linear) ForwardInto(dst, x *tensor.Tensor, _ *tensor.Arena) {
 	b := x.Shape[0]
-	out := tensor.New(b, l.Out)
-	// out = x · Wᵀ
-	tensor.MatMulTransBInto(out, x, l.W.Data, false)
+	// dst = x · Wᵀ
+	tensor.MatMulTransBInto(dst, x, l.W.Data, false)
 	for bi := 0; bi < b; bi++ {
-		row := out.Data[bi*l.Out : (bi+1)*l.Out]
+		row := dst.Data[bi*l.Out : (bi+1)*l.Out]
 		for j := range row {
 			row[j] += l.B.Data.Data[j]
 		}
 	}
-	return out
 }
 
 // Backward implements Layer.

@@ -81,6 +81,14 @@ func (n *Network) LossGradCount(x *tensor.Tensor, labels []int, train bool) (flo
 	logits := n.Forward(x, train)
 	loss := n.Loss.Forward(logits, labels)
 	n.Trunk.Backward(n.Loss.Backward())
+	return loss, CountCorrectLogits(logits, labels)
+}
+
+// CountCorrectLogits returns how many rows of logits ([B, classes]) argmax
+// to their label (top-1, first-max tie-breaking). It is the single argmax
+// used by every accuracy measurement — legacy and compiled-plan paths share
+// it, which the bit-identical evaluation guarantee depends on.
+func CountCorrectLogits(logits *tensor.Tensor, labels []int) int {
 	b, c := logits.Shape[0], logits.Shape[1]
 	correct := 0
 	for bi := 0; bi < b; bi++ {
@@ -95,7 +103,7 @@ func (n *Network) LossGradCount(x *tensor.Tensor, labels []int, train bool) (flo
 			correct++
 		}
 	}
-	return loss, correct
+	return correct
 }
 
 // AccumulateHessian runs forward + second-derivative backward on one batch,
@@ -132,22 +140,7 @@ func (n *Network) EvalLoss(x *tensor.Tensor, labels []int) float64 {
 // CountCorrect returns how many samples in the batch are classified
 // correctly (top-1).
 func (n *Network) CountCorrect(x *tensor.Tensor, labels []int) int {
-	logits := n.Forward(x, false)
-	b, c := logits.Shape[0], logits.Shape[1]
-	correct := 0
-	for bi := 0; bi < b; bi++ {
-		row := logits.Data[bi*c : (bi+1)*c]
-		best, bj := row[0], 0
-		for j, v := range row {
-			if v > best {
-				best, bj = v, j
-			}
-		}
-		if bj == labels[bi] {
-			correct++
-		}
-	}
-	return correct
+	return CountCorrectLogits(n.Forward(x, false), labels)
 }
 
 // Clone deep-copies the network (parameters, running statistics, caches

@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"fmt"
 	"math"
 
 	"swim/internal/tensor"
@@ -67,6 +68,46 @@ func (m *MaxPool2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	return out
 }
 
+// OutShape implements PlanLayer.
+func (m *MaxPool2D) OutShape(in []int) ([]int, error) {
+	if len(in) != 4 {
+		return nil, fmt.Errorf("%s: want rank-4 input, got %v", m.name, in)
+	}
+	oh, ow := poolOut(in[2], m.K, m.Stride), poolOut(in[3], m.K, m.Stride)
+	if oh <= 0 || ow <= 0 {
+		return nil, fmt.Errorf("%s: window %d stride %d collapses input %v", m.name, m.K, m.Stride, in)
+	}
+	return []int{in[0], in[1], oh, ow}, nil
+}
+
+// ForwardInto implements PlanLayer (no argmax bookkeeping — inference only).
+// The window scan order matches Forward exactly, including tie-breaking.
+func (m *MaxPool2D) ForwardInto(dst, x *tensor.Tensor, _ *tensor.Arena) {
+	b, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh, ow := poolOut(h, m.K, m.Stride), poolOut(w, m.K, m.Stride)
+	o := 0
+	for bi := 0; bi < b; bi++ {
+		for ci := 0; ci < c; ci++ {
+			plane := (bi*c + ci) * h * w
+			for oi := 0; oi < oh; oi++ {
+				for oj := 0; oj < ow; oj++ {
+					best := math.Inf(-1)
+					for ki := 0; ki < m.K; ki++ {
+						rowBase := plane + (oi*m.Stride+ki)*w
+						for kj := 0; kj < m.K; kj++ {
+							if v := x.Data[rowBase+oj*m.Stride+kj]; v > best {
+								best = v
+							}
+						}
+					}
+					dst.Data[o] = best
+					o++
+				}
+			}
+		}
+	}
+}
+
 // Backward implements Layer.
 func (m *MaxPool2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	gradIn := tensor.New(m.inShape...)
@@ -118,13 +159,33 @@ func NewGlobalAvgPool(name string, spatial int) *AvgPool2D {
 // Name implements Layer.
 func (a *AvgPool2D) Name() string { return a.name }
 
-// Forward implements Layer.
+// Forward implements Layer as a thin wrapper over ForwardInto that
+// additionally records the input shape for the backward passes.
 func (a *AvgPool2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	checkBatched(x, 4, a.name)
 	a.inShape = append(a.inShape[:0], x.Shape...)
 	b, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	out := tensor.New(b, c, poolOut(h, a.K, a.Stride), poolOut(w, a.K, a.Stride))
+	a.ForwardInto(out, x, nil)
+	return out
+}
+
+// OutShape implements PlanLayer.
+func (a *AvgPool2D) OutShape(in []int) ([]int, error) {
+	if len(in) != 4 {
+		return nil, fmt.Errorf("%s: want rank-4 input, got %v", a.name, in)
+	}
+	oh, ow := poolOut(in[2], a.K, a.Stride), poolOut(in[3], a.K, a.Stride)
+	if oh <= 0 || ow <= 0 {
+		return nil, fmt.Errorf("%s: window %d stride %d collapses input %v", a.name, a.K, a.Stride, in)
+	}
+	return []int{in[0], in[1], oh, ow}, nil
+}
+
+// ForwardInto implements PlanLayer.
+func (a *AvgPool2D) ForwardInto(dst, x *tensor.Tensor, _ *tensor.Arena) {
+	b, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	oh, ow := poolOut(h, a.K, a.Stride), poolOut(w, a.K, a.Stride)
-	out := tensor.New(b, c, oh, ow)
 	inv := 1.0 / float64(a.K*a.K)
 	o := 0
 	for bi := 0; bi < b; bi++ {
@@ -139,13 +200,12 @@ func (a *AvgPool2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 							s += x.Data[rowBase+kj]
 						}
 					}
-					out.Data[o] = s * inv
+					dst.Data[o] = s * inv
 					o++
 				}
 			}
 		}
 	}
-	return out
 }
 
 func (a *AvgPool2D) scatter(dOut *tensor.Tensor, coeff float64) *tensor.Tensor {

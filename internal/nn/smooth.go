@@ -32,15 +32,24 @@ type smoothAct struct {
 // Name implements Layer.
 func (s *smoothAct) Name() string { return s.name }
 
-// Forward implements Layer.
+// Forward implements Layer as a thin wrapper over ForwardInto that
+// additionally caches the output for the backward passes.
 func (s *smoothAct) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
-	out := x.Clone()
-	for i, v := range out.Data {
-		out.Data[i] = s.fn(v)
-	}
+	out := tensor.New(x.Shape...)
+	s.ForwardInto(out, x, nil)
 	s.out = out
 	s.gradOut = nil
 	return out
+}
+
+// OutShape implements PlanLayer.
+func (s *smoothAct) OutShape(in []int) ([]int, error) { return in, nil }
+
+// ForwardInto implements PlanLayer.
+func (s *smoothAct) ForwardInto(dst, x *tensor.Tensor, _ *tensor.Arena) {
+	for i, v := range x.Data {
+		dst.Data[i] = s.fn(v)
+	}
 }
 
 // Backward implements Layer.

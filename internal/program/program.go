@@ -48,6 +48,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 
 	"swim/internal/device"
 	"swim/internal/mapping"
@@ -90,6 +91,12 @@ type Pipeline struct {
 	baseCtx       context.Context
 
 	deviceSet bool
+
+	// arenas pools the compiled-evaluation scratch arenas: each trial
+	// borrows one for the duration of its accuracy measurements, so the
+	// steady state is one arena per Monte-Carlo worker and trial N+1 reuses
+	// the memory trial N grew (see package eval).
+	arenas sync.Pool
 }
 
 // Option configures a Pipeline. Options validate eagerly: New returns the
@@ -378,7 +385,11 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 // bit-for-bit equivalence guarantee depends on. Errors panic; the mc engine
 // converts worker panics into run errors, and Run preflights the policy so
 // the only reachable panics are programming bugs.
-func (p *Pipeline) setupTrial(env *Env, table []float64, r *rng.Source) (*mapping.Mapped, Trial) {
+//
+// The trial's accuracy evaluations run through a compiled plan backed by a
+// pooled scratch arena; release returns the arena to the pool and must be
+// called when the trial body finishes.
+func (p *Pipeline) setupTrial(env *Env, table []float64, r *rng.Source) (mp *mapping.Mapped, trial Trial, release func()) {
 	selR := r
 	if p.selectorSplit {
 		selR = r.Split()
@@ -387,14 +398,19 @@ func (p *Pipeline) setupTrial(env *Env, table []float64, r *rng.Source) (*mappin
 	if err != nil {
 		panic(err)
 	}
-	mp, err := mapping.New(env.Net, env.Device, table, r)
+	mp, err = mapping.New(env.Net, env.Device, table, r)
 	if err != nil {
 		panic(err)
 	}
 	if p.spatial != nil {
 		mp.ProgramAllSpatial(r, device.NewSpatialField(*p.spatial, r))
 	}
-	return mp, trial
+	arena, _ := p.arenas.Get().(*tensor.Arena)
+	if arena == nil {
+		arena = tensor.NewArena()
+	}
+	mp.SetEvalArena(arena)
+	return mp, trial, func() { p.arenas.Put(arena) }
 }
 
 // runGrid walks the cumulative NWC grid on one device instance per trial —
@@ -403,7 +419,8 @@ func (p *Pipeline) runGrid(ctx context.Context, env *Env, table []float64, b NWC
 	points := len(b.Targets)
 	agg, err := mc.RunSeriesCtx(ctx, p.seed, p.trials, 2*points, p.workers, func(r *rng.Source) []float64 {
 		out := make([]float64, 2*points)
-		mp, trial := p.setupTrial(env, table, r)
+		mp, trial, release := p.setupTrial(env, table, r)
+		defer release()
 		for i, nwc := range b.Targets {
 			trial.SpendTo(mp, nwc, r)
 			out[i] = mp.Accuracy(p.evalX, p.evalY, p.evalBatch)
@@ -435,7 +452,8 @@ type dropOut struct {
 // MaxNWC cap is hit.
 func (p *Pipeline) runDrop(ctx context.Context, env *Env, table []float64, b DropTarget) (*Result, error) {
 	outs, err := mc.MapCtx(ctx, p.seed, p.trials, p.workers, func(_ int, r *rng.Source) dropOut {
-		mp, trial := p.setupTrial(env, table, r)
+		mp, trial, release := p.setupTrial(env, table, r)
+		defer release()
 		n := mp.TotalWeights()
 		granule := granuleSize(p.granularity, n)
 		var o dropOut

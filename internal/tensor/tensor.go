@@ -61,13 +61,21 @@ func (t *Tensor) Clone() *Tensor {
 }
 
 // Reshape returns a view with a new shape sharing the same backing data.
-// The element count must match.
+// Every dimension must be positive and the element count must match exactly;
+// a mismatched product panics instead of silently aliasing the backing slice
+// under a wrong shape.
 func (t *Tensor) Reshape(shape ...int) *Tensor {
-	v := &Tensor{Shape: append([]int(nil), shape...), Data: t.Data}
-	if v.Size() != t.Size() {
-		panic(fmt.Sprintf("tensor: reshape %v -> %v changes size", t.Shape, shape))
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: reshape %v -> %v: non-positive dim %d", t.Shape, shape, d))
+		}
+		n *= d
 	}
-	return v
+	if n != t.Size() {
+		panic(fmt.Sprintf("tensor: reshape %v -> %v changes size (%d -> %d elements)", t.Shape, shape, t.Size(), n))
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: t.Data}
 }
 
 // Zero sets every element to 0.
@@ -105,12 +113,15 @@ func (t *Tensor) offset(idx []int) int {
 }
 
 // SameShape reports whether t and o have identical shapes.
-func (t *Tensor) SameShape(o *Tensor) bool {
-	if len(t.Shape) != len(o.Shape) {
+func (t *Tensor) SameShape(o *Tensor) bool { return ShapeEq(t.Shape, o.Shape) }
+
+// ShapeEq reports whether two shapes are identical.
+func ShapeEq(a, b []int) bool {
+	if len(a) != len(b) {
 		return false
 	}
-	for i := range t.Shape {
-		if t.Shape[i] != o.Shape[i] {
+	for i := range a {
+		if a[i] != b[i] {
 			return false
 		}
 	}

@@ -35,6 +35,26 @@ func TestReshapeSharesData(t *testing.T) {
 	}
 }
 
+// TestReshapeRejectsMismatch is the regression test for the silent-aliasing
+// bug: Reshape must refuse any shape whose element product differs from the
+// tensor's, and any non-positive dimension (two negative dims can otherwise
+// multiply to a "matching" product and alias the data under a bogus shape).
+func TestReshapeRejectsMismatch(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	a := New(2, 2)
+	mustPanic("size change", func() { a.Reshape(2, 3) })
+	mustPanic("negative dims with matching product", func() { a.Reshape(-2, -2) })
+	mustPanic("zero dim", func() { a.Reshape(0, 4) })
+}
+
 func TestCloneIsDeep(t *testing.T) {
 	a := New(4)
 	a.Fill(1)
