@@ -10,6 +10,8 @@
 //
 // -policy picks the registry policy the granularity/kbits/spatial ablations
 // probe (default swim); tiebreak, hessian and fisher are SWIM-specific.
+// -nonideal applies a '+'-stacked device-nonideality scenario (read at
+// -readtime seconds) to every pipeline-backed ablation.
 package main
 
 import (
@@ -19,12 +21,16 @@ import (
 
 	"swim/internal/experiments"
 	"swim/internal/mc"
+	"swim/internal/nonideal"
 	"swim/internal/program"
 )
 
 func main() {
 	what := flag.String("what", "granularity", "granularity | tiebreak | kbits | hessian | spatial | fisher | all")
 	policy := flag.String("policy", "swim", "registry policy probed by the granularity/kbits/spatial ablations")
+	nonidealFlag := flag.String("nonideal", "",
+		"'+'-stacked device-nonideality scenario applied at read time ('list' prints the registered models)")
+	readTime := flag.Float64("readtime", 0, "read time in seconds after programming for -nonideal")
 	workers := flag.Int("workers", 0, "Monte-Carlo worker goroutines (0 = SWIM_WORKERS or all CPUs)")
 	flag.Parse()
 	mc.SetWorkers(*workers)
@@ -33,6 +39,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "swim-ablate:", err)
 		os.Exit(1)
 	}
+	scenario, listing, err := nonideal.FromFlag(*nonidealFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "swim-ablate:", err)
+		os.Exit(2)
+	}
+	if listing != "" {
+		fmt.Println(listing)
+		return
+	}
+	experiments.SetScenario(scenario, *readTime)
 	pol, err := program.Lookup(*policy)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "swim-ablate:", err)

@@ -4,30 +4,74 @@
 // residual spread of σ ≈ 0.03. These anchors underpin the NWC accounting
 // every program-pipeline policy is billed by; -list-policies prints the
 // registered policy names the other swim-* tools accept.
+//
+// With -nonideal, it additionally prints the device-level degradation of a
+// '+'-stacked nonideality scenario: the mean ± std conductance read back at
+// each level and time point, the raw material the scenario sweeps build on.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 	"strings"
 
 	"swim/internal/device"
+	"swim/internal/experiments"
 	"swim/internal/mc"
+	"swim/internal/nonideal"
 	"swim/internal/program"
 	"swim/internal/rng"
+	"swim/internal/stat"
 )
+
+// printNonideal renders the scenario's conductance transfer table: one row
+// per programmed level, one mean ± std column per read time, aggregated
+// over many devices of one trial instance (per-device variation is the
+// spread the models inject).
+func printNonideal(m device.Model, models []nonideal.Nonideality, times []float64) {
+	inst := nonideal.NewTrials(models, m, rng.New(0xdeca7))
+	fmt.Printf("\nnonideality transfer (%s), %d devices per cell\n", nonideal.StackString(models), 2000)
+	fmt.Printf("%-6s", "level")
+	for _, t := range times {
+		fmt.Printf(" %16s", "t="+experiments.FormatDuration(t))
+	}
+	fmt.Println()
+	for level := 0; level <= m.DeviceLevels(0); level++ {
+		fmt.Printf("%-6d", level)
+		for _, t := range times {
+			var w stat.Welford
+			for dev := 0; dev < 2000; dev++ {
+				w.Add(inst.Apply(dev, float64(level), t))
+			}
+			fmt.Printf(" %8.3f ± %5.3f", w.Mean(), w.Std())
+		}
+		fmt.Println()
+	}
+}
 
 func main() {
 	n := flag.Int("n", 100000, "simulated weights per row")
 	bits := flag.Int("bits", 4, "weight precision M")
 	listPolicies := flag.Bool("list-policies", false,
 		"print the registered programming policies (the -policy values other tools accept) and exit")
+	nonidealFlag := flag.String("nonideal", "",
+		"'+'-stacked device-nonideality scenario to characterize ('list' prints the registered models)")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = SWIM_WORKERS or all CPUs)")
 	flag.Parse()
 	mc.SetWorkers(*workers)
 
 	if *listPolicies {
 		fmt.Println(strings.Join(program.Names(), "\n"))
+		return
+	}
+	scenario, listing, err := nonideal.FromFlag(*nonidealFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "swim-calibrate:", err)
+		os.Exit(2)
+	}
+	if listing != "" {
+		fmt.Println(listing)
 		return
 	}
 
@@ -48,4 +92,8 @@ func main() {
 		fmt.Println(row)
 	}
 	fmt.Println("\npaper anchors: ~10 cycles per weight, residual sigma ~0.03 after write-verify")
+
+	if len(scenario) > 0 {
+		printNonideal(device.Default(*bits, 0.5), scenario, []float64{0, 3600, 86400})
+	}
 }

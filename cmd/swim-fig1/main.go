@@ -6,9 +6,13 @@
 // Usage:
 //
 //	swim-fig1 [-weights N] [-repeats N] [-sigma S] [-policy swim]
+//	          [-nonideal drift:nu=0.05] [-readtime 3600]
 //
 // -policy names the selector-backed registry policy whose ranking
 // stratifies half the sampled weights across the sensitivity range.
+// -nonideal maps each trial clone onto ideal devices degraded by the given
+// scenario (read at -readtime seconds) before perturbing, probing whether
+// the ranking survives realistic hardware.
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 
 	"swim/internal/experiments"
 	"swim/internal/mc"
+	"swim/internal/nonideal"
 )
 
 func main() {
@@ -29,9 +34,23 @@ func main() {
 	flag.IntVar(&cfg.EvalBatch, "batch", cfg.EvalBatch, "accuracy-measurement batch size")
 	flag.StringVar(&cfg.Rank, "policy", cfg.Rank,
 		"selector-backed registry policy whose ranking stratifies the weight sample")
+	nonidealFlag := flag.String("nonideal", "",
+		"'+'-stacked device-nonideality scenario applied at read time ('list' prints the registered models)")
+	flag.Float64Var(&cfg.ReadTime, "readtime", 0, "read time in seconds after programming for -nonideal")
 	workers := flag.Int("workers", 0, "Monte-Carlo worker goroutines (0 = SWIM_WORKERS or all CPUs)")
 	flag.Parse()
 	mc.SetWorkers(*workers)
+
+	scenario, listing, err := nonideal.FromFlag(*nonidealFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "swim-fig1:", err)
+		os.Exit(2)
+	}
+	if listing != "" {
+		fmt.Println(listing)
+		return
+	}
+	cfg.Nonideal = scenario
 
 	w := experiments.LeNetMNIST()
 	res, err := experiments.Fig1(w, cfg)

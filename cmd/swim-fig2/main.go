@@ -7,6 +7,7 @@
 //	swim-fig2 -panel a|b|c     (a: ConvNet/CIFAR, b: ResNet-18/CIFAR,
 //	                            c: ResNet-18/TinyImageNet)
 //	          [-policies swim,magnitude,random,insitu]
+//	          [-nonideal drift:nu=0.05+stuckat:p=0.001] [-readtime 3600]
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 
 	"swim/internal/experiments"
 	"swim/internal/mc"
+	"swim/internal/nonideal"
 	"swim/internal/program"
 )
 
@@ -28,6 +30,9 @@ func main() {
 		"device variation before write-verify (deeper models reach the paper's drop regime at lower sigma)")
 	policiesFlag := flag.String("policies", "",
 		"comma-separated programming policies from the registry (default swim,magnitude,random,insitu; 'list' prints the registered names)")
+	nonidealFlag := flag.String("nonideal", "",
+		"'+'-stacked device-nonideality scenario applied at read time ('list' prints the registered models)")
+	readTime := flag.Float64("readtime", 0, "read time in seconds after programming for -nonideal")
 	flag.Parse()
 	mc.SetWorkers(*workers)
 
@@ -35,6 +40,16 @@ func main() {
 		fmt.Println(strings.Join(program.Names(), "\n"))
 		return
 	}
+	scenario, listing, err := nonideal.FromFlag(*nonidealFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "swim-fig2:", err)
+		os.Exit(2)
+	}
+	if listing != "" {
+		fmt.Println(listing)
+		return
+	}
+	experiments.SetScenario(scenario, *readTime)
 
 	cfg := experiments.DefaultSweep()
 	if *trials > 0 {

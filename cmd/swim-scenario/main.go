@@ -1,0 +1,129 @@
+// Command swim-scenario sweeps programming policies against device-
+// nonideality scenarios over time — the robustness-study axis the paper's
+// Gaussian-noise-only evaluation leaves open. Each cell of the
+// policy × scenario × read-time cross product is a full Monte-Carlo
+// accuracy-vs-NWC sweep on a shared seed, so policies face common device
+// instances.
+//
+// Usage:
+//
+//	swim-scenario [-workload lenet|convnet|resnet|tiny]
+//	              [-nonideal "none;drift;drift:nu=0.05+stuckat:p=0.001"]
+//	              [-times 0,3600,86400] [-nwcs 0,0.1,0.3]
+//	              [-policies swim,magnitude,noverify]
+//	              [-sigma 1.0] [-trials N] [-workers N]
+//
+// Scenario grammar: scenarios separate with ';', models within a scenario
+// stack with '+', parameters attach as name:key=value,key=value.
+// "-nonideal list" prints the registered model names. Environment: SWIM_MC
+// (trials), SWIM_EVAL (evaluation subset), SWIM_FAST (CI-scale workloads).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"swim/internal/experiments"
+	"swim/internal/mc"
+	"swim/internal/nonideal"
+	"swim/internal/program"
+)
+
+func parseFloats(csv string) ([]float64, error) {
+	if strings.TrimSpace(csv) == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, s := range strings.Split(csv, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q: %v", s, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func main() {
+	workload := flag.String("workload", "lenet", "lenet | convnet | resnet | tiny")
+	nonidealFlag := flag.String("nonideal", "none;drift",
+		"';'-separated nonideality scenarios, models stacked with '+' ('list' prints registered models)")
+	timesFlag := flag.String("times", "", "comma-separated read times in seconds (default 0,3600,86400)")
+	nwcsFlag := flag.String("nwcs", "", "comma-separated NWC grid (default 0,0.1,0.3)")
+	policiesFlag := flag.String("policies", "",
+		"comma-separated registry policies (default swim,magnitude,noverify; 'list' prints the registered names)")
+	sigma := flag.Float64("sigma", experiments.SigmaHigh, "device variation before write-verify")
+	trials := flag.Int("trials", 0, "Monte-Carlo trials (0 = default / SWIM_MC)")
+	workers := flag.Int("workers", 0, "Monte-Carlo worker goroutines (0 = SWIM_WORKERS or all CPUs)")
+	flag.Parse()
+	mc.SetWorkers(*workers)
+
+	if *policiesFlag == "list" {
+		fmt.Println(strings.Join(program.Names(), "\n"))
+		return
+	}
+	// The -nonideal value here is a ';'-separated scenario LIST, not the
+	// single stack nonideal.FromFlag parses, but the "list" convention must
+	// match the other binaries' (whitespace-tolerant).
+	if _, listing, _ := nonideal.FromFlag(*nonidealFlag); listing != "" {
+		fmt.Println(listing)
+		return
+	}
+
+	fatal := func(code int, err error) {
+		fmt.Fprintln(os.Stderr, "swim-scenario:", err)
+		os.Exit(code)
+	}
+	scenarios, err := experiments.ParseScenarios(*nonidealFlag)
+	if err != nil {
+		fatal(2, err)
+	}
+	cfg := experiments.DefaultScenarioConfig()
+	if *trials > 0 {
+		cfg.Trials = *trials
+	}
+	if ts, err := parseFloats(*timesFlag); err != nil {
+		fatal(2, err)
+	} else if ts != nil {
+		cfg.Times = ts
+	}
+	if ns, err := parseFloats(*nwcsFlag); err != nil {
+		fatal(2, err)
+	} else if ns != nil {
+		cfg.NWCs = ns
+	}
+	policies, err := program.ResolveNames(*policiesFlag)
+	if err != nil {
+		fatal(2, err)
+	}
+	if policies != nil {
+		cfg.Policies = policies
+	}
+
+	var w *experiments.Workload
+	switch *workload {
+	case "lenet":
+		fmt.Println("training LeNet on the MNIST-like task (cached per process)...")
+		w = experiments.LeNetMNIST()
+	case "convnet":
+		fmt.Println("training ConvNet on the CIFAR-like task...")
+		w = experiments.ConvNetCIFAR()
+	case "resnet":
+		fmt.Println("training ResNet-18 on the CIFAR-like task...")
+		w = experiments.ResNetCIFAR()
+	case "tiny":
+		fmt.Println("training ResNet-18 on the TinyImageNet-like task...")
+		w = experiments.ResNetTiny()
+	default:
+		fatal(2, fmt.Errorf("unknown workload %q (want lenet, convnet, resnet or tiny)", *workload))
+	}
+
+	rows, err := experiments.ScenarioSweep(w, *sigma, scenarios, cfg)
+	if err != nil {
+		fatal(1, err)
+	}
+	experiments.PrintScenarioSweep(os.Stdout, w, *sigma, cfg, rows)
+}

@@ -5,10 +5,13 @@
 // Usage:
 //
 //	swim-table1 [-trials N] [-sigmas 0.5,0.75,1.0] [-policies swim,magnitude,random,insitu]
+//	            [-nonideal drift:nu=0.05+stuckat:p=0.001] [-readtime 3600]
 //
 // Policies resolve through the program registry; -policies list prints the
-// registered names. Environment: SWIM_MC (trials), SWIM_FAST (CI-scale
-// workloads).
+// registered names. -nonideal applies a '+'-stacked device-nonideality
+// scenario (package nonideal; 'list' prints the model names) read at
+// -readtime seconds after programming. Environment: SWIM_MC (trials),
+// SWIM_FAST (CI-scale workloads).
 package main
 
 import (
@@ -20,6 +23,7 @@ import (
 
 	"swim/internal/experiments"
 	"swim/internal/mc"
+	"swim/internal/nonideal"
 	"swim/internal/program"
 )
 
@@ -29,6 +33,9 @@ func main() {
 	sigmaFlag := flag.String("sigmas", "", "comma-separated device sigma grid (default 0.5,0.75,1.0)")
 	policiesFlag := flag.String("policies", "",
 		"comma-separated programming policies from the registry (default swim,magnitude,random,insitu; 'list' prints the registered names)")
+	nonidealFlag := flag.String("nonideal", "",
+		"'+'-stacked device-nonideality scenario applied at read time ('list' prints the registered models)")
+	readTime := flag.Float64("readtime", 0, "read time in seconds after programming for -nonideal")
 	flag.Parse()
 	mc.SetWorkers(*workers)
 
@@ -36,6 +43,16 @@ func main() {
 		fmt.Println(strings.Join(program.Names(), "\n"))
 		return
 	}
+	scenario, listing, err := nonideal.FromFlag(*nonidealFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "swim-table1:", err)
+		os.Exit(2)
+	}
+	if listing != "" {
+		fmt.Println(listing)
+		return
+	}
+	experiments.SetScenario(scenario, *readTime)
 
 	cfg := experiments.DefaultSweep()
 	if *trials > 0 {

@@ -12,6 +12,8 @@
 // With -policy, the trained model is programmed onto simulated devices and
 // evaluated at the given write budget through the named registry policy; the
 // pipeline computes sensitivities from a calibration split on its own.
+// -nonideal degrades the devices with a '+'-stacked nonideality scenario
+// read at -readtime seconds after programming.
 package main
 
 import (
@@ -25,6 +27,7 @@ import (
 	"swim/internal/mc"
 	"swim/internal/models"
 	"swim/internal/nn"
+	"swim/internal/nonideal"
 	"swim/internal/program"
 	"swim/internal/rng"
 	"swim/internal/serialize"
@@ -43,10 +46,23 @@ func main() {
 	nwc := flag.Float64("nwc", 0.1, "write budget for the -policy evaluation (normalized write cycles)")
 	sigma := flag.Float64("sigma", 1.0, "device variation for the -policy evaluation")
 	trials := flag.Int("trials", 0, "Monte-Carlo trials for the -policy evaluation (0 = default / SWIM_MC)")
+	nonidealFlag := flag.String("nonideal", "",
+		"'+'-stacked device-nonideality scenario for the -policy evaluation ('list' prints the registered models)")
+	readTime := flag.Float64("readtime", 0, "read time in seconds after programming for -nonideal")
 	workers := flag.Int("workers", 0,
 		"Monte-Carlo worker goroutines for downstream mc-based paths (0 = SWIM_WORKERS or all CPUs)")
 	flag.Parse()
 	mc.SetWorkers(*workers)
+
+	scenario, listing, err := nonideal.FromFlag(*nonidealFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "swim-train:", err)
+		os.Exit(2)
+	}
+	if listing != "" {
+		fmt.Println(listing)
+		return
+	}
 
 	var (
 		net  *nn.Network
@@ -109,6 +125,8 @@ func main() {
 			program.WithEval(ds.TestX, ds.TestY),
 			program.WithCalibration(calX, calY),
 			program.WithTraining(ds.TrainX, ds.TrainY),
+			program.WithNonidealities(scenario...),
+			program.WithReadTime(*readTime),
 			program.WithSeed(1000),
 		}
 		if *trials > 0 {

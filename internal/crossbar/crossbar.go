@@ -17,6 +17,7 @@ import (
 	"math"
 
 	"swim/internal/device"
+	"swim/internal/nonideal"
 	"swim/internal/quant"
 	"swim/internal/rng"
 	"swim/internal/tensor"
@@ -63,6 +64,14 @@ type Array struct {
 	// negative column collapse to one signed number per device).
 	conduct [][]float64
 	tiles   int
+
+	// Read-time nonideality state: when inst is set, MatVec reads eff —
+	// the degraded view of conduct at readTime — instead of the programmed
+	// conductances. conduct stays the ground truth so WriteVerify keeps
+	// correcting the true device state (and resets its degradation).
+	inst     nonideal.Instance
+	readTime float64
+	eff      [][]float64
 }
 
 // NewArray programs weight matrix w ([out, in]) onto the fabric with
@@ -97,6 +106,39 @@ func NewArray(cfg Config, w *tensor.Tensor, r *rng.Source) (*Array, error) {
 	return a, nil
 }
 
+// SetNonideal installs a read-time nonideality instance: every subsequent
+// MatVec observes the degraded conductances at readTime seconds after
+// programming. The device index passed to the instance is weight-major
+// within this array (arrayWeight·NumDevices + slice) — array-local, not
+// network-global, so an instance shared across the arrays of a multi-layer
+// network draws per-device randomness independently per array rather than
+// reproducing the mapping layer's global indexing. A nil inst restores
+// ideal reads.
+func (a *Array) SetNonideal(inst nonideal.Instance, readTime float64) {
+	a.inst, a.readTime = inst, readTime
+	if inst == nil {
+		a.eff = nil
+		return
+	}
+	a.eff = make([][]float64, len(a.conduct))
+	for d := range a.conduct {
+		a.eff[d] = make([]float64, len(a.conduct[d]))
+		for i := range a.conduct[d] {
+			a.refreshEff(d, i)
+		}
+	}
+}
+
+// refreshEff recomputes the degraded view of one device from its programmed
+// conductance.
+func (a *Array) refreshEff(d, i int) {
+	g, sign := a.conduct[d][i], 1.0
+	if g < 0 {
+		sign, g = -1, -g
+	}
+	a.eff[d][i] = sign * a.inst.Apply(i*len(a.conduct)+d, g, a.readTime)
+}
+
 // Tiles returns how many physical tiles the matrix occupies.
 func (a *Array) Tiles() int { return a.tiles }
 
@@ -121,6 +163,9 @@ func (a *Array) WriteVerify(row, col int, r *rng.Source) int {
 		target := math.Round(math.Abs(a.conduct[d][i]))
 		res, cycles := single.WriteVerify(int(target), r)
 		a.conduct[d][i] = sign * (target + res)
+		if a.eff != nil {
+			a.refreshEff(d, i) // re-degrade from the new programmed state
+		}
 		total += cycles
 	}
 	return total
@@ -150,9 +195,13 @@ func (a *Array) MatVecInto(y, x, xq []float64) {
 	for o := range y {
 		y[o] = 0
 	}
-	for d := range a.conduct {
+	slices := a.conduct
+	if a.eff != nil {
+		slices = a.eff
+	}
+	for d := range slices {
 		weight := math.Pow(2, float64(d*a.cfg.Device.DeviceBits))
-		cd := a.conduct[d]
+		cd := slices[d]
 		for o := 0; o < a.out; o++ {
 			row := cd[o*a.in : (o+1)*a.in]
 			s := 0.0

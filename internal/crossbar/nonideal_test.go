@@ -1,0 +1,84 @@
+package crossbar
+
+import (
+	"math"
+	"testing"
+
+	"swim/internal/device"
+	"swim/internal/nonideal"
+	"swim/internal/rng"
+	"swim/internal/tensor"
+)
+
+func testArray(t *testing.T) *Array {
+	t.Helper()
+	w := tensor.New(4, 6)
+	r := rng.New(3)
+	for i := range w.Data {
+		w.Data[i] = r.Gauss(0, 1)
+	}
+	a, err := NewArray(DefaultConfig(device.Default(8, 0.1)), w, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestArrayStuckAtLowZeroesOutput(t *testing.T) {
+	a := testArray(t)
+	x := []float64{1, -0.5, 0.25, 1, 0.75, -1}
+	a.SetNonideal(nonideal.StuckAt{P: 1, High: 0}.NewTrial(device.Default(8, 0.1), rng.New(5)), 0)
+	for _, y := range a.MatVec(x) {
+		if y != 0 {
+			t.Fatalf("all-stuck-low array produced nonzero output %v", y)
+		}
+	}
+	// Clearing the instance must restore ideal reads exactly.
+	ideal := func() []float64 { return a.MatVec(x) }
+	a.SetNonideal(nil, 0)
+	got := ideal()
+	b := testArray(t)
+	want := b.MatVec(x)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("output %d after clearing nonideality: %v != %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestArrayDriftShrinksOutput(t *testing.T) {
+	a := testArray(t)
+	x := []float64{1, 1, 1, 1, 1, 1}
+	base := a.MatVec(x)
+	a.SetNonideal(nonideal.Drift{Nu: 0.1, NuStd: 0, T0: 1}.NewTrial(device.Default(8, 0.1), rng.New(6)), 86400)
+	day := a.MatVec(x)
+	var baseN, dayN float64
+	for i := range base {
+		baseN += base[i] * base[i]
+		dayN += day[i] * day[i]
+	}
+	if !(math.Sqrt(dayN) < math.Sqrt(baseN)) {
+		t.Fatalf("drifted output norm %v not below ideal %v", math.Sqrt(dayN), math.Sqrt(baseN))
+	}
+}
+
+// Write-verifying a weight under drift must reset its devices: the refreshed
+// effective conductances are re-degraded from the new programmed state, not
+// left at their stale values.
+func TestArrayWriteVerifyRefreshesEffective(t *testing.T) {
+	a := testArray(t)
+	inst := nonideal.Drift{Nu: 0.05, NuStd: 0, T0: 1}.NewTrial(device.Default(8, 0.1), rng.New(7))
+	a.SetNonideal(inst, 3600)
+	a.WriteVerify(1, 2, rng.New(8))
+	i := 1*a.in + 2
+	for d := range a.conduct {
+		g, sign := a.conduct[d][i], 1.0
+		if g < 0 {
+			sign, g = -1, -g
+		}
+		want := sign * inst.Apply(i*len(a.conduct)+d, g, 3600)
+		if a.eff[d][i] != want {
+			t.Fatalf("slice %d effective %v, want re-degraded %v", d, a.eff[d][i], want)
+		}
+	}
+}

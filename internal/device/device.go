@@ -108,9 +108,10 @@ func (m Model) NumDevices() int {
 	return (m.WeightBits + m.DeviceBits - 1) / m.DeviceBits
 }
 
-// deviceLevels returns the level count of device i (the top device of a
-// non-multiple M holds fewer bits).
-func (m Model) deviceLevels(i int) int {
+// DeviceLevels returns the level count of device i (the top device of a
+// non-multiple M holds fewer bits). It is the full-scale conductance of that
+// bit-slice in device-level units — the range nonideality models clamp to.
+func (m Model) DeviceLevels(i int) int {
 	bits := m.DeviceBits
 	if rem := m.WeightBits - i*m.DeviceBits; rem < bits {
 		bits = rem
@@ -144,9 +145,23 @@ func (m Model) NoiseStd() float64 {
 // weight-LSB units. Per Eq. 15 the error is value-independent, so no target
 // is needed.
 func (m Model) ProgramNoVerify(r *rng.Source) float64 {
+	return m.ProgramNoVerifyDevices(r, nil)
+}
+
+// ProgramNoVerifyDevices is ProgramNoVerify exposing the constituent
+// per-device errors: when perDev is non-nil (length NumDevices) it receives
+// device i's error in device-level units. The stream consumption and the
+// returned aggregate are bit-identical to ProgramNoVerify — the per-device
+// view exists so the mapping layer can track bit-slice conductances for
+// read-time nonideality models (package nonideal).
+func (m Model) ProgramNoVerifyDevices(r *rng.Source, perDev []float64) float64 {
 	e := 0.0
 	for i := 0; i < m.NumDevices(); i++ {
-		e += math.Pow(2, float64(i*m.DeviceBits)) * r.Gauss(0, m.Sigma)
+		g := r.Gauss(0, m.Sigma)
+		if perDev != nil {
+			perDev[i] = g
+		}
+		e += math.Pow(2, float64(i*m.DeviceBits)) * g
 	}
 	return e
 }
@@ -160,8 +175,20 @@ func (m Model) ProgramNoVerify(r *rng.Source) float64 {
 // lot" (§4.1) — zero targets cost nothing because a reset device already
 // stores zero.
 func (m Model) WriteVerify(mag int, r *rng.Source) (residual float64, cycles int) {
+	return m.WriteVerifyDevices(mag, r, nil)
+}
+
+// WriteVerifyDevices is WriteVerify exposing the constituent per-device
+// residuals: when perDev is non-nil (length NumDevices) it receives device
+// i's post-verify residual in device-level units. Stream consumption and the
+// aggregate are bit-identical to WriteVerify; the per-device view feeds the
+// mapping layer's conductance tracking for read-time nonidealities.
+func (m Model) WriteVerifyDevices(mag int, r *rng.Source, perDev []float64) (residual float64, cycles int) {
 	for i, target := range m.SliceMagnitude(mag) {
 		e, c := m.writeVerifyDevice(float64(target), r)
+		if perDev != nil {
+			perDev[i] = e
+		}
 		residual += math.Pow(2, float64(i*m.DeviceBits)) * e
 		cycles += c
 	}

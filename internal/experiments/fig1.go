@@ -1,13 +1,17 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"swim/internal/data"
+	"swim/internal/device"
 	"swim/internal/eval"
 	"swim/internal/mapping"
 	"swim/internal/mc"
+	"swim/internal/nn"
+	"swim/internal/nonideal"
 	"swim/internal/plot"
 	"swim/internal/program"
 	"swim/internal/quant"
@@ -35,6 +39,13 @@ type Fig1Config struct {
 	// stratifies half the sample across the sensitivity range ("" = swim).
 	Rank string
 	Seed uint64
+	// Nonideal, when non-empty, maps every trial clone onto ideal
+	// (noise-free) devices degraded by this read-time scenario before
+	// perturbing — does the sensitivity ranking still predict accuracy
+	// drops on drifted or faulty hardware? ReadTime is the scenario's
+	// evaluation instant in seconds.
+	Nonideal []nonideal.Nonideality
+	ReadTime float64
 }
 
 // DefaultFig1 returns the Fig. 1 configuration.
@@ -122,11 +133,47 @@ func Fig1(w *Workload, cfg Fig1Config) (Fig1Result, error) {
 		pis[k], offs[k] = loc.Locate(flat)
 	}
 
-	drops := mc.Map(cfg.Seed^0xf161, len(picks), func(k int, r *rng.Source) float64 {
-		net := w.TrialNet()
+	// Under a -nonideal scenario each trial clone is first mapped onto
+	// ideal (σ = 0) devices and degraded at the configured read time, so
+	// the study measures whether the ranking survives realistic hardware.
+	// The device model and cycle table are built once; per-trial instances
+	// come from the trial stream.
+	var degradeDM device.Model
+	var degradeTable []float64
+	degrade := func(r *rng.Source) (*nn.Network, error) { return w.TrialNet(), nil }
+	if len(cfg.Nonideal) > 0 {
+		degradeDM = device.Default(w.WeightBits, 0)
+		degradeTable = degradeDM.CycleTable(10, rng.New(cfg.Seed^0xdeb))
+		degrade = func(r *rng.Source) (*nn.Network, error) {
+			mp, err := mapping.New(w.Net, degradeDM, degradeTable, r.Split())
+			if err != nil {
+				return nil, err
+			}
+			mp.SetNonideal(nonideal.NewTrials(cfg.Nonideal, degradeDM, r.Split()), cfg.ReadTime)
+			return mp.Net, nil
+		}
+	}
+
+	// Per-trial failures flow back through the error return rather than
+	// panicking a worker (mc.Map would re-panic the converted error).
+	type fig1Out struct {
+		drop float64
+		err  error
+	}
+	outs, mapErr := mc.MapCtx(context.Background(), cfg.Seed^0xf161, len(picks), 0, func(k int, r *rng.Source) fig1Out {
+		net, err := degrade(r)
+		if err != nil {
+			return fig1Out{err: err}
+		}
 		pi, off := pis[k], offs[k]
 		p := net.MappedParams()[pi]
 		orig := p.Data.Data[off]
+		base := baseAcc
+		if len(cfg.Nonideal) > 0 {
+			// The degraded clone's baseline differs per trial (its faults
+			// and drift are trial-specific), so measure it in place.
+			base = train.Evaluate(net, evalX, evalY, batch)
+		}
 		// One compiled evaluator per clone: plans read live weights, so the
 		// per-repeat perturbations are visible without recompiling. If the
 		// compiled path ever fails (it cannot for the internal/models
@@ -146,14 +193,22 @@ func Fig1(w *Workload, cfg Fig1Config) (Fig1Result, error) {
 			}
 			acc.Add(train.Evaluate(net, evalX, evalY, batch))
 		}
-		return baseAcc - acc.Mean()
+		return fig1Out{drop: base - acc.Mean()}
 	})
+	if mapErr != nil {
+		return Fig1Result{}, fmt.Errorf("fig1 on %s: %w", w.Name, mapErr)
+	}
+	for _, o := range outs {
+		if o.err != nil {
+			return Fig1Result{}, fmt.Errorf("fig1 on %s: %w", w.Name, o.err)
+		}
+	}
 
 	var res Fig1Result
 	for k, flat := range picks {
 		res.Magnitude = append(res.Magnitude, w.Weights[flat])
 		res.Hess = append(res.Hess, w.Hess[flat])
-		res.Drop = append(res.Drop, drops[k])
+		res.Drop = append(res.Drop, outs[k].drop)
 	}
 	res.PearsonMagnitude = stat.Pearson(res.Magnitude, res.Drop)
 	res.PearsonHess = stat.Pearson(res.Hess, res.Drop)
@@ -165,6 +220,10 @@ func Fig1(w *Workload, cfg Fig1Config) (Fig1Result, error) {
 func PrintFig1(out io.Writer, w *Workload, cfg Fig1Config, res Fig1Result) {
 	fmt.Fprintf(out, "Fig. 1: per-weight perturbation study on %s (%d weights, %d repeats, sigma=%.1f LSB)\n",
 		w.Name, cfg.NumWeights, cfg.Repeats, cfg.SigmaPerturb)
+	if len(cfg.Nonideal) > 0 {
+		fmt.Fprintf(out, "  device scenario: %s read at t=%s\n",
+			nonideal.StackString(cfg.Nonideal), FormatDuration(cfg.ReadTime))
+	}
 	fmt.Fprintf(out, "  Pearson(|w|,  accuracy drop)       = %+.3f   (paper Fig. 1a: little correlation)\n", res.PearsonMagnitude)
 	fmt.Fprintf(out, "  Pearson(d2f/dw2, accuracy drop)    = %+.3f   (paper Fig. 1b: strong, 0.83)\n", res.PearsonHess)
 	fmt.Fprintf(out, "  Spearman(d2f/dw2, accuracy drop)   = %+.3f\n", res.SpearmanHess)

@@ -1,0 +1,233 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"swim/internal/data"
+	"swim/internal/mc"
+	"swim/internal/nonideal"
+	"swim/internal/program"
+	"swim/internal/rng"
+)
+
+// Scenario is one named stack of device-nonideality models a robustness
+// sweep evaluates under. Parse one from a spec string with ParseScenario.
+type Scenario struct {
+	// Spec is the display / round-trip form ("none" for the ideal
+	// baseline).
+	Spec string
+	// Models is the parsed stack, applied in order at read time.
+	Models []nonideal.Nonideality
+}
+
+// ParseScenario builds a Scenario from a '+'-joined nonideality spec (see
+// nonideal.ParseStack); "" and "none" denote the ideal-device baseline.
+func ParseScenario(spec string) (Scenario, error) {
+	models, err := nonideal.ParseStack(spec)
+	if err != nil {
+		return Scenario{}, err
+	}
+	return Scenario{Spec: nonideal.StackString(models), Models: models}, nil
+}
+
+// ParseScenarios parses a ';'-separated list of scenario specs (the
+// swim-scenario -nonideal grammar: models within a scenario join with '+',
+// scenarios separate with ';'). An empty list yields nil.
+func ParseScenarios(list string) ([]Scenario, error) {
+	if strings.TrimSpace(list) == "" {
+		return nil, nil
+	}
+	var out []Scenario
+	for _, spec := range strings.Split(list, ";") {
+		sc, err := ParseScenario(spec)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sc)
+	}
+	return out, nil
+}
+
+// ScenarioConfig parameterizes a scenario sweep: the cross product of
+// registry policies × nonideality scenarios × read times, each cell an
+// accuracy-vs-NWC series.
+type ScenarioConfig struct {
+	// NWCs is the write-budget grid every cell walks (default
+	// DefaultNWCs' first three points: 0, 0.1, 0.3).
+	NWCs []float64
+	// Times are the read times in seconds after programming (default
+	// {0, 3600, 86400}: immediate, one hour, one day).
+	Times []float64
+	// Policies are registry policy names (default swim, magnitude,
+	// noverify — the write-verify extremes plus the paper's method).
+	Policies []string
+	// Trials is the Monte-Carlo trial count (0 = SWIM_MC / 8).
+	Trials int
+	// Seed is the Monte-Carlo master seed shared by every cell, so
+	// policies face common device instances within a scenario.
+	Seed uint64
+	// EvalBatch is the accuracy-measurement batch size (0 = 64).
+	EvalBatch int
+}
+
+// DefaultScenarioConfig returns the scenario-sweep defaults, honouring
+// SWIM_MC / SWIM_FAST like DefaultSweep.
+func DefaultScenarioConfig() ScenarioConfig {
+	trials := mc.Trials(8)
+	if mc.Fast() {
+		trials = mc.Trials(3)
+	}
+	return ScenarioConfig{
+		NWCs:      []float64{0, 0.1, 0.3},
+		Times:     []float64{0, 3600, 86400},
+		Policies:  []string{"swim", "magnitude", "noverify"},
+		Trials:    trials,
+		Seed:      4000,
+		EvalBatch: 64,
+	}
+}
+
+// ScenarioRow is one cell of the sweep: a (scenario, read time, policy)
+// combination's accuracy over the NWC grid.
+type ScenarioRow struct {
+	Scenario string
+	Time     float64
+	Policy   string
+	Cells    []Cell
+}
+
+// ScenarioSweep runs the full cross product of scenarios × read times ×
+// policies on one workload at device σ, one program.Pipeline per cell, all
+// sharing a common cycle table and seed so cells are comparable. Rows come
+// back in (scenario, time, policy) order.
+func ScenarioSweep(w *Workload, sigma float64, scenarios []Scenario, cfg ScenarioConfig) ([]ScenarioRow, error) {
+	if len(scenarios) == 0 {
+		scenarios = []Scenario{{Spec: "none"}}
+	}
+	def := DefaultScenarioConfig()
+	if len(cfg.NWCs) == 0 {
+		cfg.NWCs = def.NWCs
+	}
+	if len(cfg.Times) == 0 {
+		cfg.Times = def.Times
+	}
+	if len(cfg.Policies) == 0 {
+		cfg.Policies = def.Policies
+	}
+	if cfg.Trials <= 0 {
+		cfg.Trials = def.Trials
+	}
+	if cfg.EvalBatch <= 0 {
+		cfg.EvalBatch = def.EvalBatch
+	}
+	dm := w.DeviceFor(sigma)
+	table := dm.CycleTable(300, rng.New(cfg.Seed^0x5ce11a))
+	evalX, evalY := data.Subset(w.DS.TestX, w.DS.TestY, mc.EvalSize(len(w.DS.TestY)))
+	var rows []ScenarioRow
+	for _, sc := range scenarios {
+		for _, tRead := range cfg.Times {
+			for _, name := range cfg.Policies {
+				pol, err := program.Lookup(name)
+				if err != nil {
+					return nil, fmt.Errorf("scenario %s: %w", sc.Spec, err)
+				}
+				p, err := program.New(w.Net, pol, program.GridBudget(cfg.NWCs...),
+					append(w.Options(sigma),
+						program.WithEval(evalX, evalY),
+						program.WithEvalBatch(cfg.EvalBatch),
+						program.WithCycleTable(table),
+						program.WithNonidealities(sc.Models...),
+						program.WithReadTime(tRead),
+						program.WithSeed(cfg.Seed),
+						program.WithTrials(cfg.Trials))...)
+				if err != nil {
+					return nil, fmt.Errorf("scenario %s/%s at t=%gs: %w", sc.Spec, name, tRead, err)
+				}
+				res, err := p.Run(nil)
+				if err != nil {
+					return nil, fmt.Errorf("scenario %s/%s at t=%gs: %w", sc.Spec, name, tRead, err)
+				}
+				row := ScenarioRow{Scenario: sc.Spec, Time: tRead, Policy: name}
+				for _, pt := range res.Points {
+					row.Cells = append(row.Cells, cellOf(pt.Accuracy))
+				}
+				rows = append(rows, row)
+			}
+		}
+	}
+	return rows, nil
+}
+
+// FormatDuration renders a read time compactly (0, 1h, 1d, 90s, ...).
+func FormatDuration(seconds float64) string {
+	switch {
+	case seconds == 0:
+		return "0"
+	case seconds >= 86400 && seconds == float64(int(seconds/86400))*86400:
+		return fmt.Sprintf("%gd", seconds/86400)
+	case seconds >= 3600 && seconds == float64(int(seconds/3600))*3600:
+		return fmt.Sprintf("%gh", seconds/3600)
+	default:
+		return fmt.Sprintf("%gs", seconds)
+	}
+}
+
+// PrintScenarioSweep renders the sweep grouped by scenario, one row per
+// (read time, policy).
+func PrintScenarioSweep(out io.Writer, w *Workload, sigma float64, cfg ScenarioConfig, rows []ScenarioRow) {
+	fmt.Fprintf(out, "Scenario sweep: accuracy (%%) vs NWC on %s (clean %.2f%%, sigma=%.2f, %d MC trials)\n",
+		w.Name, w.CleanAcc, sigma, cfg.Trials)
+	prev := ""
+	for _, row := range rows {
+		if row.Scenario != prev {
+			fmt.Fprintf(out, "\nscenario: %s\n", row.Scenario)
+			fmt.Fprintf(out, "%-6s %-10s", "t", "policy")
+			for _, nwc := range cfg.NWCs {
+				fmt.Fprintf(out, " %13.1f", nwc)
+			}
+			fmt.Fprintln(out)
+			prev = row.Scenario
+		}
+		fmt.Fprintf(out, "%-6s %-10s", FormatDuration(row.Time), row.Policy)
+		for _, c := range row.Cells {
+			fmt.Fprintf(out, " %6.2f ± %4.2f", c.Mean, c.Std)
+		}
+		fmt.Fprintln(out)
+	}
+}
+
+// Ambient scenario: the -nonideal/-readtime flags of the CLIs that drive
+// many pipelines through Workload.Options (swim-table1, swim-fig2,
+// swim-ablate) install one process-wide scenario here instead of threading
+// it through every experiment signature.
+var (
+	ambientMu   sync.RWMutex
+	ambient     []nonideal.Nonideality
+	ambientTime float64
+)
+
+// SetScenario installs a process-wide nonideality scenario applied by every
+// pipeline built through Workload.Options. Intended for CLI startup;
+// passing an empty stack clears it.
+func SetScenario(models []nonideal.Nonideality, readTime float64) {
+	ambientMu.Lock()
+	defer ambientMu.Unlock()
+	ambient, ambientTime = models, readTime
+}
+
+// ambientOptions returns the pipeline options implementing the installed
+// scenario (nil when none is set).
+func ambientOptions() []program.Option {
+	ambientMu.RLock()
+	defer ambientMu.RUnlock()
+	if len(ambient) == 0 {
+		return nil
+	}
+	return []program.Option{
+		program.WithNonidealities(ambient...),
+		program.WithReadTime(ambientTime),
+	}
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseScenarios(t *testing.T) {
+	scs, err := ParseScenarios("none;drift;drift:nu=0.05+stuckat:p=0.01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) != 3 {
+		t.Fatalf("scenarios = %d", len(scs))
+	}
+	if scs[0].Spec != "none" || len(scs[0].Models) != 0 {
+		t.Fatalf("baseline scenario parsed as %+v", scs[0])
+	}
+	if len(scs[2].Models) != 2 {
+		t.Fatalf("stacked scenario has %d models", len(scs[2].Models))
+	}
+	if _, err := ParseScenarios("drift;warp"); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+	if scs, err := ParseScenarios("  "); err != nil || scs != nil {
+		t.Fatalf("blank list: %v, %v", scs, err)
+	}
+}
+
+func TestScenarioSweepShapesAndDegradation(t *testing.T) {
+	w := LeNetMNIST()
+	scs, err := ParseScenarios("none;stuckat:p=0.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ScenarioConfig{
+		NWCs:     []float64{0},
+		Times:    []float64{0},
+		Policies: []string{"noverify", "swim"},
+		Trials:   2,
+		Seed:     17,
+	}
+	rows, err := ScenarioSweep(w, SigmaHigh, scs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 { // 2 scenarios × 1 time × 2 policies
+		t.Fatalf("rows = %d", len(rows))
+	}
+	cell := func(scenario, policy string) Cell {
+		for _, row := range rows {
+			if row.Scenario == scenario && row.Policy == policy {
+				return row.Cells[0]
+			}
+		}
+		t.Fatalf("missing row %s/%s", scenario, policy)
+		return Cell{}
+	}
+	ideal := cell("none", "noverify")
+	faulty := cell("stuckat:p=0.3,high=0.5", "noverify")
+	if faulty.Mean >= ideal.Mean {
+		t.Fatalf("30%% stuck devices did not degrade accuracy: %v >= %v", faulty.Mean, ideal.Mean)
+	}
+
+	var buf bytes.Buffer
+	PrintScenarioSweep(&buf, w, SigmaHigh, cfg, rows)
+	out := buf.String()
+	for _, want := range []string{"scenario: none", "scenario: stuckat:p=0.3,high=0.5", "noverify", "swim"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("sweep output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatDuration(t *testing.T) {
+	for in, want := range map[float64]string{0: "0", 90: "90s", 3600: "1h", 7200: "2h", 86400: "1d", 172800: "2d"} {
+		if got := FormatDuration(in); got != want {
+			t.Fatalf("FormatDuration(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// The ambient scenario must reach every pipeline built via Workload.Options
+// and clear cleanly.
+func TestAmbientScenario(t *testing.T) {
+	w := LeNetMNIST()
+	stuck, err := ParseScenario("stuckat:p=0.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := SweepConfig{NWCs: []float64{0}, Trials: 2, Seed: 18}
+	clean, err := Sweep(w, SigmaHigh, "noverify", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetScenario(stuck.Models, 0)
+	defer SetScenario(nil, 0)
+	degraded, err := Sweep(w, SigmaHigh, "noverify", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if degraded[0].Mean >= clean[0].Mean {
+		t.Fatalf("ambient scenario had no effect: %v >= %v", degraded[0].Mean, clean[0].Mean)
+	}
+}

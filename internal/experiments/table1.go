@@ -19,6 +19,7 @@ type Cell struct {
 	Mean, Std float64
 }
 
+// String renders the cell in the tables' "mean ± std" form.
 func (c Cell) String() string { return fmt.Sprintf("%.2f ± %.2f", c.Mean, c.Std) }
 
 // cellOf converts a Welford aggregate into a table cell.

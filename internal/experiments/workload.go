@@ -170,14 +170,15 @@ func (w *Workload) DeviceFor(sigma float64) device.Model {
 
 // Options returns the pipeline options every experiment on this workload
 // shares: the device model at σ, full test-split evaluation, the cached
-// sensitivity data (so pipelines skip the calibration pass), and the
-// training split for in-situ policies. Callers append overrides — options
-// apply in order, so a later WithEval narrows the evaluation subset.
+// sensitivity data (so pipelines skip the calibration pass), the training
+// split for in-situ policies, and any process-wide nonideality scenario
+// installed with SetScenario. Callers append overrides — options apply in
+// order, so a later WithEval narrows the evaluation subset.
 func (w *Workload) Options(sigma float64) []program.Option {
-	return []program.Option{
+	return append([]program.Option{
 		program.WithDevice(w.DeviceFor(sigma)),
 		program.WithEval(w.DS.TestX, w.DS.TestY),
 		program.WithSensitivity(w.Hess, w.Weights),
 		program.WithTraining(w.DS.TrainX, w.DS.TrainY),
-	}
+	}, ambientOptions()...)
 }

@@ -19,6 +19,7 @@ import (
 	"swim/internal/device"
 	"swim/internal/eval"
 	"swim/internal/nn"
+	"swim/internal/nonideal"
 	"swim/internal/quant"
 	"swim/internal/rng"
 	"swim/internal/tensor"
@@ -48,6 +49,28 @@ type Mapped struct {
 	CyclesUsed float64
 
 	cycleTable []float64 // expected WV cycles per magnitude
+
+	// Per-device conductance tracking for read-time nonidealities: cond
+	// holds every bit-slice device's programmed conductance (signed by the
+	// differential pair, device-level units), laid out weight-major
+	// (cond[i*nd+d]). It is maintained by every programming operation so
+	// that SetNonideal can derive the degraded read-time weights from the
+	// true time-0 device state; the mapped weight in Net stays the exact
+	// aggregate value the legacy (nonideality-free) path produces.
+	cond       []float64
+	devScratch []float64 // NumDevices scratch for per-device errors
+	pow2       []float64 // 2^(d·K) significance per bit-slice
+	inst       nonideal.Instance
+	readTime   float64
+	// dirty lists the weights reprogrammed since the last SyncRead;
+	// needFull forces the next sync to recompute every weight (scenario
+	// installed or whole-network reprogram). Because Instance.Apply is
+	// pure in (device, conductance, time), a weight whose conductances
+	// did not change re-syncs to the identical value, so incremental
+	// syncing is bit-identical to a full recompute at a fraction of the
+	// cost — Algorithm 1 re-measures accuracy after every granule.
+	dirty    []int
+	needFull bool
 
 	// Compiled-evaluation state: Accuracy routes through an eval.Evaluator
 	// (zero steady-state allocations; see package eval) compiled lazily on
@@ -93,6 +116,13 @@ func New(master *nn.Network, m device.Model, cycleTable []float64, r *rng.Source
 	}
 	mp.loc = NewLocator(params)
 	mp.Verified = make([]bool, mp.total)
+	nd := m.NumDevices()
+	mp.cond = make([]float64, mp.total*nd)
+	mp.devScratch = make([]float64, nd)
+	mp.pow2 = make([]float64, nd)
+	for d := range mp.pow2 {
+		mp.pow2[d] = math.Pow(2, float64(d*m.DeviceBits))
+	}
 	if mp.cycleTable == nil {
 		mp.cycleTable = m.CycleTable(200, r.Split())
 	}
@@ -118,9 +148,25 @@ func (mp *Mapped) Desired() []float64 { return mp.desired }
 func (mp *Mapped) ProgramAll(r *rng.Source) {
 	for i := 0; i < mp.total; i++ {
 		p, off, scale := mp.locate(i)
-		e := mp.Model.ProgramNoVerify(r)
+		e := mp.Model.ProgramNoVerifyDevices(r, mp.devScratch)
 		p.Data.Data[off] = mp.desired[i] + mp.signs[i]*e*scale
 		mp.Verified[i] = false
+		mp.trackCond(i, 0)
+	}
+	mp.needFull = mp.inst != nil
+}
+
+// trackCond records weight i's per-device conductances after a programming
+// operation: bit-slice target plus the per-device error just written to
+// devScratch (plus extra, the spatial-field component, added to every
+// slice), signed by the weight's differential pair.
+func (mp *Mapped) trackCond(i int, extra float64) {
+	nd := len(mp.devScratch)
+	mag, sign := mp.mags[i], mp.signs[i]
+	mask := int(1)<<mp.Model.DeviceBits - 1
+	for d := 0; d < nd; d++ {
+		target := float64((mag >> (d * mp.Model.DeviceBits)) & mask)
+		mp.cond[i*nd+d] = sign * (target + mp.devScratch[d] + extra)
 	}
 }
 
@@ -137,9 +183,20 @@ func (mp *Mapped) ProgramAllSpatial(r *rng.Source, field *device.SpatialField) {
 	}
 	for i := 0; i < mp.total; i++ {
 		p, off, scale := mp.locate(i)
-		e := mp.Model.ProgramNoVerify(r) + amp*field.AtFlat(i)
+		f := field.AtFlat(i)
+		e := mp.Model.ProgramNoVerifyDevices(r, mp.devScratch) + amp*f
 		p.Data.Data[off] = mp.desired[i] + mp.signs[i]*e*scale
 		mp.Verified[i] = false
+		mp.trackCond(i, f)
+	}
+	mp.needFull = mp.inst != nil
+}
+
+// markDirty queues weight i for the next incremental SyncRead. A no-op
+// without an active nonideality or when a full sync is already pending.
+func (mp *Mapped) markDirty(i int) {
+	if mp.inst != nil && !mp.needFull {
+		mp.dirty = append(mp.dirty, i)
 	}
 }
 
@@ -147,10 +204,12 @@ func (mp *Mapped) ProgramAllSpatial(r *rng.Source, field *device.SpatialField) {
 // leaving the programmed value within tolerance of the desired value.
 func (mp *Mapped) WriteVerifyAt(i int, r *rng.Source) int {
 	p, off, scale := mp.locate(i)
-	res, cycles := mp.Model.WriteVerify(mp.mags[i], r)
+	res, cycles := mp.Model.WriteVerifyDevices(mp.mags[i], r, mp.devScratch)
 	p.Data.Data[off] = mp.desired[i] + mp.signs[i]*res*scale
 	mp.Verified[i] = true
 	mp.CyclesUsed += float64(cycles)
+	mp.trackCond(i, 0)
+	mp.markDirty(i)
 	return cycles
 }
 
@@ -187,10 +246,12 @@ func (mp *Mapped) NoisyWriteAt(i int, value float64, r *rng.Source) {
 	mp.mags[i] = mag
 	mp.signs[i] = sign
 	mp.desired[i] = sign * float64(mag) * scale
-	e := mp.Model.ProgramNoVerify(r)
+	e := mp.Model.ProgramNoVerifyDevices(r, mp.devScratch)
 	p.Data.Data[off] = mp.desired[i] + sign*e*scale
 	mp.Verified[i] = false
 	mp.CyclesUsed++
+	mp.trackCond(i, 0)
+	mp.markDirty(i)
 }
 
 // IncrementAt applies one unverified incremental update pulse to weight i,
@@ -198,10 +259,25 @@ func (mp *Mapped) NoisyWriteAt(i int, value float64, r *rng.Source) {
 // carries the device's incremental-pulse noise and the conductance clamps to
 // the representable magnitude range. Costs one write cycle — the in-situ
 // training write (paper §4.2: one write per weight updated, no verify).
+//
+// Under an active nonideality scenario the pulse is applied to the TRUE
+// stored conductances, not to the degraded read-out SyncRead last wrote
+// into the network: programming acts on the device, while the nonideal
+// view only changes what evaluation sees. Without this distinction each
+// accuracy sync would be baked into the device state and the degradation
+// would compound once per measurement.
 func (mp *Mapped) IncrementAt(i int, delta float64, r *rng.Source) {
 	p, off, scale := mp.locate(i)
 	levels := float64(int(1)<<mp.Model.WeightBits - 1)
 	cur := p.Data.Data[off]
+	if mp.inst != nil {
+		cur = 0
+		base := i * len(mp.pow2)
+		for d := range mp.pow2 {
+			cur += mp.pow2[d] * mp.cond[base+d]
+		}
+		cur *= scale
+	}
 	landed := mp.Model.Increment(delta/scale, r) * scale
 	next := cur + landed
 	// The differential pair saturates at ±full-scale.
@@ -213,6 +289,25 @@ func (mp *Mapped) IncrementAt(i int, delta float64, r *rng.Source) {
 	p.Data.Data[off] = next
 	mp.Verified[i] = false
 	mp.CyclesUsed++
+	// Track the per-device conductances implied by the incremented value:
+	// the integer part bit-slices exactly; the fractional remainder sits on
+	// the least-significant device (significance 2^0).
+	asign := 1.0
+	if next < 0 {
+		asign = -1
+	}
+	magf := abs(next) / scale
+	intMag := int(magf)
+	mask := int(1)<<mp.Model.DeviceBits - 1
+	nd := len(mp.devScratch)
+	for d := 0; d < nd; d++ {
+		target := float64((intMag >> (d * mp.Model.DeviceBits)) & mask)
+		if d == 0 {
+			target += magf - float64(intMag)
+		}
+		mp.cond[i*nd+d] = asign * target
+	}
+	mp.markDirty(i)
 }
 
 // BaselineCycles returns the expected cost of write-verifying every weight —
@@ -231,6 +326,67 @@ func (mp *Mapped) NWC() float64 {
 	return mp.CyclesUsed / mp.BaselineCycles()
 }
 
+// SetNonideal installs a read-time nonideality instance: from now on every
+// Accuracy measurement (and this call itself) recomputes the network's
+// mapped weights as the degraded read-out of the tracked per-device
+// conductances at readTime seconds after programming, instead of the ideal
+// time-0 values. Programming operations (write-verify, in-situ writes)
+// still act on the true device state: the whole programming pass happens
+// at t = 0 and every device — verified or not — degrades for the full
+// read time, so write-verify's benefit under degradation is the smaller
+// time-0 error it leaves behind, the interaction the scenario sweeps
+// study. A nil inst clears the hook; the weights keep their last-synced
+// values until the next programming operation rewrites them.
+func (mp *Mapped) SetNonideal(inst nonideal.Instance, readTime float64) {
+	mp.inst, mp.readTime = inst, readTime
+	mp.dirty = mp.dirty[:0]
+	if inst != nil {
+		mp.needFull = true
+		mp.SyncRead()
+	}
+}
+
+// SyncRead recomputes mapped weights as the nonideal read-out of their
+// per-device conductances at the configured read time. It is a no-op
+// without SetNonideal; Accuracy calls it automatically, so explicit calls
+// are only needed by callers that evaluate the network outside Accuracy
+// (e.g. the Fig. 1 perturbation study). Only weights reprogrammed since
+// the previous sync are recomputed (Instance.Apply is pure, so untouched
+// weights re-sync to identical values); the first sync after SetNonideal
+// or a whole-network reprogram covers everything.
+func (mp *Mapped) SyncRead() {
+	if mp.inst == nil {
+		return
+	}
+	if mp.needFull {
+		for i := 0; i < mp.total; i++ {
+			mp.syncWeight(i)
+		}
+		mp.needFull = false
+	} else {
+		for _, i := range mp.dirty {
+			mp.syncWeight(i)
+		}
+	}
+	mp.dirty = mp.dirty[:0]
+}
+
+// syncWeight writes weight i's degraded read-out into the network.
+func (mp *Mapped) syncWeight(i int) {
+	p, off, scale := mp.locate(i)
+	nd := len(mp.pow2)
+	base := i * nd
+	eff := 0.0
+	for d := 0; d < nd; d++ {
+		g, sign := mp.cond[base+d], 1.0
+		if g < 0 {
+			sign, g = -1, -g
+		}
+		eff += mp.pow2[d] * sign * mp.inst.Apply(base+d, g, mp.readTime)
+	}
+	p.Data.Data[off] = eff * scale
+}
+
 // SetEvalArena shares a scratch arena with the compiled evaluation engine,
 // so successive trials handled by the same Monte-Carlo worker reuse one
 // arena instead of growing a fresh one each. Call it before the first
@@ -246,6 +402,7 @@ func (mp *Mapped) SetEvalArena(a *tensor.Arena) { mp.evalArena = a }
 // just this call on any other evaluator error, reproducing the legacy
 // behaviour for malformed inputs.
 func (mp *Mapped) Accuracy(x *tensor.Tensor, y []int, batch int) float64 {
+	mp.SyncRead()
 	if !mp.evalLegacy {
 		if mp.ev == nil {
 			mp.ev = eval.NewEvaluator(mp.Net, mp.evalArena)

@@ -1,0 +1,159 @@
+package mapping
+
+import (
+	"math"
+	"testing"
+
+	"swim/internal/nonideal"
+	"swim/internal/rng"
+)
+
+// identityInstance leaves conductances untouched — SyncRead through it must
+// reproduce the programmed weights up to the reconstruction rounding of the
+// per-device decomposition.
+type identityInstance struct{}
+
+func (identityInstance) Apply(_ int, g float64, _ float64) float64 { return g }
+
+func TestCondTrackingReconstructsWeights(t *testing.T) {
+	mp, _ := testNetAndDevice(t)
+	before := make([]float64, mp.total)
+	for i := range before {
+		p, off, _ := mp.locate(i)
+		before[i] = p.Data.Data[off]
+	}
+	mp.SetNonideal(identityInstance{}, 0)
+	for i := range before {
+		p, off, scale := mp.locate(i)
+		if d := math.Abs(p.Data.Data[off] - before[i]); d > 1e-9*scale {
+			t.Fatalf("weight %d: identity read-out %v != programmed %v", i, p.Data.Data[off], before[i])
+		}
+	}
+}
+
+// Write-verify must reset a weight's tracked device state, so a verified
+// weight read through an identity instance lands within tolerance again.
+func TestWriteVerifyResetsTrackedState(t *testing.T) {
+	mp, dm := testNetAndDevice(t)
+	mp.SetNonideal(identityInstance{}, 0)
+	r := rng.New(9)
+	for i := 0; i < 50; i++ {
+		mp.WriteVerifyAt(i, r)
+	}
+	mp.SyncRead()
+	for i := 0; i < 50; i++ {
+		p, off, scale := mp.locate(i)
+		// Aggregate residual of verified slices is bounded by the per-slice
+		// tolerance times the total slice significance.
+		bound := dm.Tolerance * scale * math.Pow(2, float64(dm.NumDevices()*dm.DeviceBits))
+		if d := math.Abs(p.Data.Data[off] - mp.desired[i]); d > bound {
+			t.Fatalf("verified weight %d off by %v (> %v)", i, d, bound)
+		}
+	}
+}
+
+// Drift must lower accuracy-relevant conductance magnitudes over time, and
+// re-verifying must not undo the read-time degradation (the device still
+// drifts after being re-programmed).
+func TestDriftDegradesReadout(t *testing.T) {
+	mp, dm := testNetAndDevice(t)
+	drift := nonideal.Drift{Nu: 0.1, NuStd: 0, T0: 1}
+	inst := drift.NewTrial(dm, rng.New(11))
+
+	mp.SetNonideal(inst, 0)
+	at0 := mp.ProgrammedError()
+	mp.SetNonideal(inst, 86400)
+	day := 0
+	for i := range at0 {
+		p, off, _ := mp.locate(i)
+		if math.Abs(p.Data.Data[off]) < math.Abs(mp.desired[i]+at0[i]) {
+			day++
+		}
+	}
+	if day < mp.total/2 {
+		t.Fatalf("only %d/%d weights shrank after a day of drift", day, mp.total)
+	}
+}
+
+// Incremental syncing (only reprogrammed weights recomputed) must be
+// bit-identical to a full recompute of every weight.
+func TestIncrementalSyncMatchesFull(t *testing.T) {
+	mp, dm := testNetAndDevice(t)
+	inst := nonideal.Drift{Nu: 0.05, NuStd: 0.01, T0: 1}.NewTrial(dm, rng.New(31))
+	mp.SetNonideal(inst, 3600)
+	r := rng.New(32)
+	for i := 100; i < 300; i++ {
+		mp.WriteVerifyAt(i, r)
+	}
+	mp.IncrementAt(5, 0.01, r)
+	mp.SyncRead() // incremental: only the dirty weights above
+	incremental := make([]float64, mp.total)
+	for i := range incremental {
+		p, off, _ := mp.locate(i)
+		incremental[i] = p.Data.Data[off]
+	}
+	mp.needFull = true
+	mp.SyncRead() // full recompute of every weight
+	for i := range incremental {
+		p, off, _ := mp.locate(i)
+		if p.Data.Data[off] != incremental[i] {
+			t.Fatalf("weight %d: incremental sync %v != full sync %v", i, incremental[i], p.Data.Data[off])
+		}
+	}
+}
+
+// In-situ increments must act on the TRUE device state, not the degraded
+// read-out SyncRead wrote into the network — otherwise every accuracy sync
+// would be baked into the conductances and degradation would compound.
+func TestIncrementActsOnTrueState(t *testing.T) {
+	mp, dm := testNetAndDevice(t)
+	// Pick a weight with a solid magnitude so the degradation is visible.
+	pick := -1
+	for i := 0; i < mp.total; i++ {
+		if math.Abs(mp.desired[i]) > 0 {
+			_, _, scale := mp.locate(i)
+			if math.Abs(mp.desired[i])/scale > 3 {
+				pick = i
+				break
+			}
+		}
+	}
+	if pick < 0 {
+		t.Fatal("no suitable weight")
+	}
+	stored := func() float64 { // true stored value reconstructed from cond
+		_, _, scale := mp.locate(pick)
+		nd := dm.NumDevices()
+		v := 0.0
+		for d := 0; d < nd; d++ {
+			v += math.Pow(2, float64(d*dm.DeviceBits)) * mp.cond[pick*nd+d]
+		}
+		return v * scale
+	}
+	before := stored()
+	// Heavy drift: after a day the read-out is ~3% of the stored value.
+	mp.SetNonideal(nonideal.Drift{Nu: 0.3, NuStd: 0, T0: 1}.NewTrial(dm, rng.New(13)), 86400)
+	mp.IncrementAt(pick, 0, rng.New(14)) // zero-delta pulse: only small write noise lands
+	after := stored()
+	if math.Abs(after-before) > 0.5*math.Abs(before) {
+		t.Fatalf("increment compounded the degraded read-out into the device state: %v -> %v", before, after)
+	}
+}
+
+// The nonideality hook must not consume or disturb any RNG stream: two
+// identically-seeded mappings, one with a nonideality applied and cleared,
+// must program identical values for the rest of the trial.
+func TestNonidealDoesNotPerturbStreams(t *testing.T) {
+	mpA, _ := testNetAndDevice(t)
+	mpB, _ := testNetAndDevice(t)
+	mpB.SetNonideal(nonideal.Drift{Nu: 0.05, NuStd: 0.01, T0: 1}.NewTrial(mpB.Model, rng.New(5)), 3600)
+	rA, rB := rng.New(21), rng.New(21)
+	for i := 0; i < 20; i++ {
+		if mpA.WriteVerifyAt(i, rA) != mpB.WriteVerifyAt(i, rB) {
+			t.Fatalf("weight %d: cycle counts diverged under nonideality", i)
+		}
+	}
+	if mpA.NWC() != mpB.NWC() {
+		t.Fatalf("NWC diverged: %v vs %v", mpA.NWC(), mpB.NWC())
+	}
+}

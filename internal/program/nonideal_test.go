@@ -1,0 +1,104 @@
+package program
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"swim/internal/nonideal"
+)
+
+func scenarioStack(t *testing.T) []nonideal.Nonideality {
+	t.Helper()
+	models, err := nonideal.ParseStack("drift:nu=0.08,nustd=0.02+stuckat:p=0.02")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return models
+}
+
+// The acceptance bar for the nonideality subsystem: results are bit-for-bit
+// reproducible across worker counts, crossing two nonidealities with two
+// policies.
+func TestNonidealWorkerInvariance(t *testing.T) {
+	w := workload(t)
+	models := scenarioStack(t)
+	for _, policy := range []string{"swim", "magnitude"} {
+		run := func(workers int) *Result {
+			p, err := New(w.net, mustLookup(t, policy), GridBudget(0, 0.2),
+				append(w.options(),
+					WithNonidealities(models...),
+					WithReadTime(3600),
+					WithSeed(99),
+					WithTrials(4),
+					WithWorkers(workers))...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := p.Run(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		serial, parallel := run(1), run(4)
+		for i := range serial.Points {
+			s, q := serial.Points[i], parallel.Points[i]
+			if s.Accuracy.Mean() != q.Accuracy.Mean() || s.Accuracy.Std() != q.Accuracy.Std() ||
+				s.NWC.Mean() != q.NWC.Mean() || s.NWC.Std() != q.NWC.Std() {
+				t.Fatalf("policy %s point %d: workers=1 (%v ± %v) != workers=4 (%v ± %v)",
+					policy, i, s.Accuracy.Mean(), s.Accuracy.Std(), q.Accuracy.Mean(), q.Accuracy.Std())
+			}
+		}
+	}
+}
+
+// The configured scenario must be recorded in the Result, and a severe
+// fault scenario must actually degrade measured accuracy relative to the
+// ideal-device run with the same seed.
+func TestNonidealRecordedAndEffective(t *testing.T) {
+	w := workload(t)
+	run := func(opts ...Option) *Result {
+		p, err := New(w.net, mustLookup(t, "noverify"), GridBudget(0),
+			append(append(w.options(), WithSeed(7), WithTrials(3)), opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := p.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ideal := run()
+	if len(ideal.Nonidealities) != 0 || ideal.ReadTime != 0 {
+		t.Fatalf("ideal run carries nonideality metadata: %v @ %v", ideal.Nonidealities, ideal.ReadTime)
+	}
+	stuck, err := nonideal.ParseStack("stuckat:p=0.4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty := run(WithNonidealities(stuck...), WithReadTime(86400))
+	if len(faulty.Nonidealities) != 1 || !strings.HasPrefix(faulty.Nonidealities[0], "stuckat:") {
+		t.Fatalf("Nonidealities = %v", faulty.Nonidealities)
+	}
+	if faulty.ReadTime != 86400 {
+		t.Fatalf("ReadTime = %v", faulty.ReadTime)
+	}
+	if faulty.Points[0].Accuracy.Mean() >= ideal.Points[0].Accuracy.Mean() {
+		t.Fatalf("40%% stuck devices did not degrade accuracy: %v >= %v",
+			faulty.Points[0].Accuracy.Mean(), ideal.Points[0].Accuracy.Mean())
+	}
+}
+
+func TestNonidealOptionValidation(t *testing.T) {
+	w := workload(t)
+	if _, err := New(w.net, mustLookup(t, "noverify"), GridBudget(0),
+		append(w.options(), WithNonidealities(nil))...); err == nil {
+		t.Fatal("nil nonideality accepted")
+	}
+	if _, err := New(w.net, mustLookup(t, "noverify"), GridBudget(0),
+		append(w.options(), WithReadTime(-1))...); err == nil {
+		t.Fatal("negative read time accepted")
+	}
+}

@@ -48,12 +48,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 
 	"swim/internal/device"
 	"swim/internal/mapping"
 	"swim/internal/mc"
 	"swim/internal/nn"
+	"swim/internal/nonideal"
 	"swim/internal/rng"
 	"swim/internal/stat"
 	"swim/internal/swim"
@@ -87,6 +89,8 @@ type Pipeline struct {
 	workers       int
 	cycleTable    []float64
 	spatial       *device.SpatialConfig
+	nonideal      []nonideal.Nonideality
+	readTime      float64
 	selectorSplit bool
 	baseCtx       context.Context
 
@@ -280,6 +284,42 @@ func WithSpatial(cfg device.SpatialConfig) Option {
 	}
 }
 
+// WithNonidealities applies a stack of read-time device-nonideality models
+// (package nonideal: drift, retention, stuck-at faults, ...): every trial
+// mints its own deterministic instance from the trial stream and every
+// accuracy measurement observes the degraded device state at the configured
+// read time (WithReadTime) instead of the ideal time-0 conductances.
+// Write-verify still corrects the true (time-0) device state; every device
+// then degrades for the full read time, verified or not, so a verified
+// weight's advantage under degradation is the smaller programming error it
+// starts from — the interaction scenario sweeps study. Models apply in the
+// given order. The configured specs are recorded in the Result.
+func WithNonidealities(models ...nonideal.Nonideality) Option {
+	return func(p *Pipeline) error {
+		for i, n := range models {
+			if n == nil {
+				return fmt.Errorf("nil nonideality at position %d", i)
+			}
+		}
+		p.nonideal = append(p.nonideal, models...)
+		return nil
+	}
+}
+
+// WithReadTime sets when accuracy is measured, in seconds after the
+// programming pass — the time axis nonideality models degrade along.
+// Without WithNonidealities it has no effect. Default 0 (read immediately
+// after programming).
+func WithReadTime(seconds float64) Option {
+	return func(p *Pipeline) error {
+		if seconds < 0 || math.IsNaN(seconds) {
+			return fmt.Errorf("read time must be non-negative, got %g", seconds)
+		}
+		p.readTime = seconds
+		return nil
+	}
+}
+
 // WithSelectorSeedSplit draws each trial's selector order from a dedicated
 // child stream split off the trial stream, instead of the trial stream
 // itself. The device-programming noise then no longer depends on how much
@@ -405,6 +445,12 @@ func (p *Pipeline) setupTrial(env *Env, table []float64, r *rng.Source) (mp *map
 	if p.spatial != nil {
 		mp.ProgramAllSpatial(r, device.NewSpatialField(*p.spatial, r))
 	}
+	if len(p.nonideal) > 0 {
+		// One split keeps the trial stream's consumption fixed no matter
+		// how many models are stacked, so adding a nonideality never shifts
+		// the device-programming randomness of a later trial phase.
+		mp.SetNonideal(nonideal.NewTrials(p.nonideal, env.Device, r.Split()), p.readTime)
+	}
 	arena, _ := p.arenas.Get().(*tensor.Arena)
 	if arena == nil {
 		arena = tensor.NewArena()
@@ -431,7 +477,10 @@ func (p *Pipeline) runGrid(ctx context.Context, env *Env, table []float64, b NWC
 	if err != nil {
 		return nil, fmt.Errorf("program: policy %q: %w", p.policy.Name(), err)
 	}
-	res := &Result{Policy: p.policy.Name(), Budget: p.budget, Trials: p.trials}
+	res := &Result{
+		Policy: p.policy.Name(), Budget: p.budget, Trials: p.trials,
+		Nonidealities: nonideal.Names(p.nonideal), ReadTime: p.readTime,
+	}
 	for i, target := range b.Targets {
 		res.Points = append(res.Points, Point{Target: target, Accuracy: agg[i], NWC: agg[points+i]})
 	}
@@ -508,6 +557,7 @@ func (p *Pipeline) runDrop(ctx context.Context, env *Env, table []float64, b Dro
 
 	res := &Result{
 		Policy: p.policy.Name(), Budget: p.budget, Trials: p.trials,
+		Nonidealities: nonideal.Names(p.nonideal), ReadTime: p.readTime,
 		NWC: &stat.Welford{}, Evals: &stat.Welford{},
 	}
 	// Fold per-trial singleton accumulators in trial order — the same

@@ -14,6 +14,13 @@ type Result struct {
 	Budget Budget
 	// Trials is the Monte-Carlo trial count.
 	Trials int
+	// Nonidealities records the read-time device-nonideality specs the run
+	// was configured with (WithNonidealities), in application order; empty
+	// for an ideal-device run.
+	Nonidealities []string
+	// ReadTime is when accuracy was measured, in seconds after programming
+	// (WithReadTime; 0 for an immediate read).
+	ReadTime float64
 
 	// Points is the per-grid-point outcome (NWCGrid budgets only).
 	Points []Point

@@ -30,6 +30,18 @@ func New(seed uint64) *Source {
 	return s
 }
 
+// NewLocal returns a stream seeded from seed as a value rather than a
+// pointer, for callers that mint many short-lived streams on a hot path
+// (e.g. per-device nonideality draws keyed by device index): a local value
+// whose address never escapes stays on the stack, so no allocation occurs.
+// The warm-up matches New, so NewLocal(s) and *New(s) are the same stream.
+func NewLocal(seed uint64) Source {
+	s := Source{state: seed}
+	s.Uint64()
+	s.Uint64()
+	return s
+}
+
 // Split derives an independent child stream. The parent advances, so
 // successive Split calls yield distinct children.
 func (s *Source) Split() *Source {

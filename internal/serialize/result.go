@@ -1,0 +1,231 @@
+package serialize
+
+// This file implements result records: a versioned JSON encoding of
+// program.Result, so sweeps can persist their outcomes (nonideality
+// metadata included) and reload them across binary versions.
+//
+// Compatibility contract:
+//
+//   - Backward: a record written by an older version (missing fields this
+//     version knows) decodes cleanly; absent fields take zero values.
+//   - Forward: a record written by a newer version (carrying fields this
+//     version does not know) decodes cleanly AND round-trips — unknown
+//     top-level fields are preserved verbatim through decode → encode, so
+//     passing a record through an old tool never strips information.
+//
+// Welford aggregates are serialized as their sufficient statistics
+// (N, Mean, M2) and rebuilt with stat.FromMoments, which is lossless.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"swim/internal/program"
+	"swim/internal/stat"
+)
+
+// ResultVersion is the record version written by EncodeResult.
+const ResultVersion = 1
+
+// WelfordRecord is a serialized stat.Welford: its sufficient statistics.
+type WelfordRecord struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	M2   float64 `json:"m2"`
+}
+
+func welfordRecord(w *stat.Welford) *WelfordRecord {
+	if w == nil {
+		return nil
+	}
+	return &WelfordRecord{N: w.N(), Mean: w.Mean(), M2: w.M2()}
+}
+
+func (r *WelfordRecord) welford() *stat.Welford {
+	if r == nil {
+		return nil
+	}
+	return stat.FromMoments(r.N, r.Mean, r.M2)
+}
+
+// BudgetRecord serializes a program.Budget value: Kind "grid" carries
+// Targets, kind "drop" the Algorithm-1 stopping parameters.
+type BudgetRecord struct {
+	Kind         string    `json:"kind"`
+	Targets      []float64 `json:"targets,omitempty"`
+	BaseAccuracy float64   `json:"base_accuracy,omitempty"`
+	MaxDrop      float64   `json:"max_drop,omitempty"`
+	MaxNWC       float64   `json:"max_nwc,omitempty"`
+}
+
+// PointRecord serializes one fixed-NWC grid point.
+type PointRecord struct {
+	Target   float64        `json:"target"`
+	Accuracy *WelfordRecord `json:"accuracy"`
+	NWC      *WelfordRecord `json:"nwc"`
+}
+
+// TraceRecord serializes one granule of a drop-budget trace.
+type TraceRecord struct {
+	FractionVerified float64        `json:"fraction_verified"`
+	Accuracy         *WelfordRecord `json:"accuracy"`
+	NWC              *WelfordRecord `json:"nwc"`
+}
+
+// ResultRecord is the top-level serialized form of a program.Result.
+// Unknown JSON fields encountered on decode are retained in Extra and
+// re-emitted on encode (forward compatibility).
+type ResultRecord struct {
+	Version       int            `json:"version"`
+	Policy        string         `json:"policy"`
+	Trials        int            `json:"trials"`
+	Budget        *BudgetRecord  `json:"budget,omitempty"`
+	Nonidealities []string       `json:"nonidealities,omitempty"`
+	ReadTime      float64        `json:"read_time,omitempty"`
+	Points        []PointRecord  `json:"points,omitempty"`
+	Trace         []TraceRecord  `json:"trace,omitempty"`
+	NWC           *WelfordRecord `json:"nwc,omitempty"`
+	Evals         *WelfordRecord `json:"evals,omitempty"`
+	Achieved      int            `json:"achieved,omitempty"`
+
+	// Extra holds top-level fields written by a newer version, preserved
+	// verbatim across a decode → encode round trip.
+	Extra map[string]json.RawMessage `json:"-"`
+}
+
+// knownResultFields mirrors the json tags above; keep in sync when adding
+// fields (the compat test round-trips a synthetic future record).
+var knownResultFields = []string{
+	"version", "policy", "trials", "budget", "nonidealities", "read_time",
+	"points", "trace", "nwc", "evals", "achieved",
+}
+
+// MarshalJSON emits the known fields plus any preserved unknown ones.
+func (r ResultRecord) MarshalJSON() ([]byte, error) {
+	type bare ResultRecord // strip methods to avoid recursion
+	raw, err := json.Marshal(bare(r))
+	if err != nil {
+		return nil, err
+	}
+	if len(r.Extra) == 0 {
+		return raw, nil
+	}
+	var merged map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &merged); err != nil {
+		return nil, err
+	}
+	for k, v := range r.Extra {
+		if _, known := merged[k]; !known {
+			merged[k] = v
+		}
+	}
+	return json.Marshal(merged)
+}
+
+// UnmarshalJSON decodes the known fields and stashes unknown top-level
+// fields in Extra.
+func (r *ResultRecord) UnmarshalJSON(data []byte) error {
+	type bare ResultRecord
+	var b bare
+	if err := json.Unmarshal(data, &b); err != nil {
+		return err
+	}
+	*r = ResultRecord(b)
+	var all map[string]json.RawMessage
+	if err := json.Unmarshal(data, &all); err != nil {
+		return err
+	}
+	for _, k := range knownResultFields {
+		delete(all, k)
+	}
+	if len(all) > 0 {
+		r.Extra = all
+	}
+	return nil
+}
+
+// CaptureResult converts a program.Result into its serialized record.
+func CaptureResult(res *program.Result) *ResultRecord {
+	rec := &ResultRecord{
+		Version:       ResultVersion,
+		Policy:        res.Policy,
+		Trials:        res.Trials,
+		Nonidealities: append([]string(nil), res.Nonidealities...),
+		ReadTime:      res.ReadTime,
+		NWC:           welfordRecord(res.NWC),
+		Evals:         welfordRecord(res.Evals),
+		Achieved:      res.Achieved,
+	}
+	switch b := res.Budget.(type) {
+	case program.NWCGrid:
+		rec.Budget = &BudgetRecord{Kind: "grid", Targets: append([]float64(nil), b.Targets...)}
+	case program.DropTarget:
+		rec.Budget = &BudgetRecord{Kind: "drop", BaseAccuracy: b.BaseAccuracy, MaxDrop: b.MaxDrop, MaxNWC: b.MaxNWC}
+	}
+	for _, p := range res.Points {
+		rec.Points = append(rec.Points, PointRecord{
+			Target: p.Target, Accuracy: welfordRecord(p.Accuracy), NWC: welfordRecord(p.NWC),
+		})
+	}
+	for _, s := range res.Trace {
+		rec.Trace = append(rec.Trace, TraceRecord{
+			FractionVerified: s.FractionVerified, Accuracy: welfordRecord(s.Accuracy), NWC: welfordRecord(s.NWC),
+		})
+	}
+	return rec
+}
+
+// RestoreResult rebuilds a program.Result from a record. Unknown budget
+// kinds (written by a newer version) leave Budget nil rather than failing:
+// the numeric payload is still usable.
+func RestoreResult(rec *ResultRecord) *program.Result {
+	res := &program.Result{
+		Policy:        rec.Policy,
+		Trials:        rec.Trials,
+		Nonidealities: append([]string(nil), rec.Nonidealities...),
+		ReadTime:      rec.ReadTime,
+		NWC:           rec.NWC.welford(),
+		Evals:         rec.Evals.welford(),
+		Achieved:      rec.Achieved,
+	}
+	if rec.Budget != nil {
+		switch rec.Budget.Kind {
+		case "grid":
+			res.Budget = program.GridBudget(rec.Budget.Targets...)
+		case "drop":
+			b := program.DropBudget(rec.Budget.BaseAccuracy, rec.Budget.MaxDrop)
+			b.MaxNWC = rec.Budget.MaxNWC
+			res.Budget = b
+		}
+	}
+	for _, p := range rec.Points {
+		res.Points = append(res.Points, program.Point{
+			Target: p.Target, Accuracy: p.Accuracy.welford(), NWC: p.NWC.welford(),
+		})
+	}
+	for _, s := range rec.Trace {
+		res.Trace = append(res.Trace, program.TraceStep{
+			FractionVerified: s.FractionVerified, Accuracy: s.Accuracy.welford(), NWC: s.NWC.welford(),
+		})
+	}
+	return res
+}
+
+// EncodeResult writes res to w as an indented JSON record.
+func EncodeResult(w io.Writer, res *program.Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(CaptureResult(res))
+}
+
+// DecodeResult reads a JSON record from r and rebuilds the result. The
+// record (with any preserved unknown fields) is returned alongside, for
+// tools that re-emit what they read.
+func DecodeResult(r io.Reader) (*program.Result, *ResultRecord, error) {
+	var rec ResultRecord
+	if err := json.NewDecoder(r).Decode(&rec); err != nil {
+		return nil, nil, fmt.Errorf("serialize: decode result: %w", err)
+	}
+	return RestoreResult(&rec), &rec, nil
+}

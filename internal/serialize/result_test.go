@@ -1,0 +1,204 @@
+package serialize
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"swim/internal/program"
+	"swim/internal/stat"
+)
+
+func acc(vals ...float64) *stat.Welford {
+	w := &stat.Welford{}
+	for _, v := range vals {
+		w.Add(v)
+	}
+	return w
+}
+
+func sameWelford(t *testing.T, what string, a, b *stat.Welford) {
+	t.Helper()
+	if (a == nil) != (b == nil) {
+		t.Fatalf("%s: nil mismatch", what)
+	}
+	if a == nil {
+		return
+	}
+	if a.N() != b.N() || a.Mean() != b.Mean() || a.M2() != b.M2() || a.Std() != b.Std() {
+		t.Fatalf("%s: (%d, %v, %v) != (%d, %v, %v)", what, a.N(), a.Mean(), a.M2(), b.N(), b.Mean(), b.M2())
+	}
+}
+
+// A grid-budget result carrying nonideality metadata must round-trip
+// losslessly, aggregates included.
+func TestResultRoundTripWithNonidealities(t *testing.T) {
+	res := &program.Result{
+		Policy:        "swim",
+		Trials:        3,
+		Budget:        program.GridBudget(0, 0.1, 0.3),
+		Nonidealities: []string{"drift:nu=0.02,nustd=0.005,t0=1", "stuckat:p=0.001,high=0.5"},
+		ReadTime:      86400,
+		Points: []program.Point{
+			{Target: 0, Accuracy: acc(49, 51, 53), NWC: acc(0, 0, 0)},
+			{Target: 0.1, Accuracy: acc(60, 62, 61), NWC: acc(0.1, 0.11, 0.09)},
+			{Target: 0.3, Accuracy: acc(65, 66, 64), NWC: acc(0.3, 0.29, 0.31)},
+		},
+	}
+	var buf bytes.Buffer
+	if err := EncodeResult(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	got, rec, err := DecodeResult(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Version != ResultVersion {
+		t.Fatalf("version = %d", rec.Version)
+	}
+	if got.Policy != res.Policy || got.Trials != res.Trials || got.ReadTime != res.ReadTime {
+		t.Fatalf("scalars corrupted: %+v", got)
+	}
+	if len(got.Nonidealities) != 2 || got.Nonidealities[0] != res.Nonidealities[0] || got.Nonidealities[1] != res.Nonidealities[1] {
+		t.Fatalf("nonidealities corrupted: %v", got.Nonidealities)
+	}
+	grid, ok := got.Budget.(program.NWCGrid)
+	if !ok || len(grid.Targets) != 3 || grid.Targets[2] != 0.3 {
+		t.Fatalf("budget corrupted: %#v", got.Budget)
+	}
+	if len(got.Points) != len(res.Points) {
+		t.Fatalf("points = %d", len(got.Points))
+	}
+	for i := range res.Points {
+		if got.Points[i].Target != res.Points[i].Target {
+			t.Fatalf("point %d target %v", i, got.Points[i].Target)
+		}
+		sameWelford(t, "accuracy", res.Points[i].Accuracy, got.Points[i].Accuracy)
+		sameWelford(t, "nwc", res.Points[i].NWC, got.Points[i].NWC)
+	}
+}
+
+func TestResultRoundTripDropBudget(t *testing.T) {
+	b := program.DropBudget(67.5, 1.0)
+	b.MaxNWC = 8
+	res := &program.Result{
+		Policy: "insitu", Trials: 2, Budget: b,
+		Trace: []program.TraceStep{
+			{FractionVerified: 0, Accuracy: acc(50, 52), NWC: acc(0, 0)},
+			{FractionVerified: 0.05, Accuracy: acc(60, 59), NWC: acc(0.05, 0.06)},
+		},
+		NWC: acc(0.05, 0.06), Evals: acc(2, 2), Achieved: 1,
+	}
+	var buf bytes.Buffer
+	if err := EncodeResult(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := DecodeResult(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drop, ok := got.Budget.(program.DropTarget)
+	if !ok || drop != b {
+		t.Fatalf("drop budget corrupted: %#v", got.Budget)
+	}
+	if len(got.Trace) != 2 || got.Trace[1].FractionVerified != 0.05 {
+		t.Fatalf("trace corrupted: %+v", got.Trace)
+	}
+	sameWelford(t, "NWC", res.NWC, got.NWC)
+	sameWelford(t, "Evals", res.Evals, got.Evals)
+	if got.Achieved != 1 {
+		t.Fatalf("achieved = %d", got.Achieved)
+	}
+}
+
+// Forward compatibility: a record from a future version — unknown
+// top-level fields, an unknown budget kind — must decode cleanly and
+// preserve the unknown fields verbatim through a re-encode.
+func TestResultForwardCompatibility(t *testing.T) {
+	future := `{
+		"version": 9,
+		"policy": "swim",
+		"trials": 5,
+		"read_time": 60,
+		"nonidealities": ["warpfield:q=2"],
+		"budget": {"kind": "entropy", "bits": 3},
+		"points": [{"target": 0, "accuracy": {"n": 5, "mean": 50, "m2": 10}, "nwc": {"n": 5, "mean": 0, "m2": 0}}],
+		"energy_model": {"pulse_pj": 10.5},
+		"comment": "written by v9"
+	}`
+	res, rec, err := DecodeResult(strings.NewReader(future))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Policy != "swim" || res.Trials != 5 || res.ReadTime != 60 {
+		t.Fatalf("known fields corrupted: %+v", res)
+	}
+	if res.Budget != nil {
+		t.Fatalf("unknown budget kind should leave Budget nil, got %#v", res.Budget)
+	}
+	if res.Points[0].Accuracy.N() != 5 || res.Points[0].Accuracy.Mean() != 50 {
+		t.Fatalf("aggregates corrupted: %+v", res.Points[0].Accuracy)
+	}
+	if len(rec.Extra) != 2 {
+		t.Fatalf("unknown fields not preserved: %v", rec.Extra)
+	}
+	out, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var echoed map[string]json.RawMessage
+	if err := json.Unmarshal(out, &echoed); err != nil {
+		t.Fatal(err)
+	}
+	if string(echoed["comment"]) != `"written by v9"` {
+		t.Fatalf("comment not re-emitted: %s", echoed["comment"])
+	}
+	if !bytes.Contains(echoed["energy_model"], []byte("10.5")) {
+		t.Fatalf("energy_model not re-emitted: %s", echoed["energy_model"])
+	}
+	// The unknown budget kind must also survive the round trip.
+	if !bytes.Contains(out, []byte(`"entropy"`)) {
+		t.Fatalf("unknown budget kind dropped: %s", out)
+	}
+}
+
+// Backward compatibility: a minimal record from before the nonideality
+// fields existed decodes with zero defaults.
+func TestResultBackwardCompatibility(t *testing.T) {
+	old := `{"version": 1, "policy": "magnitude", "trials": 8,
+		"budget": {"kind": "grid", "targets": [0, 1]},
+		"points": [
+			{"target": 0, "accuracy": {"n": 8, "mean": 42, "m2": 4}, "nwc": {"n": 8, "mean": 0, "m2": 0}},
+			{"target": 1, "accuracy": {"n": 8, "mean": 60, "m2": 2}, "nwc": {"n": 8, "mean": 1, "m2": 0}}
+		]}`
+	res, rec, err := DecodeResult(strings.NewReader(old))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Nonidealities) != 0 || res.ReadTime != 0 {
+		t.Fatalf("missing fields should default to zero: %v @ %v", res.Nonidealities, res.ReadTime)
+	}
+	if len(rec.Extra) != 0 {
+		t.Fatalf("spurious unknown fields: %v", rec.Extra)
+	}
+	if len(res.Points) != 2 || res.Points[1].Accuracy.Mean() != 60 {
+		t.Fatalf("points corrupted: %+v", res.Points)
+	}
+	// Budget round-trips back into a validatable pipeline value.
+	if _, ok := res.Budget.(program.NWCGrid); !ok {
+		t.Fatalf("budget = %#v", res.Budget)
+	}
+}
+
+// A result produced by serialization must keep behaving like a live one:
+// merging a restored Welford continues the stream exactly.
+func TestRestoredWelfordKeepsAccumulating(t *testing.T) {
+	orig := acc(1, 2, 3)
+	rt := welfordRecord(orig).welford()
+	orig.Add(4)
+	rt.Add(4)
+	if orig.Mean() != rt.Mean() || orig.Std() != rt.Std() || orig.N() != rt.N() {
+		t.Fatalf("restored accumulator diverged: %v/%v vs %v/%v", orig.Mean(), orig.Std(), rt.Mean(), rt.Std())
+	}
+}

@@ -1,9 +1,10 @@
-// Package serialize persists trained network state as a portable state
-// dictionary (encoding/gob): parameter tensors keyed by name plus the
-// non-parameter state inference depends on — batch-norm running statistics
-// and activation-quantizer ranges. Architectures are rebuilt from code (the
-// model zoo), then populated with LoadState, PyTorch-state-dict style; this
-// keeps the format stable across refactors of layer internals.
+// Package serialize persists experiment state in portable formats: trained
+// network state as a gob state dictionary (parameter tensors keyed by name
+// plus the non-parameter state inference depends on — batch-norm running
+// statistics and activation-quantizer ranges; architectures are rebuilt
+// from code and populated with Restore, PyTorch-state-dict style), and
+// pipeline outcomes as versioned, forward/backward-compatible JSON result
+// records (EncodeResult / DecodeResult, see result.go).
 package serialize
 
 import (

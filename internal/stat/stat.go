@@ -50,6 +50,19 @@ func (w *Welford) Merge(o *Welford) {
 // N returns the number of observations.
 func (w *Welford) N() int { return w.n }
 
+// M2 returns the running sum of squared deviations from the mean — the
+// accumulator's third sufficient statistic, exposed so aggregates can be
+// serialized losslessly (package serialize) and rebuilt with FromMoments.
+func (w *Welford) M2() float64 { return w.m2 }
+
+// FromMoments reconstructs an accumulator from its sufficient statistics
+// (N, Mean, M2), the exact inverse of reading them off: merging or adding
+// onto the result behaves as if the original observations had been
+// replayed.
+func FromMoments(n int, mean, m2 float64) *Welford {
+	return &Welford{n: n, mean: mean, m2: m2}
+}
+
 // Mean returns the running mean (0 if empty).
 func (w *Welford) Mean() float64 { return w.mean }
 

@@ -1,0 +1,293 @@
+// Command doccheck enforces the repository's documentation tier in CI:
+//
+//  1. Every exported identifier in the given packages must carry a doc
+//     comment — top-level functions, types, consts and vars (a group doc
+//     or per-line comment covers a grouped spec), and exported methods on
+//     exported types.
+//  2. Every fenced ```go code block in the given markdown files must be a
+//     self-contained Go file that parses AND compiles against the current
+//     module, so README/docs snippets cannot silently rot when an API
+//     changes. Illustrative fragments that are not meant to compile must
+//     use a different fence language (```text).
+//
+// Usage:
+//
+//	go run ./internal/tools/doccheck [-md README.md -md docs/ARCHITECTURE.md] ./internal/...
+//
+// Package patterns are directories, with the "/..." suffix walking
+// recursively. Test files (*_test.go) are exempt. Exit status 1 if any
+// violation is found.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+type stringList []string
+
+func (s *stringList) String() string { return strings.Join(*s, ",") }
+
+func (s *stringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+func main() {
+	var mds stringList
+	flag.Var(&mds, "md", "markdown file whose ```go blocks must compile (repeatable)")
+	flag.Parse()
+
+	var violations []string
+	for _, pattern := range flag.Args() {
+		dirs, err := expand(pattern)
+		if err != nil {
+			fatal(err)
+		}
+		for _, dir := range dirs {
+			v, err := checkPackage(dir)
+			if err != nil {
+				fatal(err)
+			}
+			violations = append(violations, v...)
+		}
+	}
+	for _, md := range mds {
+		v, err := checkMarkdown(md)
+		if err != nil {
+			fatal(err)
+		}
+		violations = append(violations, v...)
+	}
+	if len(violations) > 0 {
+		sort.Strings(violations)
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, v)
+		}
+		fmt.Fprintf(os.Stderr, "doccheck: %d violation(s)\n", len(violations))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "doccheck:", err)
+	os.Exit(2)
+}
+
+// expand resolves a package pattern to directories containing Go files.
+func expand(pattern string) ([]string, error) {
+	root, recursive := strings.CutSuffix(pattern, "/...")
+	if !recursive {
+		return []string{pattern}, nil
+	}
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+				dirs = append(dirs, path)
+				break
+			}
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+// checkPackage reports every exported identifier in dir lacking a doc
+// comment.
+func checkPackage(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", dir, err)
+	}
+	var out []string
+	report := func(pos token.Pos, what, name string) {
+		p := fset.Position(pos)
+		out = append(out, fmt.Sprintf("%s:%d: %s %s has no doc comment", p.Filename, p.Line, what, name))
+	}
+	for _, pkg := range pkgs {
+		exportedTypes := map[string]bool{}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				if gd, ok := decl.(*ast.GenDecl); ok && gd.Tok == token.TYPE {
+					for _, spec := range gd.Specs {
+						ts := spec.(*ast.TypeSpec)
+						if ts.Name.IsExported() {
+							exportedTypes[ts.Name.Name] = true
+						}
+					}
+				}
+			}
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if !d.Name.IsExported() || d.Doc != nil {
+						continue
+					}
+					if d.Recv != nil {
+						recv := receiverType(d.Recv)
+						if !exportedTypes[recv] {
+							continue // method on an unexported type
+						}
+						report(d.Name.Pos(), "method", recv+"."+d.Name.Name)
+						continue
+					}
+					report(d.Name.Pos(), "function", d.Name.Name)
+				case *ast.GenDecl:
+					checkGenDecl(d, report)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// receiverType extracts the receiver's type name (pointer stripped).
+func receiverType(recv *ast.FieldList) string {
+	if len(recv.List) == 0 {
+		return ""
+	}
+	t := recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		if id, ok := idx.X.(*ast.Ident); ok {
+			return id.Name
+		}
+	}
+	return ""
+}
+
+// checkGenDecl reports undocumented exported specs of a type/const/var
+// declaration. A doc on the grouped declaration covers every member; a
+// per-spec doc or trailing line comment also counts.
+func checkGenDecl(d *ast.GenDecl, report func(pos token.Pos, what, name string)) {
+	if d.Tok == token.IMPORT {
+		return
+	}
+	what := map[token.Token]string{token.TYPE: "type", token.CONST: "const", token.VAR: "var"}[d.Tok]
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+				report(s.Name.Pos(), what, s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			if d.Doc != nil || s.Doc != nil || s.Comment != nil {
+				continue
+			}
+			for _, name := range s.Names {
+				if name.IsExported() {
+					report(name.Pos(), what, name.Name)
+				}
+			}
+		}
+	}
+}
+
+// checkMarkdown extracts every fenced ```go block from path and verifies it
+// parses as a complete Go file and compiles inside the current module.
+func checkMarkdown(path string) ([]string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	blocks, lines, berr := goBlocks(string(raw))
+	if berr != "" {
+		out = append(out, fmt.Sprintf("%s: %s", path, berr))
+	}
+	if len(blocks) == 0 {
+		return out, nil
+	}
+	tmp, err := os.MkdirTemp(".", ".doccheck-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(tmp)
+	for i, block := range blocks {
+		loc := fmt.Sprintf("%s:%d: go snippet", path, lines[i])
+		fset := token.NewFileSet()
+		if _, err := parser.ParseFile(fset, "snippet.go", block, 0); err != nil {
+			out = append(out, fmt.Sprintf("%s does not parse as a Go file: %v", loc, firstLine(err)))
+			continue
+		}
+		dir := filepath.Join(tmp, fmt.Sprintf("s%d", i))
+		if err := os.Mkdir(dir, 0o755); err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(filepath.Join(dir, "snippet.go"), []byte(block), 0o644); err != nil {
+			return nil, err
+		}
+		cmd := exec.Command("go", "build", "./"+dir)
+		cmd.Env = append(os.Environ(), "GOFLAGS=-mod=mod")
+		if msg, err := cmd.CombinedOutput(); err != nil {
+			out = append(out, fmt.Sprintf("%s does not compile: %s", loc, firstLine(fmt.Errorf("%s", msg))))
+		}
+	}
+	return out, nil
+}
+
+// goBlocks returns the contents and starting line numbers of ```go fences.
+// The opening fence may carry an info-string suffix ("```go title=x"); any
+// line whose trimmed form starts with ``` closes an open block (so a fence
+// language typo cannot swallow the rest of the document). An unclosed
+// fence at EOF is reported through errMsg rather than silently dropped.
+func goBlocks(doc string) (blocks []string, startLines []int, errMsg string) {
+	lines := strings.Split(doc, "\n")
+	inBlock := false
+	var cur []string
+	start := 0
+	for i, line := range lines {
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case !inBlock && (trimmed == "```go" || strings.HasPrefix(trimmed, "```go ")):
+			inBlock, cur, start = true, nil, i+2
+		case inBlock && strings.HasPrefix(trimmed, "```"):
+			blocks = append(blocks, strings.Join(cur, "\n")+"\n")
+			startLines = append(startLines, start)
+			inBlock = false
+		case inBlock:
+			cur = append(cur, line)
+		}
+	}
+	if inBlock {
+		errMsg = fmt.Sprintf("line %d: unclosed ```go fence", start-1)
+	}
+	return blocks, startLines, errMsg
+}
+
+func firstLine(err error) string {
+	s := strings.TrimSpace(err.Error())
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	return s
+}
