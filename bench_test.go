@@ -152,7 +152,7 @@ func BenchmarkAblateGranularity(b *testing.B) {
 	w := experiments.LeNetMNIST()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.AblateGranularity(w, swimPolicy(b), experiments.SigmaHigh, 1.0, []float64{0.05, 0.25}, 3, 40)
+		rows, err := experiments.AblateGranularity(w, swimPolicy(b), experiments.SigmaHigh, 1.0, []float64{0.05, 0.25}, experiments.ReadScenario{}, 3, 40)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -164,7 +164,7 @@ func BenchmarkAblateTieBreak(b *testing.B) {
 	w := experiments.LeNetMNIST()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.AblateTieBreak(w, experiments.SigmaHigh, 0.1, 3, 41)
+		res, err := experiments.AblateTieBreak(w, experiments.SigmaHigh, 0.1, experiments.ReadScenario{}, 3, 41)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -179,7 +179,7 @@ func BenchmarkAblateDeviceBits(b *testing.B) {
 	w := experiments.LeNetMNIST()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.AblateDeviceBits(w, swimPolicy(b), experiments.SigmaTypical, 0.1, []int{2, 4}, 3, 42)
+		rows, err := experiments.AblateDeviceBits(w, swimPolicy(b), experiments.SigmaTypical, 0.1, []int{2, 4}, experiments.ReadScenario{}, 3, 42)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -32,8 +32,11 @@ func main() {
 		"'+'-stacked device-nonideality scenario applied at read time ('list' prints the registered models)")
 	readTime := flag.Float64("readtime", 0, "read time in seconds after programming for -nonideal")
 	workers := flag.Int("workers", 0, "Monte-Carlo worker goroutines (0 = SWIM_WORKERS or all CPUs)")
+	stateFlag := flag.String("state", "",
+		"directory of serialized workload states: restore instead of retraining, persist after training (see swim-train -state)")
 	flag.Parse()
 	mc.SetWorkers(*workers)
+	experiments.SetStateDir(*stateFlag)
 
 	fatal := func(err error) {
 		fmt.Fprintln(os.Stderr, "swim-ablate:", err)
@@ -48,7 +51,7 @@ func main() {
 		fmt.Println(listing)
 		return
 	}
-	experiments.SetScenario(scenario, *readTime)
+	scn := experiments.ReadScenario{Models: scenario, ReadTime: *readTime}
 	pol, err := program.Lookup(*policy)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "swim-ablate:", err)
@@ -59,14 +62,14 @@ func main() {
 	run := map[string]func(){
 		"granularity": func() {
 			rows, err := experiments.AblateGranularity(w, pol, experiments.SigmaHigh, 1.0,
-				[]float64{0.01, 0.05, 0.1, 0.25}, trials, 40)
+				[]float64{0.01, 0.05, 0.1, 0.25}, scn, trials, 40)
 			if err != nil {
 				fatal(err)
 			}
 			experiments.PrintGranularity(os.Stdout, w, 1.0, rows)
 		},
 		"tiebreak": func() {
-			res, err := experiments.AblateTieBreak(w, experiments.SigmaHigh, 0.1, trials, 41)
+			res, err := experiments.AblateTieBreak(w, experiments.SigmaHigh, 0.1, scn, trials, 41)
 			if err != nil {
 				fatal(err)
 			}
@@ -77,7 +80,7 @@ func main() {
 		},
 		"kbits": func() {
 			rows, err := experiments.AblateDeviceBits(w, pol, experiments.SigmaTypical, 0.1,
-				[]int{1, 2, 4}, trials, 42)
+				[]int{1, 2, 4}, scn, trials, 42)
 			if err != nil {
 				fatal(err)
 			}
@@ -89,14 +92,14 @@ func main() {
 			fmt.Printf("  Spearman(analytic second derivative, finite difference) = %.3f\n", rho)
 		},
 		"spatial": func() {
-			rows, err := experiments.AblateSpatial(w, pol, experiments.SigmaHigh, 0.1, trials, 44)
+			rows, err := experiments.AblateSpatial(w, pol, experiments.SigmaHigh, 0.1, scn, trials, 44)
 			if err != nil {
 				fatal(err)
 			}
 			experiments.PrintSpatial(os.Stdout, w, pol.Name(), 0.1, rows)
 		},
 		"fisher": func() {
-			sw, fi, err := experiments.CompareFisher(w, experiments.SigmaHigh, 0.1, trials, 45)
+			sw, fi, err := experiments.CompareFisher(w, experiments.SigmaHigh, 0.1, scn, trials, 45)
 			if err != nil {
 				fatal(err)
 			}

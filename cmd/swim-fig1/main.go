@@ -38,8 +38,11 @@ func main() {
 		"'+'-stacked device-nonideality scenario applied at read time ('list' prints the registered models)")
 	flag.Float64Var(&cfg.ReadTime, "readtime", 0, "read time in seconds after programming for -nonideal")
 	workers := flag.Int("workers", 0, "Monte-Carlo worker goroutines (0 = SWIM_WORKERS or all CPUs)")
+	stateFlag := flag.String("state", "",
+		"directory of serialized workload states: restore instead of retraining, persist after training (see swim-train -state)")
 	flag.Parse()
 	mc.SetWorkers(*workers)
+	experiments.SetStateDir(*stateFlag)
 
 	scenario, listing, err := nonideal.FromFlag(*nonidealFlag)
 	if err != nil {

@@ -12,6 +12,12 @@
 //	              [-times 0,3600,86400] [-nwcs 0,0.1,0.3]
 //	              [-policies swim,magnitude,noverify]
 //	              [-sigma 1.0] [-trials N] [-workers N]
+//	              [-json path] [-state dir]
+//
+// -json additionally writes the sweep as a serialized result envelope —
+// byte-identical to what the swim-serve daemon's result endpoint returns
+// for the equivalent request (CI diffs the two). -state restores/persists
+// trained workload states so repeated runs skip training.
 //
 // Scenario grammar: scenarios separate with ';', models within a scenario
 // stack with '+', parameters attach as name:key=value,key=value.
@@ -20,8 +26,10 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -30,6 +38,7 @@ import (
 	"swim/internal/mc"
 	"swim/internal/nonideal"
 	"swim/internal/program"
+	"swim/internal/serialize"
 )
 
 func parseFloats(csv string) ([]float64, error) {
@@ -56,10 +65,15 @@ func main() {
 	policiesFlag := flag.String("policies", "",
 		"comma-separated registry policies (default swim,magnitude,noverify; 'list' prints the registered names)")
 	sigma := flag.Float64("sigma", experiments.SigmaHigh, "device variation before write-verify")
+	jsonFlag := flag.String("json", "",
+		"also write the sweep as a serialized result envelope to this path ('-' = stdout) — byte-identical to the swim-serve result endpoint")
 	trials := flag.Int("trials", 0, "Monte-Carlo trials (0 = default / SWIM_MC)")
 	workers := flag.Int("workers", 0, "Monte-Carlo worker goroutines (0 = SWIM_WORKERS or all CPUs)")
+	stateFlag := flag.String("state", "",
+		"directory of serialized workload states: restore instead of retraining, persist after training (see swim-train -state)")
 	flag.Parse()
 	mc.SetWorkers(*workers)
+	experiments.SetStateDir(*stateFlag)
 
 	if *policiesFlag == "list" {
 		fmt.Println(strings.Join(program.Names(), "\n"))
@@ -103,27 +117,49 @@ func main() {
 		cfg.Policies = policies
 	}
 
+	// With -json - the envelope owns stdout; route the human-readable run
+	// commentary to stderr so the JSON stays machine-parseable.
+	human := io.Writer(os.Stdout)
+	if *jsonFlag == "-" {
+		human = os.Stderr
+	}
 	var w *experiments.Workload
 	switch *workload {
 	case "lenet":
-		fmt.Println("training LeNet on the MNIST-like task (cached per process)...")
+		fmt.Fprintln(human, "training LeNet on the MNIST-like task (cached per process)...")
 		w = experiments.LeNetMNIST()
 	case "convnet":
-		fmt.Println("training ConvNet on the CIFAR-like task...")
+		fmt.Fprintln(human, "training ConvNet on the CIFAR-like task...")
 		w = experiments.ConvNetCIFAR()
 	case "resnet":
-		fmt.Println("training ResNet-18 on the CIFAR-like task...")
+		fmt.Fprintln(human, "training ResNet-18 on the CIFAR-like task...")
 		w = experiments.ResNetCIFAR()
 	case "tiny":
-		fmt.Println("training ResNet-18 on the TinyImageNet-like task...")
+		fmt.Fprintln(human, "training ResNet-18 on the TinyImageNet-like task...")
 		w = experiments.ResNetTiny()
 	default:
 		fatal(2, fmt.Errorf("unknown workload %q (want lenet, convnet, resnet or tiny)", *workload))
 	}
 
-	rows, err := experiments.ScenarioSweep(w, *sigma, scenarios, cfg)
+	results, err := experiments.ScenarioResults(context.Background(), w, *sigma, scenarios, cfg)
 	if err != nil {
 		fatal(1, err)
 	}
-	experiments.PrintScenarioSweep(os.Stdout, w, *sigma, cfg, rows)
+	experiments.PrintScenarioSweep(human, w, *sigma, cfg, experiments.SweepRows(results))
+
+	if *jsonFlag != "" {
+		out := os.Stdout
+		if *jsonFlag != "-" {
+			f, err := os.Create(*jsonFlag)
+			if err != nil {
+				fatal(1, err)
+			}
+			defer f.Close()
+			out = f
+		}
+		env := &serialize.ResultEnvelope{Cells: experiments.EnvelopeCells(*workload, *sigma, results)}
+		if err := serialize.EncodeEnvelope(out, env); err != nil {
+			fatal(1, err)
+		}
+	}
 }

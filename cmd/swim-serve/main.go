@@ -1,0 +1,92 @@
+// Command swim-serve is the deterministic sweep-serving daemon: a
+// long-running HTTP/JSON service that owns the trained registry workloads
+// and answers sweep/scenario/table1/fig2 requests from a bounded job queue,
+// splitting the Monte-Carlo worker budget fairly across concurrent jobs.
+// Responses are the same versioned result records the CLIs emit — a request
+// answered over HTTP is bit-identical to the equivalent swim-scenario
+// invocation, and repeated requests are served from a canonical-hash cache.
+//
+// Usage:
+//
+//	swim-serve [-addr 127.0.0.1:8080] [-jobs 2] [-queue 64] [-workers N]
+//	           [-state dir] [-drain 30s] [-portfile path]
+//
+// Submit work as JSON request records:
+//
+//	curl -s -XPOST localhost:8080/v1/jobs -d '{
+//	  "kind": "scenario", "workload": "lenet",
+//	  "scenarios": "none;drift", "times": [0, 3600],
+//	  "policies": ["swim", "noverify"], "trials": 8, "seed": 4000
+//	}'
+//	curl -s "localhost:8080/v1/jobs/job-1?wait=1"
+//	curl -s localhost:8080/v1/jobs/job-1/result
+//
+// -state points at a directory of serialized workload states (written by
+// swim-train -state or a previous daemon run), so startup serves from
+// restored models instead of retraining. SIGINT/SIGTERM drain gracefully:
+// intake stops, in-flight jobs finish, and after -drain the rest are
+// cancelled. Environment: SWIM_MC / SWIM_EVAL / SWIM_FAST size the
+// default workloads exactly as they do for the CLIs.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"swim/internal/experiments"
+	"swim/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+	jobs := flag.Int("jobs", 2, "jobs executed concurrently (each gets workers/jobs worker goroutines)")
+	queue := flag.Int("queue", 64, "queued-job backlog bound (further submissions get 503)")
+	workers := flag.Int("workers", 0, "total Monte-Carlo worker budget split across jobs (0 = all CPUs)")
+	stateFlag := flag.String("state", "",
+		"directory of serialized workload states: restore instead of retraining, persist after training (see swim-train -state)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-drain window before in-flight jobs are cancelled")
+	portfile := flag.String("portfile", "", "write the bound address to this file once listening (for scripts)")
+	flag.Parse()
+
+	experiments.SetStateDir(*stateFlag)
+	total := *workers
+	if total <= 0 {
+		total = runtime.NumCPU()
+	}
+
+	s := serve.New(serve.Config{
+		MaxConcurrent: *jobs,
+		QueueDepth:    *queue,
+		TotalWorkers:  total,
+		DrainTimeout:  *drain,
+	})
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "swim-serve:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("swim-serve listening on %s (%d workers, %d concurrent jobs)\n",
+		l.Addr(), total, *jobs)
+	if *portfile != "" {
+		if err := os.WriteFile(*portfile, []byte(l.Addr().String()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "swim-serve:", err)
+			os.Exit(1)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := s.Run(ctx, l); err != nil {
+		fmt.Fprintln(os.Stderr, "swim-serve:", err)
+		os.Exit(1)
+	}
+	fmt.Println("swim-serve drained cleanly")
+}

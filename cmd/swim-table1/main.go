@@ -36,8 +36,11 @@ func main() {
 	nonidealFlag := flag.String("nonideal", "",
 		"'+'-stacked device-nonideality scenario applied at read time ('list' prints the registered models)")
 	readTime := flag.Float64("readtime", 0, "read time in seconds after programming for -nonideal")
+	stateFlag := flag.String("state", "",
+		"directory of serialized workload states: restore instead of retraining, persist after training (see swim-train -state)")
 	flag.Parse()
 	mc.SetWorkers(*workers)
+	experiments.SetStateDir(*stateFlag)
 
 	if *policiesFlag == "list" {
 		fmt.Println(strings.Join(program.Names(), "\n"))
@@ -52,9 +55,8 @@ func main() {
 		fmt.Println(listing)
 		return
 	}
-	experiments.SetScenario(scenario, *readTime)
-
 	cfg := experiments.DefaultSweep()
+	cfg.Scenario = experiments.ReadScenario{Models: scenario, ReadTime: *readTime}
 	if *trials > 0 {
 		cfg.Trials = *trials
 	}

@@ -6,6 +6,9 @@
 //
 //	swim-train -model lenet|convnet|resnet18 [-epochs N] [-save path]
 //	swim-train -model lenet -load path        # evaluate a saved state
+//	swim-train -model lenet -state dir        # persist under the registry name
+//	    # (lenet-mnist.state, ...) so swim-serve/-table1/... -state dir
+//	    # restore instead of retraining
 //	swim-train -model lenet -policy swim -nwc 0.1 -sigma 1.0
 //	    # also measure on-device accuracy via the program pipeline
 //
@@ -24,6 +27,7 @@ import (
 
 	"swim/internal/data"
 	"swim/internal/device"
+	"swim/internal/experiments"
 	"swim/internal/mc"
 	"swim/internal/models"
 	"swim/internal/nn"
@@ -41,6 +45,8 @@ func main() {
 	testN := flag.Int("test", 800, "test samples")
 	save := flag.String("save", "", "write trained state to this path")
 	load := flag.String("load", "", "load state from this path instead of training")
+	stateFlag := flag.String("state", "",
+		"workload-registry state directory: save the trained state under the registry name so daemons/CLIs run with -state skip training")
 	policy := flag.String("policy", "",
 		"after training, evaluate on-device accuracy with this registry policy (empty = skip)")
 	nwc := flag.Float64("nwc", 0.1, "write budget for the -policy evaluation (normalized write cycles)")
@@ -65,24 +71,25 @@ func main() {
 	}
 
 	var (
-		net  *nn.Network
-		ds   *data.Dataset
-		bits int
+		net          *nn.Network
+		ds           *data.Dataset
+		bits         int
+		registryName string
 	)
 	r := rng.New(2)
 	switch *model {
 	case "lenet":
 		ds = data.MNISTLike(*trainN, *testN, 1)
 		net = models.LeNet(10, 4, r)
-		bits = 4
+		bits, registryName = 4, "lenet-mnist"
 	case "convnet":
 		ds = data.CIFARLike(*trainN, *testN, 11)
 		net = models.ConvNet(10, 8, 6, r)
-		bits = 6
+		bits, registryName = 6, "convnet-cifar"
 	case "resnet18":
 		ds = data.CIFARLike(*trainN, *testN, 21)
 		net = models.ResNet18(10, 8, 6, r)
-		bits = 6
+		bits, registryName = 6, "resnet-cifar"
 	default:
 		fmt.Fprintf(os.Stderr, "swim-train: unknown model %q\n", *model)
 		os.Exit(2)
@@ -159,5 +166,14 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("state saved to %s\n", *save)
+	}
+
+	if *stateFlag != "" {
+		experiments.SetStateDir(*stateFlag)
+		if err := experiments.SaveState(registryName, net); err != nil {
+			fmt.Fprintln(os.Stderr, "swim-train:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("workload state saved as %s/%s\n", *stateFlag, experiments.StateFile(registryName))
 	}
 }

@@ -21,10 +21,10 @@ import (
 // shares. It evaluates on the full test split with the workload's cached
 // sensitivity data.
 func pointCell(w *Workload, pol program.Policy, sigma float64, table []float64,
-	nwc float64, trials int, seed uint64) (Cell, error) {
+	nwc float64, scn ReadScenario, trials int, seed uint64) (Cell, error) {
 
 	p, err := program.New(w.Net, pol, program.GridBudget(nwc),
-		append(w.Options(sigma),
+		append(append(w.Options(sigma), scn.Options()...),
 			program.WithCycleTable(table),
 			program.WithSeed(seed),
 			program.WithTrials(trials))...)
@@ -55,7 +55,7 @@ type GranularityResult struct {
 // trial meets the target is still a valid row (Achieved = 0), so the
 // pipeline's ErrBudgetExhausted is tolerated rather than propagated.
 func AblateGranularity(w *Workload, pol program.Policy, sigma, maxDrop float64,
-	ps []float64, trials int, seed uint64) ([]GranularityResult, error) {
+	ps []float64, scn ReadScenario, trials int, seed uint64) ([]GranularityResult, error) {
 
 	dm := w.DeviceFor(sigma)
 	table := dm.CycleTable(300, rng.New(seed^0xab1a7e))
@@ -66,7 +66,7 @@ func AblateGranularity(w *Workload, pol program.Policy, sigma, maxDrop float64,
 	var out []GranularityResult
 	for _, gp := range ps {
 		p, err := program.New(w.Net, pol, budget,
-			append(w.Options(sigma),
+			append(append(w.Options(sigma), scn.Options()...),
 				program.WithCycleTable(table),
 				program.WithGranularity(gp),
 				program.WithSeed(seed),
@@ -125,7 +125,7 @@ func (s *noTieSelector) Order(*rng.Source) []int {
 // behind dead activations share an exactly-zero second derivative. The
 // no-tiebreak variant runs as an unregistered SelectorPolicy on the same
 // pipeline as the built-in.
-func AblateTieBreak(w *Workload, sigma, nwc float64, trials int, seed uint64) (TieBreakResult, error) {
+func AblateTieBreak(w *Workload, sigma, nwc float64, scn ReadScenario, trials int, seed uint64) (TieBreakResult, error) {
 	dm := w.DeviceFor(sigma)
 	table := dm.CycleTable(300, rng.New(seed^0x7eb4))
 
@@ -147,11 +147,11 @@ func AblateTieBreak(w *Workload, sigma, nwc float64, trials int, seed uint64) (T
 	noTie := program.SelectorPolicy("swim-no-tiebreak", func(env *program.Env) (swim.Selector, error) {
 		return &noTieSelector{hess: env.Hess}, nil
 	})
-	withTie, err := pointCell(w, swimPol, sigma, table, nwc, trials, seed)
+	withTie, err := pointCell(w, swimPol, sigma, table, nwc, scn, trials, seed)
 	if err != nil {
 		return TieBreakResult{}, fmt.Errorf("tie-break ablation: %w", err)
 	}
-	withoutTie, err := pointCell(w, noTie, sigma, table, nwc, trials, seed)
+	withoutTie, err := pointCell(w, noTie, sigma, table, nwc, scn, trials, seed)
 	if err != nil {
 		return TieBreakResult{}, fmt.Errorf("tie-break ablation: %w", err)
 	}
@@ -177,7 +177,7 @@ type KBitsResult struct {
 // amplification and the write-verify cost structure. The no-verify rows run
 // the registered "noverify" policy; the probe rows run pol.
 func AblateDeviceBits(w *Workload, pol program.Policy, sigma, nwc float64,
-	ks []int, trials int, seed uint64) ([]KBitsResult, error) {
+	ks []int, scn ReadScenario, trials int, seed uint64) ([]KBitsResult, error) {
 
 	noVerify, err := program.Lookup("noverify")
 	if err != nil {
@@ -194,7 +194,7 @@ func AblateDeviceBits(w *Workload, pol program.Policy, sigma, nwc float64,
 			// wins) — keeping the training split available for -policy
 			// insitu runs.
 			pl, err := program.New(w.Net, p, program.GridBudget(target),
-				append(w.Options(sigma),
+				append(append(w.Options(sigma), scn.Options()...),
 					program.WithDevice(dm),
 					program.WithCycleTable(table),
 					program.WithSeed(seed),
@@ -251,7 +251,7 @@ type SpatialResult struct {
 // policy's recovery should survive the extra variation — the claim the paper
 // defers to future work.
 func AblateSpatial(w *Workload, pol program.Policy, sigma, nwc float64,
-	trials int, seed uint64) ([]SpatialResult, error) {
+	scn ReadScenario, trials int, seed uint64) ([]SpatialResult, error) {
 
 	dm := w.DeviceFor(sigma)
 	table := dm.CycleTable(300, rng.New(seed^0x59a7))
@@ -263,7 +263,7 @@ func AblateSpatial(w *Workload, pol program.Policy, sigma, nwc float64,
 
 	run := func(spatial bool, seed uint64) (SpatialResult, error) {
 		label := "temporal only"
-		opts := append(w.Options(sigma),
+		opts := append(append(w.Options(sigma), scn.Options()...),
 			program.WithCycleTable(table),
 			program.WithSeed(seed),
 			program.WithTrials(trials))
@@ -306,7 +306,7 @@ func PrintSpatial(out io.Writer, w *Workload, policy string, nwc float64, rows [
 // CompareFisher pits SWIM's Hessian-diagonal ranking against the
 // empirical-Fisher (squared gradient) alternative at the probe budget, both
 // running as policies on the same pipeline.
-func CompareFisher(w *Workload, sigma, nwc float64, trials int, seed uint64) (swimCell, fisherCell Cell, err error) {
+func CompareFisher(w *Workload, sigma, nwc float64, scn ReadScenario, trials int, seed uint64) (swimCell, fisherCell Cell, err error) {
 	dm := w.DeviceFor(sigma)
 	table := dm.CycleTable(300, rng.New(seed^0xf15e))
 	cx, cy := data.Subset(w.DS.TrainX, w.DS.TrainY, 384)
@@ -318,10 +318,10 @@ func CompareFisher(w *Workload, sigma, nwc float64, trials int, seed uint64) (sw
 	fisherPol := program.SelectorPolicy("fisher", func(env *program.Env) (swim.Selector, error) {
 		return swim.NewFisherSelector(fisher, env.Weights), nil
 	})
-	if swimCell, err = pointCell(w, swimPol, sigma, table, nwc, trials, seed); err != nil {
+	if swimCell, err = pointCell(w, swimPol, sigma, table, nwc, scn, trials, seed); err != nil {
 		return Cell{}, Cell{}, fmt.Errorf("fisher comparison: %w", err)
 	}
-	if fisherCell, err = pointCell(w, fisherPol, sigma, table, nwc, trials, seed); err != nil {
+	if fisherCell, err = pointCell(w, fisherPol, sigma, table, nwc, scn, trials, seed); err != nil {
 		return Cell{}, Cell{}, fmt.Errorf("fisher comparison: %w", err)
 	}
 	return swimCell, fisherCell, nil

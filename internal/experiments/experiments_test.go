@@ -173,7 +173,7 @@ func TestAblateGranularity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rows, err := AblateGranularity(w, pol, SigmaHigh, 5.0, []float64{0.05, 0.25}, 2, 14)
+	rows, err := AblateGranularity(w, pol, SigmaHigh, 5.0, []float64{0.05, 0.25}, ReadScenario{}, 2, 14)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +189,7 @@ func TestAblateGranularity(t *testing.T) {
 
 func TestAblateTieBreak(t *testing.T) {
 	w := LeNetMNIST()
-	res, err := AblateTieBreak(w, SigmaHigh, 0.1, 2, 15)
+	res, err := AblateTieBreak(w, SigmaHigh, 0.1, ReadScenario{}, 2, 15)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,7 +204,7 @@ func TestAblateDeviceBits(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rows, err := AblateDeviceBits(w, pol, SigmaTypical, 0.1, []int{2, 4}, 2, 16)
+	rows, err := AblateDeviceBits(w, pol, SigmaTypical, 0.1, []int{2, 4}, ReadScenario{}, 2, 16)
 	if err != nil {
 		t.Fatal(err)
 	}

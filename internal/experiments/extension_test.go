@@ -13,7 +13,7 @@ func TestAblateSpatial(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rows, err := AblateSpatial(w, pol, SigmaTypical, 0.2, 2, 60)
+	rows, err := AblateSpatial(w, pol, SigmaTypical, 0.2, ReadScenario{}, 2, 60)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +39,7 @@ func TestAblateSpatial(t *testing.T) {
 
 func TestCompareFisher(t *testing.T) {
 	w := LeNetMNIST()
-	sw, fi, err := CompareFisher(w, SigmaHigh, 0.1, 2, 61)
+	sw, fi, err := CompareFisher(w, SigmaHigh, 0.1, ReadScenario{}, 2, 61)
 	if err != nil {
 		t.Fatal(err)
 	}

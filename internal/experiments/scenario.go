@@ -1,17 +1,42 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
-	"sync"
 
 	"swim/internal/data"
 	"swim/internal/mc"
 	"swim/internal/nonideal"
 	"swim/internal/program"
 	"swim/internal/rng"
+	"swim/internal/serialize"
 )
+
+// ReadScenario bundles a read-time nonideality stack with the time accuracy
+// is read at — the explicit argument that replaced the former process-global
+// SetScenario (an ambient-state data-race hazard for any concurrent server).
+// The zero value is the ideal-device baseline. CLIs build one from their
+// -nonideal / -readtime flags and thread it through the experiment configs.
+type ReadScenario struct {
+	// Models is the nonideality stack, applied in order at read time.
+	Models []nonideal.Nonideality
+	// ReadTime is when accuracy is measured, in seconds after programming.
+	ReadTime float64
+}
+
+// Options returns the pipeline options implementing the scenario (nil for
+// the ideal baseline).
+func (s ReadScenario) Options() []program.Option {
+	if len(s.Models) == 0 {
+		return nil
+	}
+	return []program.Option{
+		program.WithNonidealities(s.Models...),
+		program.WithReadTime(s.ReadTime),
+	}
+}
 
 // Scenario is one named stack of device-nonideality models a robustness
 // sweep evaluates under. Parse one from a spec string with ParseScenario.
@@ -90,23 +115,10 @@ func DefaultScenarioConfig() ScenarioConfig {
 	}
 }
 
-// ScenarioRow is one cell of the sweep: a (scenario, read time, policy)
-// combination's accuracy over the NWC grid.
-type ScenarioRow struct {
-	Scenario string
-	Time     float64
-	Policy   string
-	Cells    []Cell
-}
-
-// ScenarioSweep runs the full cross product of scenarios × read times ×
-// policies on one workload at device σ, one program.Pipeline per cell, all
-// sharing a common cycle table and seed so cells are comparable. Rows come
-// back in (scenario, time, policy) order.
-func ScenarioSweep(w *Workload, sigma float64, scenarios []Scenario, cfg ScenarioConfig) ([]ScenarioRow, error) {
-	if len(scenarios) == 0 {
-		scenarios = []Scenario{{Spec: "none"}}
-	}
+// normalized fills config gaps from DefaultScenarioConfig, so every caller
+// (CLI, daemon, tests) resolves an underspecified request the same way —
+// the canonical request hash of the serving tier depends on this.
+func (cfg ScenarioConfig) normalized() ScenarioConfig {
 	def := DefaultScenarioConfig()
 	if len(cfg.NWCs) == 0 {
 		cfg.NWCs = def.NWCs
@@ -123,10 +135,45 @@ func ScenarioSweep(w *Workload, sigma float64, scenarios []Scenario, cfg Scenari
 	if cfg.EvalBatch <= 0 {
 		cfg.EvalBatch = def.EvalBatch
 	}
+	return cfg
+}
+
+// ScenarioRow is one cell of the sweep: a (scenario, read time, policy)
+// combination's accuracy over the NWC grid.
+type ScenarioRow struct {
+	Scenario string
+	Time     float64
+	Policy   string
+	Cells    []Cell
+}
+
+// ScenarioResult is one cell of the cross product with its full pipeline
+// Result — the serving tier's unit of work (serialize.CaptureResult turns
+// the Result into the wire record).
+type ScenarioResult struct {
+	Scenario string
+	Time     float64
+	Policy   string
+	Result   *program.Result
+}
+
+// ScenarioResults runs the full cross product of scenarios × read times ×
+// policies on one workload at device σ, one program.Pipeline per cell, all
+// sharing a common cycle table and seed so cells are comparable. Cells come
+// back in (scenario, time, policy) order with their complete pipeline
+// Results. extra options are appended to every cell's pipeline — the serving
+// daemon threads its fair-share worker gate through here.
+func ScenarioResults(ctx context.Context, w *Workload, sigma float64, scenarios []Scenario,
+	cfg ScenarioConfig, extra ...program.Option) ([]ScenarioResult, error) {
+
+	if len(scenarios) == 0 {
+		scenarios = []Scenario{{Spec: "none"}}
+	}
+	cfg = cfg.normalized()
 	dm := w.DeviceFor(sigma)
 	table := dm.CycleTable(300, rng.New(cfg.Seed^0x5ce11a))
 	evalX, evalY := data.Subset(w.DS.TestX, w.DS.TestY, mc.EvalSize(len(w.DS.TestY)))
-	var rows []ScenarioRow
+	var out []ScenarioResult
 	for _, sc := range scenarios {
 		for _, tRead := range cfg.Times {
 			for _, name := range cfg.Policies {
@@ -134,31 +181,70 @@ func ScenarioSweep(w *Workload, sigma float64, scenarios []Scenario, cfg Scenari
 				if err != nil {
 					return nil, fmt.Errorf("scenario %s: %w", sc.Spec, err)
 				}
+				opts := append(w.Options(sigma),
+					program.WithEval(evalX, evalY),
+					program.WithEvalBatch(cfg.EvalBatch),
+					program.WithCycleTable(table),
+					program.WithNonidealities(sc.Models...),
+					program.WithReadTime(tRead),
+					program.WithSeed(cfg.Seed),
+					program.WithTrials(cfg.Trials))
 				p, err := program.New(w.Net, pol, program.GridBudget(cfg.NWCs...),
-					append(w.Options(sigma),
-						program.WithEval(evalX, evalY),
-						program.WithEvalBatch(cfg.EvalBatch),
-						program.WithCycleTable(table),
-						program.WithNonidealities(sc.Models...),
-						program.WithReadTime(tRead),
-						program.WithSeed(cfg.Seed),
-						program.WithTrials(cfg.Trials))...)
+					append(opts, extra...)...)
 				if err != nil {
 					return nil, fmt.Errorf("scenario %s/%s at t=%gs: %w", sc.Spec, name, tRead, err)
 				}
-				res, err := p.Run(nil)
+				res, err := p.Run(ctx)
 				if err != nil {
 					return nil, fmt.Errorf("scenario %s/%s at t=%gs: %w", sc.Spec, name, tRead, err)
 				}
-				row := ScenarioRow{Scenario: sc.Spec, Time: tRead, Policy: name}
-				for _, pt := range res.Points {
-					row.Cells = append(row.Cells, cellOf(pt.Accuracy))
-				}
-				rows = append(rows, row)
+				out = append(out, ScenarioResult{Scenario: sc.Spec, Time: tRead, Policy: name, Result: res})
 			}
 		}
 	}
-	return rows, nil
+	return out, nil
+}
+
+// EnvelopeCells converts one σ-slice of scenario results into wire cells
+// (package serialize). The serving daemon and the swim-scenario -json path
+// both build their envelopes through here, so a request answered over HTTP
+// and the equivalent CLI invocation serialize bit-identically.
+func EnvelopeCells(workload string, sigma float64, results []ScenarioResult) []serialize.CellRecord {
+	cells := make([]serialize.CellRecord, 0, len(results))
+	for _, sr := range results {
+		cells = append(cells, serialize.CellRecord{
+			Workload: workload,
+			Sigma:    sigma,
+			Scenario: sr.Scenario,
+			ReadTime: sr.Time,
+			Policy:   sr.Policy,
+			Result:   serialize.CaptureResult(sr.Result),
+		})
+	}
+	return cells
+}
+
+// SweepRows reduces scenario results to display rows (accuracy cells over
+// the NWC grid, in the same (scenario, time, policy) order).
+func SweepRows(results []ScenarioResult) []ScenarioRow {
+	rows := make([]ScenarioRow, 0, len(results))
+	for _, sr := range results {
+		row := ScenarioRow{Scenario: sr.Scenario, Time: sr.Time, Policy: sr.Policy}
+		for _, pt := range sr.Result.Points {
+			row.Cells = append(row.Cells, cellOf(pt.Accuracy))
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// ScenarioSweep is ScenarioResults reduced to display rows.
+func ScenarioSweep(w *Workload, sigma float64, scenarios []Scenario, cfg ScenarioConfig) ([]ScenarioRow, error) {
+	results, err := ScenarioResults(context.Background(), w, sigma, scenarios, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return SweepRows(results), nil
 }
 
 // FormatDuration renders a read time compactly (0, 1h, 1d, 90s, ...).
@@ -196,38 +282,5 @@ func PrintScenarioSweep(out io.Writer, w *Workload, sigma float64, cfg ScenarioC
 			fmt.Fprintf(out, " %6.2f ± %4.2f", c.Mean, c.Std)
 		}
 		fmt.Fprintln(out)
-	}
-}
-
-// Ambient scenario: the -nonideal/-readtime flags of the CLIs that drive
-// many pipelines through Workload.Options (swim-table1, swim-fig2,
-// swim-ablate) install one process-wide scenario here instead of threading
-// it through every experiment signature.
-var (
-	ambientMu   sync.RWMutex
-	ambient     []nonideal.Nonideality
-	ambientTime float64
-)
-
-// SetScenario installs a process-wide nonideality scenario applied by every
-// pipeline built through Workload.Options. Intended for CLI startup;
-// passing an empty stack clears it.
-func SetScenario(models []nonideal.Nonideality, readTime float64) {
-	ambientMu.Lock()
-	defer ambientMu.Unlock()
-	ambient, ambientTime = models, readTime
-}
-
-// ambientOptions returns the pipeline options implementing the installed
-// scenario (nil when none is set).
-func ambientOptions() []program.Option {
-	ambientMu.RLock()
-	defer ambientMu.RUnlock()
-	if len(ambient) == 0 {
-		return nil
-	}
-	return []program.Option{
-		program.WithNonidealities(ambient...),
-		program.WithReadTime(ambientTime),
 	}
 }

@@ -81,9 +81,9 @@ func TestFormatDuration(t *testing.T) {
 	}
 }
 
-// The ambient scenario must reach every pipeline built via Workload.Options
-// and clear cleanly.
-func TestAmbientScenario(t *testing.T) {
+// The explicit SweepConfig scenario (the replacement for the removed
+// process-global SetScenario) must reach every pipeline the sweep builds.
+func TestSweepConfigScenario(t *testing.T) {
 	w := LeNetMNIST()
 	stuck, err := ParseScenario("stuckat:p=0.3")
 	if err != nil {
@@ -94,13 +94,12 @@ func TestAmbientScenario(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	SetScenario(stuck.Models, 0)
-	defer SetScenario(nil, 0)
+	cfg.Scenario = ReadScenario{Models: stuck.Models}
 	degraded, err := Sweep(w, SigmaHigh, "noverify", cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if degraded[0].Mean >= clean[0].Mean {
-		t.Fatalf("ambient scenario had no effect: %v >= %v", degraded[0].Mean, clean[0].Mean)
+		t.Fatalf("config scenario had no effect: %v >= %v", degraded[0].Mean, clean[0].Mean)
 	}
 }

@@ -36,6 +36,10 @@ type SweepConfig struct {
 	// Policies overrides the policy set (nil = Methods). Names resolve
 	// through the program registry.
 	Policies []string
+	// Scenario applies a read-time nonideality stack to every cell of the
+	// sweep (the explicit replacement for the removed process-global
+	// SetScenario). Zero value = ideal devices.
+	Scenario ReadScenario
 }
 
 // DefaultNWCs is the paper's Table 1 NWC grid.
@@ -82,8 +86,9 @@ func Sweep(w *Workload, sigma float64, method string, cfg SweepConfig) ([]Cell, 
 // bit-identical for any worker count.
 func SweepPolicy(w *Workload, sigma float64, pol program.Policy, cfg SweepConfig) ([]Cell, error) {
 	evalX, evalY := data.Subset(w.DS.TestX, w.DS.TestY, mc.EvalSize(len(w.DS.TestY)))
+	opts := append(w.Options(sigma), cfg.Scenario.Options()...)
 	p, err := program.New(w.Net, pol, program.GridBudget(cfg.NWCs...),
-		append(w.Options(sigma),
+		append(opts,
 			program.WithEval(evalX, evalY),
 			program.WithEvalBatch(cfg.evalBatch()),
 			program.WithSeed(cfg.Seed),

@@ -11,6 +11,9 @@
 package experiments
 
 import (
+	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 
 	"swim/internal/data"
@@ -20,6 +23,7 @@ import (
 	"swim/internal/nn"
 	"swim/internal/program"
 	"swim/internal/rng"
+	"swim/internal/serialize"
 	"swim/internal/swim"
 	"swim/internal/train"
 )
@@ -39,6 +43,10 @@ type Workload struct {
 	CleanAcc   float64 // accuracy without device variation (%)
 	Hess       []float64
 	Weights    []float64
+	// FromState reports that the learned state was restored from the
+	// configured state directory (SetStateDir) instead of trained in this
+	// process — the train-once, serve-many path.
+	FromState bool
 }
 
 // Sigma values used throughout (×5 the paper's grid; see package comment).
@@ -67,19 +75,29 @@ func getOrBuild(name string, build func() *Workload) *Workload {
 	return w
 }
 
-// buildWorkload trains a model and computes its sensitivity data.
+// buildWorkload trains a model and computes its sensitivity data. When a
+// state directory is configured (SetStateDir) and holds a state dict for
+// name, the learned state is restored instead of trained — and a freshly
+// trained state is persisted there for the next process.
 func buildWorkload(name string, ds *data.Dataset, net *nn.Network, weightBits int,
 	cfg train.Config, calN int, seed uint64) *Workload {
 
 	r := rng.New(seed)
 	cfg.QATBits = weightBits
-	train.SGD(net, ds, cfg, r)
+	fromState := false
+	if restored := restoreState(name, net); restored != nil {
+		net, fromState = restored, true
+	} else {
+		train.SGD(net, ds, cfg, r)
+		persistState(name, net)
+	}
 	clean := train.Evaluate(net, ds.TestX, ds.TestY, 64)
 	cx, cy := data.Subset(ds.TrainX, ds.TrainY, calN)
 	hess := swim.Sensitivity(net, cx, cy, 64)
 	return &Workload{
 		Name: name, Net: net, DS: ds, WeightBits: weightBits,
 		CleanAcc: clean, Hess: hess, Weights: swim.FlatWeights(net),
+		FromState: fromState,
 	}
 }
 
@@ -157,6 +175,118 @@ func ResNetTiny() *Workload {
 	})
 }
 
+// Workload persistence: train-once, serve-many. A configured state
+// directory backs the registry with serialized state dictionaries
+// (package serialize), so daemons and CLIs stop retraining per process.
+
+var (
+	stateMu  sync.RWMutex
+	stateDir string
+)
+
+// SetStateDir points the workload registry at a directory of serialized
+// state dictionaries: building workload <name> first tries to restore
+// <dir>/<StateFile(name)>, and a freshly trained state is written back
+// there. Intended for process startup (the -state CLI flag); "" disables
+// persistence. States written by `swim-train -state` interoperate — the
+// architecture and shapes must match (a mismatched file is skipped with a
+// warning and the workload retrains), and SWIM_FAST runs use separate
+// .fast.state files so CI-scale models never leak into full-scale runs.
+func SetStateDir(dir string) {
+	stateMu.Lock()
+	defer stateMu.Unlock()
+	stateDir = dir
+}
+
+// StateFile returns the state-dict filename for a registry workload name,
+// scoped by the process's SWIM_FAST mode (<name>.fast.state vs
+// <name>.state): the fast builders train slimmed models at reduced scale,
+// and for the equal-shape workloads (LeNet) a silent cross-mode restore
+// would feed full-scale experiments an under-trained CI model. Save
+// full-scale states (swim-train -state) without SWIM_FAST set.
+func StateFile(name string) string {
+	if mc.Fast() {
+		return name + ".fast.state"
+	}
+	return name + ".state"
+}
+
+func statePath(name string) string {
+	stateMu.RLock()
+	defer stateMu.RUnlock()
+	if stateDir == "" {
+		return ""
+	}
+	return filepath.Join(stateDir, StateFile(name))
+}
+
+// restoreState loads the persisted state for name into a clone of net,
+// returning nil when no usable state exists. Loading into a clone keeps the
+// caller's network pristine on a corrupt or mismatched file, so the
+// fall-back training run starts from the untouched initialization.
+func restoreState(name string, net *nn.Network) *nn.Network {
+	path := statePath(name)
+	if path == "" {
+		return nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			fmt.Fprintf(os.Stderr, "experiments: ignoring workload state %s: %v\n", path, err)
+		}
+		return nil
+	}
+	defer f.Close()
+	clone := net.Clone()
+	if err := serialize.Load(f, clone); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: ignoring workload state %s: %v\n", path, err)
+		return nil
+	}
+	return clone
+}
+
+// persistState writes net's learned state for name into the state directory
+// (atomic rename), best-effort: persistence failures only warn — the
+// in-process workload is unaffected.
+func persistState(name string, net *nn.Network) {
+	path := statePath(name)
+	if path == "" {
+		return
+	}
+	if err := SaveState(name, net); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+	}
+}
+
+// SaveState serializes net as workload name's registry state dict under the
+// configured state directory. It errors without one; CLIs that want
+// explicit control (swim-train -state) call it directly.
+func SaveState(name string, net *nn.Network) error {
+	path := statePath(name)
+	if path == "" {
+		return fmt.Errorf("experiments: no state directory configured (SetStateDir)")
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("experiments: persist workload state: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), StateFile(name)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("experiments: persist workload state: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := serialize.Save(tmp, net); err != nil {
+		tmp.Close()
+		return fmt.Errorf("experiments: persist workload state %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("experiments: persist workload state %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("experiments: persist workload state %s: %w", path, err)
+	}
+	return nil
+}
+
 // TrialNet returns a fresh deep clone of the trained master network for one
 // Monte-Carlo trial. Cloning only reads the master, so concurrent trials may
 // call TrialNet freely — the contract the parallel mc engine relies on.
@@ -170,15 +300,16 @@ func (w *Workload) DeviceFor(sigma float64) device.Model {
 
 // Options returns the pipeline options every experiment on this workload
 // shares: the device model at σ, full test-split evaluation, the cached
-// sensitivity data (so pipelines skip the calibration pass), the training
-// split for in-situ policies, and any process-wide nonideality scenario
-// installed with SetScenario. Callers append overrides — options apply in
-// order, so a later WithEval narrows the evaluation subset.
+// sensitivity data (so pipelines skip the calibration pass), and the
+// training split for in-situ policies. Callers append overrides — options
+// apply in order, so a later WithEval narrows the evaluation subset.
+// Read-time nonideality scenarios are threaded explicitly (ReadScenario,
+// SweepConfig.Scenario, ScenarioResults) — never through process state.
 func (w *Workload) Options(sigma float64) []program.Option {
-	return append([]program.Option{
+	return []program.Option{
 		program.WithDevice(w.DeviceFor(sigma)),
 		program.WithEval(w.DS.TestX, w.DS.TestY),
 		program.WithSensitivity(w.Hess, w.Weights),
 		program.WithTraining(w.DS.TrainX, w.DS.TrainY),
-	}, ambientOptions()...)
+	}
 }

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"swim/internal/data"
+	"swim/internal/models"
+	"swim/internal/rng"
+	"swim/internal/serialize"
+	"swim/internal/train"
+)
+
+// tinyBuild runs buildWorkload on a deliberately small model so persistence
+// tests stay fast. Each call constructs a fresh untrained network, exactly
+// like the registry builders do.
+func tinyBuild(name string) *Workload {
+	ds := data.MNISTLike(80, 40, 7)
+	net := models.LeNet(10, 4, rng.New(7))
+	cfg := train.DefaultConfig()
+	cfg.Epochs = 1
+	cfg.LRDecayEvery = 1
+	return buildWorkload(name, ds, net, 4, cfg, 64, 7)
+}
+
+func TestWorkloadStatePersistence(t *testing.T) {
+	dir := t.TempDir()
+	SetStateDir(dir)
+	defer SetStateDir("")
+
+	first := tinyBuild("tiny-test")
+	if first.FromState {
+		t.Fatal("first build claims to be restored from state")
+	}
+	if _, err := os.Stat(filepath.Join(dir, StateFile("tiny-test"))); err != nil {
+		t.Fatalf("trained state not persisted: %v", err)
+	}
+
+	second := tinyBuild("tiny-test")
+	if !second.FromState {
+		t.Fatal("second build retrained despite a persisted state")
+	}
+	if second.CleanAcc != first.CleanAcc {
+		t.Fatalf("restored accuracy %v != trained %v", second.CleanAcc, first.CleanAcc)
+	}
+	fw, sw := first.Weights, second.Weights
+	if len(fw) != len(sw) {
+		t.Fatalf("weight count changed across restore: %d vs %d", len(fw), len(sw))
+	}
+	for i := range fw {
+		if fw[i] != sw[i] {
+			t.Fatalf("weight %d changed across restore: %v vs %v", i, fw[i], sw[i])
+		}
+	}
+}
+
+func TestWorkloadStateCorruptFallsBackToTraining(t *testing.T) {
+	dir := t.TempDir()
+	SetStateDir(dir)
+	defer SetStateDir("")
+
+	if err := os.WriteFile(filepath.Join(dir, StateFile("tiny-corrupt")), []byte("not a gob"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w := tinyBuild("tiny-corrupt")
+	if w.FromState {
+		t.Fatal("corrupt state was accepted")
+	}
+	if w.CleanAcc <= 0 {
+		t.Fatalf("fallback training produced no model (clean %.2f%%)", w.CleanAcc)
+	}
+}
+
+// A state written through the plain serialize.Save path (what swim-train
+// -save / -state produces) must restore through the registry.
+func TestWorkloadStateInteropWithSerializeSave(t *testing.T) {
+	dir := t.TempDir()
+	SetStateDir(dir)
+	defer SetStateDir("")
+
+	trained := tinyBuild("tiny-interop")
+	f, err := os.Create(filepath.Join(dir, StateFile("tiny-interop2")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := serialize.Save(f, trained.Net); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	restored := tinyBuild("tiny-interop2")
+	if !restored.FromState {
+		t.Fatal("externally saved state not restored by the registry")
+	}
+}

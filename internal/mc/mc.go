@@ -20,6 +20,11 @@
 // serial path). Note that per-worker accumulators merged in completion order
 // would NOT have this property; per-trial accumulators merged in index order
 // are what makes the reduction schedule-independent.
+//
+// For multi-tenant callers (the serving daemon), a run can additionally
+// carry a cooperative worker cap — a Gate consulted between trials — so
+// concurrent runs split the machine instead of each claiming every CPU
+// (RunSeriesGate, MapGate). The same contract makes gates result-neutral.
 package mc
 
 import (
@@ -89,6 +94,45 @@ func Workers() int {
 	return runtime.NumCPU()
 }
 
+// Gate is a cooperative per-run worker cap. The engine consults it between
+// trials: at any moment only the first Limit() of a run's worker goroutines
+// pick up new trials; the rest idle until the returned channel signals a
+// limit change. A serving layer hands each concurrent job a Gate backed by a
+// fair-share budgeter, so jobs split the machine instead of each grabbing
+// every CPU (the process-global mc.SetWorkers cannot express that).
+//
+// Gates never affect results: trial streams and the trial-order merge are
+// schedule-independent, so any Limit sequence yields bit-identical output.
+type Gate interface {
+	// Limit returns how many of the run's workers may process trials right
+	// now (values below 1 act as 1), plus a channel that is closed when the
+	// limit next changes so idled workers wake without polling.
+	Limit() (int, <-chan struct{})
+}
+
+// awaitGate blocks worker w until the gate admits it (w < Limit), the feed
+// channel is drained (parked workers must not deadlock run teardown — they
+// proceed to observe the closed channel and exit), or the run context is
+// cancelled. It reports whether the worker should proceed to the feed.
+func awaitGate(ctx context.Context, w int, gate Gate, drained <-chan struct{}) bool {
+	for {
+		limit, changed := gate.Limit()
+		if limit < 1 {
+			limit = 1
+		}
+		if w < limit {
+			return true
+		}
+		select {
+		case <-changed:
+		case <-drained:
+			return true
+		case <-ctx.Done():
+			return false
+		}
+	}
+}
+
 // trialFn evaluates one trial from its pre-split stream. agg holds the
 // trial's point accumulators (len points; nil when the caller aggregates
 // nothing). A non-nil error aborts the whole run.
@@ -106,7 +150,9 @@ func newAgg(points int) []*stat.Welford {
 // one stream per trial, executes the trials on workers goroutines, and folds
 // the per-trial accumulators in trial order (see the package comment for why
 // this — and not per-worker folding — keeps results worker-count invariant).
-func runTrials(ctx context.Context, seed uint64, trials, points, workers int, trial trialFn) ([]*stat.Welford, error) {
+// A non-nil gate cooperatively caps how many of the workers are active at
+// once; workers is the ceiling the gate can admit up to.
+func runTrials(ctx context.Context, seed uint64, trials, points, workers int, gate Gate, trial trialFn) ([]*stat.Welford, error) {
 	if trials < 0 {
 		return nil, fmt.Errorf("mc: negative trial count %d", trials)
 	}
@@ -128,12 +174,23 @@ func runTrials(ctx context.Context, seed uint64, trials, points, workers int, tr
 	defer cancel()
 
 	next := make(chan int)
+	drained := make(chan struct{})
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			for t := range next {
+			for {
+				// Re-check admission before every trial: a fair-share gate
+				// shrinks when other jobs arrive, and surplus workers must
+				// yield the CPU between trials, not mid-trial.
+				if gate != nil && !awaitGate(runCtx, w, gate, drained) {
+					return
+				}
+				t, ok := <-next
+				if !ok {
+					return
+				}
 				if runCtx.Err() != nil {
 					return
 				}
@@ -145,7 +202,7 @@ func runTrials(ctx context.Context, seed uint64, trials, points, workers int, tr
 				}
 				perTrial[t] = agg
 			}
-		}()
+		}(w)
 	}
 feed:
 	for t := 0; t < trials; t++ {
@@ -156,6 +213,7 @@ feed:
 		}
 	}
 	close(next)
+	close(drained)
 	wg.Wait()
 
 	for _, err := range errs {
@@ -206,7 +264,7 @@ func Run(seed uint64, trials int, f func(r *rng.Source) float64) *stat.Welford {
 // RunCtx is Run with an explicit context and worker count (0 = Workers()).
 // It returns the context's error if the run is cancelled mid-flight.
 func RunCtx(ctx context.Context, seed uint64, trials, workers int, f func(r *rng.Source) float64) (*stat.Welford, error) {
-	agg, err := runTrials(ctx, seed, trials, 1, workers, func(t int, r *rng.Source, agg []*stat.Welford) error {
+	agg, err := runTrials(ctx, seed, trials, 1, workers, nil, func(t int, r *rng.Source, agg []*stat.Welford) error {
 		agg[0].Add(f(r))
 		return nil
 	})
@@ -233,10 +291,18 @@ func RunSeries(seed uint64, trials, points int, f func(r *rng.Source) []float64)
 // (0 = Workers()). Cancelling the context aborts outstanding trials and
 // returns the context's error.
 func RunSeriesCtx(ctx context.Context, seed uint64, trials, points, workers int, f func(r *rng.Source) []float64) ([]*stat.Welford, error) {
+	return RunSeriesGate(ctx, seed, trials, points, workers, nil, f)
+}
+
+// RunSeriesGate is RunSeriesCtx with a cooperative worker Gate: up to workers
+// goroutines are spawned, but only Gate.Limit() of them pick up trials at any
+// moment (nil gate = no cap). Results are bit-identical whatever the gate
+// does — see the Gate contract.
+func RunSeriesGate(ctx context.Context, seed uint64, trials, points, workers int, gate Gate, f func(r *rng.Source) []float64) ([]*stat.Welford, error) {
 	if points < 0 {
 		return nil, fmt.Errorf("mc: negative series length %d", points)
 	}
-	return runTrials(ctx, seed, trials, points, workers, func(t int, r *rng.Source, agg []*stat.Welford) error {
+	return runTrials(ctx, seed, trials, points, workers, gate, func(t int, r *rng.Source, agg []*stat.Welford) error {
 		vals := f(r)
 		if len(vals) != points {
 			return fmt.Errorf("mc: trial %d returned %d series values, want %d", t, len(vals), points)
@@ -264,8 +330,13 @@ func Map[T any](seed uint64, n int, f func(i int, r *rng.Source) T) []T {
 
 // MapCtx is Map with an explicit context and worker count (0 = Workers()).
 func MapCtx[T any](ctx context.Context, seed uint64, n, workers int, f func(i int, r *rng.Source) T) ([]T, error) {
+	return MapGate(ctx, seed, n, workers, nil, f)
+}
+
+// MapGate is MapCtx with a cooperative worker Gate (see RunSeriesGate).
+func MapGate[T any](ctx context.Context, seed uint64, n, workers int, gate Gate, f func(i int, r *rng.Source) T) ([]T, error) {
 	out := make([]T, n)
-	_, err := runTrials(ctx, seed, n, 0, workers, func(t int, r *rng.Source, _ []*stat.Welford) error {
+	_, err := runTrials(ctx, seed, n, 0, workers, gate, func(t int, r *rng.Source, _ []*stat.Welford) error {
 		out[t] = f(t, r)
 		return nil
 	})

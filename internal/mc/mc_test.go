@@ -276,3 +276,98 @@ func TestMapGenericType(t *testing.T) {
 		t.Fatalf("words = %v", words)
 	}
 }
+
+// flappyGate alternates its limit between 1 and max on every Limit() call,
+// exercising worker parking/waking mid-run.
+type flappyGate struct {
+	max   int
+	calls atomic.Int64
+	ch    chan struct{}
+}
+
+func newFlappyGate(max int) *flappyGate {
+	g := &flappyGate{max: max, ch: make(chan struct{})}
+	close(g.ch) // always "changed": parked workers re-check immediately
+	return g
+}
+
+func (g *flappyGate) Limit() (int, <-chan struct{}) {
+	if g.calls.Add(1)%2 == 0 {
+		return 1, g.ch
+	}
+	return g.max, g.ch
+}
+
+// TestGateInvariance pins the Gate contract: a run whose worker admission
+// flaps arbitrarily yields bit-identical aggregates to the serial run.
+func TestGateInvariance(t *testing.T) {
+	f := func(r *rng.Source) []float64 {
+		return []float64{r.Norm(), r.Float64()}
+	}
+	serial, err := RunSeriesCtx(context.Background(), 77, 25, 2, 1, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gated, err := RunSeriesGate(context.Background(), 77, 25, 2, 4, newFlappyGate(4), f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i].Mean() != gated[i].Mean() || serial[i].Std() != gated[i].Std() {
+			t.Fatalf("point %d: gated (%v, %v) != serial (%v, %v)",
+				i, gated[i].Mean(), gated[i].Std(), serial[i].Mean(), serial[i].Std())
+		}
+	}
+}
+
+// fixedGate admits a constant number of workers and never signals a change.
+type fixedGate struct {
+	limit int
+	ch    chan struct{}
+}
+
+func (g *fixedGate) Limit() (int, <-chan struct{}) { return g.limit, g.ch }
+
+// TestGateSingleWorkerProgress verifies a gate stuck at limit 1 still drains
+// the whole run (the surplus workers park; the admitted one does all trials).
+func TestGateSingleWorkerProgress(t *testing.T) {
+	var ran atomic.Int64
+	out, err := MapGate(context.Background(), 3, 12, 4, &fixedGate{limit: 1, ch: make(chan struct{})},
+		func(i int, r *rng.Source) int {
+			ran.Add(1)
+			return i * i
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 12 || len(out) != 12 || out[5] != 25 {
+		t.Fatalf("gated map incomplete: ran=%d out=%v", ran.Load(), out)
+	}
+}
+
+// TestGateCancellation: a gated run cancelled mid-flight (one worker parked,
+// one mid-trial) must tear down cleanly and return the context error.
+func TestGateCancellation(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once atomic.Bool
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := MapGate(ctx, 5, 8, 2, &fixedGate{limit: 1, ch: make(chan struct{})},
+			func(i int, r *rng.Source) int {
+				if once.CompareAndSwap(false, true) {
+					close(started)
+					<-release
+				}
+				return i
+			})
+		done <- err
+	}()
+	<-started
+	cancel()
+	close(release)
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

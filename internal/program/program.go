@@ -87,6 +87,7 @@ type Pipeline struct {
 	seed          uint64
 	trials        int
 	workers       int
+	gate          mc.Gate
 	cycleTable    []float64
 	spatial       *device.SpatialConfig
 	nonideal      []nonideal.Nonideality
@@ -243,6 +244,21 @@ func WithWorkers(n int) Option {
 			return fmt.Errorf("worker count must be positive, got %d (omit the option for the default)", n)
 		}
 		p.workers = n
+		return nil
+	}
+}
+
+// WithWorkerGate attaches a cooperative worker cap (mc.Gate) to the run:
+// WithWorkers (or the mc default) remains the ceiling, but between trials
+// only Gate.Limit() workers stay active. A serving layer hands each
+// concurrent job a fair-share gate so jobs split the machine instead of each
+// claiming every CPU. Results are bit-identical with or without a gate.
+func WithWorkerGate(g mc.Gate) Option {
+	return func(p *Pipeline) error {
+		if g == nil {
+			return errors.New("nil worker gate")
+		}
+		p.gate = g
 		return nil
 	}
 }
@@ -463,7 +479,7 @@ func (p *Pipeline) setupTrial(env *Env, table []float64, r *rng.Source) (mp *map
 // the paper's Table 1 / Fig. 2 protocol.
 func (p *Pipeline) runGrid(ctx context.Context, env *Env, table []float64, b NWCGrid) (*Result, error) {
 	points := len(b.Targets)
-	agg, err := mc.RunSeriesCtx(ctx, p.seed, p.trials, 2*points, p.workers, func(r *rng.Source) []float64 {
+	agg, err := mc.RunSeriesGate(ctx, p.seed, p.trials, 2*points, p.workers, p.gate, func(r *rng.Source) []float64 {
 		out := make([]float64, 2*points)
 		mp, trial, release := p.setupTrial(env, table, r)
 		defer release()
@@ -500,7 +516,7 @@ type dropOut struct {
 // from the budget's base is within MaxDrop, the policy is exhausted, or the
 // MaxNWC cap is hit.
 func (p *Pipeline) runDrop(ctx context.Context, env *Env, table []float64, b DropTarget) (*Result, error) {
-	outs, err := mc.MapCtx(ctx, p.seed, p.trials, p.workers, func(_ int, r *rng.Source) dropOut {
+	outs, err := mc.MapGate(ctx, p.seed, p.trials, p.workers, p.gate, func(_ int, r *rng.Source) dropOut {
 		mp, trial, release := p.setupTrial(env, table, r)
 		defer release()
 		n := mp.TotalWeights()

@@ -147,6 +147,7 @@ func TestOptionValidation(t *testing.T) {
 		{"nil eval set", []Option{WithDevice(device.Default(4, 1.0))}},
 		{"no device", []Option{WithEval(w.ds.TestX, w.ds.TestY)}},
 		{"nil context", append(w.options(), WithContext(nil))},
+		{"nil worker gate", append(w.options(), WithWorkerGate(nil))},
 		{"empty cycle table", append(w.options(), WithCycleTable(nil))},
 		{"empty sensitivity", append(w.options(), WithSensitivity(nil, nil))},
 	}

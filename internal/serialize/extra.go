@@ -1,0 +1,46 @@
+package serialize
+
+import "encoding/json"
+
+// Forward-compatibility plumbing shared by the record types: unknown
+// top-level JSON fields are carried in an Extra map across a
+// decode → encode round trip, so passing a record through an old tool never
+// strips information a newer version wrote.
+
+// marshalWithExtra marshals v and merges in the preserved unknown fields
+// (known fields win on collision).
+func marshalWithExtra(v any, extra map[string]json.RawMessage) ([]byte, error) {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	if len(extra) == 0 {
+		return raw, nil
+	}
+	var merged map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &merged); err != nil {
+		return nil, err
+	}
+	for k, val := range extra {
+		if _, known := merged[k]; !known {
+			merged[k] = val
+		}
+	}
+	return json.Marshal(merged)
+}
+
+// splitExtra returns the top-level fields of data that are not in known
+// (nil when there are none).
+func splitExtra(data []byte, known []string) (map[string]json.RawMessage, error) {
+	var all map[string]json.RawMessage
+	if err := json.Unmarshal(data, &all); err != nil {
+		return nil, err
+	}
+	for _, k := range known {
+		delete(all, k)
+	}
+	if len(all) == 0 {
+		return nil, nil
+	}
+	return all, nil
+}

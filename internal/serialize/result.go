@@ -104,23 +104,7 @@ var knownResultFields = []string{
 // MarshalJSON emits the known fields plus any preserved unknown ones.
 func (r ResultRecord) MarshalJSON() ([]byte, error) {
 	type bare ResultRecord // strip methods to avoid recursion
-	raw, err := json.Marshal(bare(r))
-	if err != nil {
-		return nil, err
-	}
-	if len(r.Extra) == 0 {
-		return raw, nil
-	}
-	var merged map[string]json.RawMessage
-	if err := json.Unmarshal(raw, &merged); err != nil {
-		return nil, err
-	}
-	for k, v := range r.Extra {
-		if _, known := merged[k]; !known {
-			merged[k] = v
-		}
-	}
-	return json.Marshal(merged)
+	return marshalWithExtra(bare(r), r.Extra)
 }
 
 // UnmarshalJSON decodes the known fields and stashes unknown top-level
@@ -132,16 +116,11 @@ func (r *ResultRecord) UnmarshalJSON(data []byte) error {
 		return err
 	}
 	*r = ResultRecord(b)
-	var all map[string]json.RawMessage
-	if err := json.Unmarshal(data, &all); err != nil {
+	extra, err := splitExtra(data, knownResultFields)
+	if err != nil {
 		return err
 	}
-	for _, k := range knownResultFields {
-		delete(all, k)
-	}
-	if len(all) > 0 {
-		r.Extra = all
-	}
+	r.Extra = extra
 	return nil
 }
 

@@ -27,6 +27,12 @@ type State struct {
 	BNMean   map[string][]float64
 	BNVar    map[string][]float64
 	QuantMax map[string]float64
+	// QuantCal holds each activation quantizer's calibration flag, so a
+	// restored network is bit-identical to the captured one even under
+	// further (in-situ) training, where a calibrating quantizer keeps
+	// widening its range. States saved before this field existed decode
+	// with a nil map and restore frozen (the old behavior).
+	QuantCal map[string]bool
 }
 
 // Capture extracts the network's learned state.
@@ -37,6 +43,7 @@ func Capture(net *nn.Network) *State {
 		BNMean:   map[string][]float64{},
 		BNVar:    map[string][]float64{},
 		QuantMax: map[string]float64{},
+		QuantCal: map[string]bool{},
 	}
 	for _, p := range net.Params() {
 		s.Params[p.Name] = append([]float64(nil), p.Data.Data...)
@@ -48,6 +55,7 @@ func Capture(net *nn.Network) *State {
 			s.BNVar[v.Name()] = append([]float64(nil), v.RunVar.Data...)
 		case *nn.QuantAct:
 			s.QuantMax[v.Name()] = v.Max
+			s.QuantCal[v.Name()] = v.Calibrate
 		}
 	})
 	return s
@@ -97,7 +105,8 @@ func Restore(net *nn.Network, s *State) error {
 				return
 			}
 			v.Max = m
-			v.Calibrate = false // a restored model is frozen
+			// Nil map = pre-QuantCal state file: restore frozen.
+			v.Calibrate = s.QuantCal[v.Name()]
 		}
 	})
 	return err

@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"context"
+	"time"
+
+	"swim/internal/serialize"
+)
+
+// job is one submitted request's lifecycle. All state transitions happen
+// under the server mutex; done is closed exactly once, when the job reaches
+// a terminal status (done, failed or cancelled), and backs the ?wait=1
+// long-poll.
+type job struct {
+	id     string
+	key    string // canonical request hash (the cache key)
+	req    *serialize.RequestRecord
+	status string
+	cached bool
+	errMsg string
+
+	submitted int64 // unix ms
+	started   int64
+	finished  int64
+
+	cancel context.CancelFunc // non-nil once running
+	result *serialize.ResultEnvelope
+	done   chan struct{}
+}
+
+func nowMS() int64 { return time.Now().UnixMilli() }
+
+// record snapshots the job as its wire envelope. The result payload stays
+// out — clients fetch it from the result endpoint, keeping job listings
+// cheap. Call under the server mutex.
+func (j *job) record() *serialize.JobRecord {
+	return &serialize.JobRecord{
+		ID:        j.id,
+		Status:    j.status,
+		Cached:    j.cached,
+		Request:   j.req,
+		Error:     j.errMsg,
+		Submitted: j.submitted,
+		Started:   j.started,
+		Finished:  j.finished,
+	}
+}
+
+// dispatch is one job-runner goroutine: it drains the queue until the
+// queue closes (drain) and runs each job under the fair-share budget.
+func (s *Server) dispatch() {
+	defer s.wg.Done()
+	for j := range s.queued {
+		s.runJob(j)
+	}
+}
+
+// runJob executes one queued job through the experiments/program stack,
+// with a request-scoped context (cancellable via the cancel endpoint and
+// the server-wide abort) and a fair-share worker gate.
+func (s *Server) runJob(j *job) {
+	s.mu.Lock()
+	if j.status != serialize.JobQueued { // cancelled while queued
+		s.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	j.cancel = cancel
+	j.status = serialize.JobRunning
+	j.started = nowMS()
+	s.mu.Unlock()
+	defer cancel()
+
+	share := s.budget.acquire()
+	env, err := s.execute(ctx, j.req, share)
+	share.release()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	defer close(j.done)
+	j.finished = nowMS()
+	if err != nil {
+		j.errMsg = err.Error()
+		if ctx.Err() != nil {
+			j.status = serialize.JobCancelled
+		} else {
+			j.status = serialize.JobFailed
+		}
+		return
+	}
+	s.executed.Add(1)
+	j.status = serialize.JobDone
+	j.result = env
+	s.cache[j.key] = env
+}

@@ -1,0 +1,427 @@
+// Package serve is the sweep-serving daemon behind cmd/swim-serve: a
+// long-running HTTP/JSON service that owns trained workloads and answers
+// sweep/scenario/table1/fig2 requests — the step from the research CLIs to a
+// system that fronts heavy traffic.
+//
+// Requests arrive as serialize.RequestRecord JSON and run asynchronously on
+// a bounded job queue; responses are serialize result envelopes whose cells
+// wrap the same versioned result records the CLIs emit. Three properties
+// make it a *deterministic* serving tier:
+//
+//   - Bit-identical answers. A job executes through the same
+//     experiments.ScenarioResults path as the CLIs, and the mc determinism
+//     contract makes its results independent of worker count and scheduling
+//     — so an HTTP answer is byte-for-byte the swim-scenario -json output
+//     for the equivalent invocation, no matter what else the daemon was
+//     doing at the time.
+//
+//   - Fair-share worker budgeting. Concurrent jobs split a fixed
+//     Monte-Carlo worker budget (total ÷ running jobs, re-balanced as jobs
+//     start and finish) through cooperative mc.Gate shares, instead of each
+//     job claiming every CPU via the process-global mc.SetWorkers.
+//
+//   - Canonical result caching. Requests are normalized (defaults filled,
+//     scenario specs re-rendered) and hashed (serialize.CanonicalKey);
+//     determinism makes equal keys interchangeable, so a repeated request
+//     is served from cache without recomputation.
+//
+// Endpoints (see docs/ARCHITECTURE.md for the full reference):
+//
+//	POST /v1/jobs              submit a request → job envelope (202; 200 on cache hit)
+//	GET  /v1/jobs              list job envelopes
+//	GET  /v1/jobs/{id}         one job envelope (?wait=1 long-polls until terminal)
+//	GET  /v1/jobs/{id}/result  completed job's result envelope
+//	POST /v1/jobs/{id}/cancel  cancel a queued or running job
+//	GET  /healthz              liveness + queue/cache statistics
+//
+// Shutdown is a graceful drain: intake stops (submits get 503), queued and
+// running jobs finish, and past the drain timeout the remaining jobs are
+// cancelled via context cancellation flowing through program.Pipeline.Run.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"swim/internal/experiments"
+	"swim/internal/serialize"
+)
+
+// Config parameterizes a Server. The zero value serves the four registry
+// workloads with NumCPU worker goroutines, two concurrent jobs and a
+// 64-deep queue.
+type Config struct {
+	// MaxConcurrent is how many jobs execute at once (default 2). Each
+	// running job receives total ÷ running workers through its fair share.
+	MaxConcurrent int
+	// QueueDepth bounds the submitted-but-not-running backlog (default 64);
+	// submissions beyond it are rejected with 503.
+	QueueDepth int
+	// TotalWorkers is the Monte-Carlo worker budget split across running
+	// jobs (default runtime.NumCPU()).
+	TotalWorkers int
+	// MaxTrials caps the per-request trial count (default 100000), keeping
+	// one request from monopolizing the daemon for hours.
+	MaxTrials int
+	// Workloads maps request workload names to builders (default: the four
+	// registry workloads lenet/convnet/resnet/tiny). Builders run at most
+	// once per process, lazily, on first request — or restore instantly
+	// from a state directory (experiments.SetStateDir).
+	Workloads map[string]func() *experiments.Workload
+	// DrainTimeout bounds graceful shutdown: once it expires, still-running
+	// jobs are cancelled through their contexts (default 30s).
+	DrainTimeout time.Duration
+}
+
+// DefaultWorkloads returns the standard registry workload set served by
+// swim-serve: the paper's four model/task pairs, keyed by the same names
+// the CLIs use.
+func DefaultWorkloads() map[string]func() *experiments.Workload {
+	return map[string]func() *experiments.Workload{
+		"lenet":   experiments.LeNetMNIST,
+		"convnet": experiments.ConvNetCIFAR,
+		"resnet":  experiments.ResNetCIFAR,
+		"tiny":    experiments.ResNetTiny,
+	}
+}
+
+// workloadEntry lazily builds one workload exactly once, without holding
+// the server mutex across a (potentially minutes-long) training run.
+type workloadEntry struct {
+	once  sync.Once
+	build func() *experiments.Workload
+	w     *experiments.Workload
+}
+
+// Server is the daemon: a workload registry, a bounded job queue executed
+// by MaxConcurrent dispatchers under a fair-share worker budget, and a
+// canonical-key result cache. Create with New, expose via Handler or Run.
+type Server struct {
+	cfg       Config
+	budget    *fairShare
+	mux       *http.ServeMux
+	workloads map[string]*workloadEntry
+
+	baseCtx   context.Context // parent of every job context
+	cancelAll context.CancelFunc
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string // submission order, for listing
+	queued   chan *job
+	draining bool
+	cache    map[string]*serialize.ResultEnvelope
+
+	executed atomic.Int64 // jobs actually computed (cache misses)
+	seq      atomic.Int64
+	wg       sync.WaitGroup // dispatcher goroutines
+}
+
+// New builds a Server and starts its dispatcher pool.
+func New(cfg Config) *Server {
+	if cfg.MaxConcurrent < 1 {
+		cfg.MaxConcurrent = 2
+	}
+	if cfg.QueueDepth < 1 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.TotalWorkers < 1 {
+		cfg.TotalWorkers = runtime.NumCPU()
+	}
+	if cfg.MaxTrials < 1 {
+		cfg.MaxTrials = 100000
+	}
+	if cfg.Workloads == nil {
+		cfg.Workloads = DefaultWorkloads()
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 30 * time.Second
+	}
+	s := &Server{
+		cfg:       cfg,
+		budget:    newFairShare(cfg.TotalWorkers),
+		workloads: make(map[string]*workloadEntry, len(cfg.Workloads)),
+		jobs:      make(map[string]*job),
+		queued:    make(chan *job, cfg.QueueDepth),
+		cache:     make(map[string]*serialize.ResultEnvelope),
+	}
+	s.baseCtx, s.cancelAll = context.WithCancel(context.Background())
+	for name, build := range cfg.Workloads {
+		s.workloads[name] = &workloadEntry{build: build}
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	for i := 0; i < cfg.MaxConcurrent; i++ {
+		s.wg.Add(1)
+		go s.dispatch()
+	}
+	return s
+}
+
+// Handler returns the daemon's HTTP API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// workloadNames lists the served workloads, sorted.
+func (s *Server) workloadNames() []string {
+	names := make([]string, 0, len(s.workloads))
+	for name := range s.workloads {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// workload resolves (building or restoring on first use) a registry
+// workload.
+func (s *Server) workload(name string) (*experiments.Workload, error) {
+	e, ok := s.workloads[name]
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown workload %q", name)
+	}
+	e.once.Do(func() { e.w = e.build() })
+	if e.w == nil {
+		return nil, fmt.Errorf("serve: workload %q failed to build", name)
+	}
+	return e.w, nil
+}
+
+// Run serves the API on l until ctx is cancelled, then drains gracefully
+// and shuts the listener down. It returns the first serve error, or nil
+// after a clean drain.
+func (s *Server) Run(ctx context.Context, l net.Listener) error {
+	srv := &http.Server{Handler: s.mux}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	s.Drain(s.cfg.DrainTimeout)
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return srv.Shutdown(shutCtx)
+}
+
+// Drain stops intake (submissions are rejected with 503), lets queued and
+// running jobs finish, and cancels whatever is still running once timeout
+// expires — the cancellation reaches trial bodies through
+// program.Pipeline.Run's context. Idempotent; subsequent calls just wait.
+func (s *Server) Drain(timeout time.Duration) {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queued) // dispatchers exit once the backlog is drained
+	}
+	s.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+	case <-time.After(timeout):
+		s.cancelAll()
+		<-drained
+	}
+}
+
+// --- HTTP handlers -------------------------------------------------------
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // encode error means the client went away
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// handleSubmit accepts one request record, normalizes it and either serves
+// it from the cache (200, Cached: true) or enqueues a job (202).
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	req, err := serialize.DecodeRequest(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	norm, err := s.normalize(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	key, err := norm.CanonicalKey()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+
+	j := &job{
+		id:        fmt.Sprintf("job-%d", s.seq.Add(1)),
+		key:       key,
+		req:       norm,
+		status:    serialize.JobQueued,
+		submitted: nowMS(),
+		done:      make(chan struct{}),
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "draining: no new jobs accepted")
+		return
+	}
+	if env, ok := s.cache[key]; ok {
+		j.status = serialize.JobDone
+		j.cached = true
+		j.result = env
+		j.started, j.finished = j.submitted, j.submitted
+		close(j.done)
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+		rec := j.record()
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, rec)
+		return
+	}
+	select {
+	case s.queued <- j:
+	default:
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "queue full (%d queued)", s.cfg.QueueDepth)
+		return
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	rec := j.record()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, rec)
+}
+
+func (s *Server) lookup(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// handleStatus reports one job envelope; with ?wait=1 it long-polls until
+// the job reaches a terminal status or the client goes away.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	if r.URL.Query().Get("wait") != "" {
+		select {
+		case <-j.done:
+		case <-r.Context().Done():
+			return
+		}
+	}
+	s.mu.Lock()
+	rec := j.record()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, rec)
+}
+
+// handleList reports every job envelope in submission order.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	recs := make([]*serialize.JobRecord, 0, len(s.order))
+	for _, id := range s.order {
+		recs = append(recs, s.jobs[id].record())
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": recs})
+}
+
+// handleResult streams a completed job's result envelope — the bytes the
+// equivalent CLI invocation would print with -json.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	s.mu.Lock()
+	status, env := j.status, j.result
+	s.mu.Unlock()
+	if env == nil {
+		writeError(w, http.StatusConflict, "job %s is %s, not done", j.id, status)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = serialize.EncodeEnvelope(w, env) // encode error means the client went away
+}
+
+// handleCancel cancels a queued or running job (terminal jobs are left
+// untouched and reported as-is).
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	s.mu.Lock()
+	switch j.status {
+	case serialize.JobQueued:
+		// The dispatcher will skip it when it surfaces from the queue.
+		j.status = serialize.JobCancelled
+		j.finished = nowMS()
+		close(j.done)
+	case serialize.JobRunning:
+		j.cancel() // runJob records the terminal status
+	}
+	rec := j.record()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, rec)
+}
+
+// handleHealth reports liveness plus queue/cache statistics.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	status := "ok"
+	if s.draining {
+		status = "draining"
+	}
+	var queued, running int
+	for _, j := range s.jobs {
+		switch j.status {
+		case serialize.JobQueued:
+			queued++
+		case serialize.JobRunning:
+			running++
+		}
+	}
+	stats := map[string]any{
+		"status":        status,
+		"jobs_total":    len(s.jobs),
+		"jobs_queued":   queued,
+		"jobs_running":  running,
+		"executed":      s.executed.Load(),
+		"cache_entries": len(s.cache),
+		"workers_total": s.cfg.TotalWorkers,
+		"workloads":     s.workloadNames(),
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, stats)
+}

@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the serving tier: boot swim-serve on an
+# ephemeral port, submit a small scenario request over HTTP, and diff the
+# JSON result against the equivalent swim-scenario CLI invocation — the
+# bit-identical-serving contract (same seeds, same workload recipe, any
+# worker split).
+#
+# Both processes train the same workload from the same seeds (or restore it
+# from the shared -state directory), so the only moving part is the serving
+# path itself. Keep the request here and the CLI flags in lockstep.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+workdir="$(mktemp -d)"
+server_pid=""
+trap '[ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+# CI-scale knobs; export the same environment to both processes.
+export SWIM_FAST=1 SWIM_MC=3 SWIM_EVAL=64
+
+echo "=== building binaries"
+go build -o "$workdir/swim-serve" ./cmd/swim-serve
+go build -o "$workdir/swim-scenario" ./cmd/swim-scenario
+
+echo "=== swim-scenario reference run"
+"$workdir/swim-scenario" -workload lenet -state "$workdir/state" \
+  -nonideal "none;stuckat:p=0.02" -times 0,3600 -nwcs 0,0.1 \
+  -policies swim,noverify -trials 3 -json "$workdir/cli.json" >/dev/null
+
+echo "=== booting swim-serve"
+"$workdir/swim-serve" -addr 127.0.0.1:0 -state "$workdir/state" \
+  -portfile "$workdir/port" -jobs 2 &
+server_pid=$!
+for _ in $(seq 1 100); do
+  [ -s "$workdir/port" ] && break
+  sleep 0.1
+done
+addr="$(cat "$workdir/port")"
+curl -sf "http://$addr/healthz" >/dev/null
+
+echo "=== submitting scenario request to $addr"
+job_id="$(curl -sf -XPOST "http://$addr/v1/jobs" -d '{
+  "kind": "scenario",
+  "workload": "lenet",
+  "scenarios": "none;stuckat:p=0.02",
+  "times": [0, 3600],
+  "nwcs": [0, 0.1],
+  "policies": ["swim", "noverify"],
+  "trials": 3,
+  "seed": 4000
+}' | sed -n 's/.*"id": "\([^"]*\)".*/\1/p')"
+test -n "$job_id"
+
+echo "=== waiting for $job_id"
+status="$(curl -sf "http://$addr/v1/jobs/$job_id?wait=1" \
+  | sed -n 's/.*"status": "\([^"]*\)".*/\1/p')"
+if [ "$status" != "done" ]; then
+  echo "job finished with status '$status'" >&2
+  curl -s "http://$addr/v1/jobs/$job_id" >&2
+  exit 1
+fi
+curl -sf "http://$addr/v1/jobs/$job_id/result" >"$workdir/http.json"
+
+echo "=== diffing HTTP result against the CLI output"
+diff -u "$workdir/cli.json" "$workdir/http.json"
+
+echo "=== resubmitting: must be served from cache"
+cached="$(curl -sf -XPOST "http://$addr/v1/jobs" -d '{
+  "kind": "scenario",
+  "workload": "lenet",
+  "scenarios": "none;stuckat:p=0.02",
+  "times": [0, 3600],
+  "nwcs": [0, 0.1],
+  "policies": ["swim", "noverify"],
+  "trials": 3,
+  "seed": 4000
+}' | sed -n 's/.*"cached": \(true\).*/\1/p')"
+if [ "$cached" != "true" ]; then
+  echo "repeat request was not served from cache" >&2
+  exit 1
+fi
+
+echo "=== graceful drain on SIGTERM"
+kill -TERM "$server_pid"
+wait "$server_pid"
+
+echo "serve e2e smoke: OK (result bit-identical to CLI, cache hit, clean drain)"
