@@ -9,7 +9,15 @@
 // Usage:
 //
 //	swim-serve [-addr 127.0.0.1:8080] [-jobs 2] [-queue 64] [-workers N]
-//	           [-state dir] [-drain 30s] [-portfile path]
+//	           [-state dir] [-drain 30s] [-portfile path] [-job-ttl 1h]
+//	           [-coordinator url1,url2,...] [-shard-trials N]
+//
+// With -coordinator, the daemon computes nothing locally: each job's trial
+// space is split into ranges dispatched as POST /v1/shards calls across the
+// listed worker daemons (any swim-serve serves shards), failed shards are
+// retried on surviving workers, and the merged envelope is byte-identical
+// to single-node execution. Completed shards are journalled under
+// -state/coord so a killed coordinator resumes instead of recomputing.
 //
 // Submit work as JSON request records:
 //
@@ -37,6 +45,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -53,6 +62,10 @@ func main() {
 		"directory of serialized workload states: restore instead of retraining, persist after training (see swim-train -state)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-drain window before in-flight jobs are cancelled")
 	portfile := flag.String("portfile", "", "write the bound address to this file once listening (for scripts)")
+	coordinator := flag.String("coordinator", "",
+		"comma-separated worker base URLs: run as a coordinator, sharding jobs across them instead of computing locally")
+	shardTrials := flag.Int("shard-trials", 0, "trials per dispatched shard in coordinator mode (0 = auto)")
+	jobTTL := flag.Duration("job-ttl", 0, "evict finished jobs from listings after this long (0 = 1h, negative = never)")
 	flag.Parse()
 
 	experiments.SetStateDir(*stateFlag)
@@ -61,11 +74,24 @@ func main() {
 		total = runtime.NumCPU()
 	}
 
+	var workerURLs []string
+	if *coordinator != "" {
+		for _, u := range strings.Split(*coordinator, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				workerURLs = append(workerURLs, u)
+			}
+		}
+	}
+
 	s := serve.New(serve.Config{
 		MaxConcurrent: *jobs,
 		QueueDepth:    *queue,
 		TotalWorkers:  total,
 		DrainTimeout:  *drain,
+		WorkerURLs:    workerURLs,
+		ShardTrials:   *shardTrials,
+		JobTTL:        *jobTTL,
+		StateDir:      *stateFlag,
 	})
 
 	l, err := net.Listen("tcp", *addr)
@@ -73,8 +99,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "swim-serve:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("swim-serve listening on %s (%d workers, %d concurrent jobs)\n",
-		l.Addr(), total, *jobs)
+	if len(workerURLs) > 0 {
+		fmt.Printf("swim-serve coordinating %d shard workers, listening on %s (%d concurrent jobs)\n",
+			len(workerURLs), l.Addr(), *jobs)
+	} else {
+		fmt.Printf("swim-serve listening on %s (%d workers, %d concurrent jobs)\n",
+			l.Addr(), total, *jobs)
+	}
 	if *portfile != "" {
 		if err := os.WriteFile(*portfile, []byte(l.Addr().String()), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "swim-serve:", err)

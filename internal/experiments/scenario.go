@@ -166,6 +166,68 @@ type ScenarioResult struct {
 func ScenarioResults(ctx context.Context, w *Workload, sigma float64, scenarios []Scenario,
 	cfg ScenarioConfig, extra ...program.Option) ([]ScenarioResult, error) {
 
+	var out []ScenarioResult
+	err := scenarioCells(w, sigma, scenarios, cfg, extra, func(sc Scenario, tRead float64, name string, p *program.Pipeline) error {
+		res, err := p.Run(ctx)
+		if err != nil {
+			return err
+		}
+		out = append(out, ScenarioResult{Scenario: sc.Spec, Time: tRead, Policy: name, Result: res})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ScenarioShard is one cell of the cross product restricted to a trial
+// range: the mergeable partial result a distributed worker computes
+// (program.Shard carries the raw per-trial observations).
+type ScenarioShard struct {
+	// Scenario is the cell's canonical nonideality spec.
+	Scenario string
+	// Time is the cell's read time in seconds after programming.
+	Time float64
+	// Policy is the cell's registry policy name.
+	Policy string
+	// Shard holds the trial range's per-trial observations and metadata.
+	Shard *program.Shard
+}
+
+// ScenarioShards runs only trials [lo, hi) of every cell of the cross
+// product — the same cells, pipelines and seeds as ScenarioResults, through
+// the identical grid-trial bodies, so the rows of a complete trial-range
+// partition merge (program.MergeShards) into results bit-identical to a
+// single ScenarioResults call. This is the serving tier's /v1/shards
+// execution path.
+func ScenarioShards(ctx context.Context, w *Workload, sigma float64, scenarios []Scenario,
+	cfg ScenarioConfig, lo, hi int, extra ...program.Option) ([]ScenarioShard, error) {
+
+	ranged := append(append([]program.Option(nil), extra...), program.WithTrialRange(lo, hi))
+	var out []ScenarioShard
+	err := scenarioCells(w, sigma, scenarios, cfg, ranged, func(sc Scenario, tRead float64, name string, p *program.Pipeline) error {
+		sh, err := p.RunShard(ctx)
+		if err != nil {
+			return err
+		}
+		out = append(out, ScenarioShard{Scenario: sc.Spec, Time: tRead, Policy: name, Shard: sh})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// scenarioCells walks the scenarios × read times × policies cross product
+// in canonical cell order, building each cell's fully configured pipeline
+// (shared cycle table and seed, workload options, extra options appended)
+// and handing it to fn. Both the full-run and the trial-range shard paths
+// iterate through here, which is what keeps their cells aligned.
+func scenarioCells(w *Workload, sigma float64, scenarios []Scenario, cfg ScenarioConfig,
+	extra []program.Option, fn func(sc Scenario, tRead float64, name string, p *program.Pipeline) error) error {
+
 	if len(scenarios) == 0 {
 		scenarios = []Scenario{{Spec: "none"}}
 	}
@@ -173,13 +235,12 @@ func ScenarioResults(ctx context.Context, w *Workload, sigma float64, scenarios 
 	dm := w.DeviceFor(sigma)
 	table := dm.CycleTable(300, rng.New(cfg.Seed^0x5ce11a))
 	evalX, evalY := data.Subset(w.DS.TestX, w.DS.TestY, mc.EvalSize(len(w.DS.TestY)))
-	var out []ScenarioResult
 	for _, sc := range scenarios {
 		for _, tRead := range cfg.Times {
 			for _, name := range cfg.Policies {
 				pol, err := program.Lookup(name)
 				if err != nil {
-					return nil, fmt.Errorf("scenario %s: %w", sc.Spec, err)
+					return fmt.Errorf("scenario %s: %w", sc.Spec, err)
 				}
 				opts := append(w.Options(sigma),
 					program.WithEval(evalX, evalY),
@@ -192,17 +253,15 @@ func ScenarioResults(ctx context.Context, w *Workload, sigma float64, scenarios 
 				p, err := program.New(w.Net, pol, program.GridBudget(cfg.NWCs...),
 					append(opts, extra...)...)
 				if err != nil {
-					return nil, fmt.Errorf("scenario %s/%s at t=%gs: %w", sc.Spec, name, tRead, err)
+					return fmt.Errorf("scenario %s/%s at t=%gs: %w", sc.Spec, name, tRead, err)
 				}
-				res, err := p.Run(ctx)
-				if err != nil {
-					return nil, fmt.Errorf("scenario %s/%s at t=%gs: %w", sc.Spec, name, tRead, err)
+				if err := fn(sc, tRead, name, p); err != nil {
+					return fmt.Errorf("scenario %s/%s at t=%gs: %w", sc.Spec, name, tRead, err)
 				}
-				out = append(out, ScenarioResult{Scenario: sc.Spec, Time: tRead, Policy: name, Result: res})
 			}
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // EnvelopeCells converts one σ-slice of scenario results into wire cells

@@ -146,30 +146,55 @@ func newAgg(points int) []*stat.Welford {
 	return agg
 }
 
-// runTrials is the engine shared by Run, RunSeries and Map: it pre-splits
-// one stream per trial, executes the trials on workers goroutines, and folds
-// the per-trial accumulators in trial order (see the package comment for why
-// this — and not per-worker folding — keeps results worker-count invariant).
-// A non-nil gate cooperatively caps how many of the workers are active at
-// once; workers is the ceiling the gate can admit up to.
+// runTrials is the engine shared by Run, RunSeries and Map: it executes the
+// full trial range and folds the per-trial accumulators in trial order (see
+// the package comment for why this — and not per-worker folding — keeps
+// results worker-count invariant). A non-nil gate cooperatively caps how
+// many of the workers are active at once; workers is the ceiling the gate
+// can admit up to.
 func runTrials(ctx context.Context, seed uint64, trials, points, workers int, gate Gate, trial trialFn) ([]*stat.Welford, error) {
+	perTrial, err := runTrialRange(ctx, seed, trials, 0, trials, points, workers, gate, trial)
+	if err != nil {
+		return nil, err
+	}
+	out := newAgg(points)
+	// No trial errored and the parent context is live, so every trial ran to
+	// completion. Fold in trial order.
+	for _, agg := range perTrial {
+		for i := range out {
+			out[i].Merge(agg[i])
+		}
+	}
+	return out, nil
+}
+
+// runTrialRange pre-splits one stream per trial of the full (seed, trials)
+// space, executes only the trials in [lo, hi) on workers goroutines, and
+// returns their accumulators in trial order (index t-lo). Trial t's stream
+// depends only on (seed, trials, t) — never on the range boundaries — which
+// is what lets a distributed coordinator partition the trial space across
+// machines and still merge bit-identical aggregates.
+func runTrialRange(ctx context.Context, seed uint64, trials, lo, hi, points, workers int, gate Gate, trial trialFn) ([][]*stat.Welford, error) {
 	if trials < 0 {
 		return nil, fmt.Errorf("mc: negative trial count %d", trials)
 	}
+	if lo < 0 || hi > trials || lo > hi {
+		return nil, fmt.Errorf("mc: trial range [%d,%d) outside [0,%d)", lo, hi, trials)
+	}
+	count := hi - lo
 	if workers <= 0 {
 		workers = Workers()
 	}
-	if workers > trials {
-		workers = trials
+	if workers > count {
+		workers = count
 	}
-	out := newAgg(points)
-	if trials == 0 {
-		return out, ctx.Err()
+	if count == 0 {
+		return nil, ctx.Err()
 	}
 
 	streams := rng.New(seed).SplitN(trials)
-	perTrial := make([][]*stat.Welford, trials)
-	errs := make([]error, trials)
+	perTrial := make([][]*stat.Welford, count)
+	errs := make([]error, count)
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -196,16 +221,16 @@ func runTrials(ctx context.Context, seed uint64, trials, points, workers int, ga
 				}
 				agg := newAgg(points)
 				if err := safeTrial(trial, t, streams[t], agg); err != nil {
-					errs[t] = err
+					errs[t-lo] = err
 					cancel()
 					return
 				}
-				perTrial[t] = agg
+				perTrial[t-lo] = agg
 			}
 		}(w)
 	}
 feed:
-	for t := 0; t < trials; t++ {
+	for t := lo; t < hi; t++ {
 		select {
 		case next <- t:
 		case <-runCtx.Done():
@@ -224,14 +249,7 @@ feed:
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	// No trial errored and the parent context is live, so every trial ran to
-	// completion. Fold in trial order.
-	for _, agg := range perTrial {
-		for i := range out {
-			out[i].Merge(agg[i])
-		}
-	}
-	return out, nil
+	return perTrial, nil
 }
 
 // safeTrial runs one trial, converting a panic in the trial body into an
@@ -342,6 +360,55 @@ func MapGate[T any](ctx context.Context, seed uint64, n, workers int, gate Gate,
 	})
 	if err != nil {
 		return nil, err
+	}
+	return out, nil
+}
+
+// RunSeriesShard executes only the trial range [lo, hi) of the full
+// (seed, trials) series run and returns the raw per-trial series values in
+// trial order: rows[t-lo][i] is trial t's i-th series value. Trial streams
+// depend only on (seed, trials, t), never on the range boundaries, so the
+// rows of any partition of [0, trials), concatenated in trial order and
+// folded with FoldSeriesRows, reproduce RunSeriesGate's aggregates bit for
+// bit — the primitive behind distributed trial-range sharding: each shard
+// is a serializable slice of per-trial observations (singleton Welford
+// moments), and the coordinator replays the engine's exact reduction.
+func RunSeriesShard(ctx context.Context, seed uint64, trials, lo, hi, points, workers int, gate Gate, f func(r *rng.Source) []float64) ([][]float64, error) {
+	if points < 0 {
+		return nil, fmt.Errorf("mc: negative series length %d", points)
+	}
+	if lo < 0 || hi > trials || lo > hi {
+		return nil, fmt.Errorf("mc: trial range [%d,%d) outside [0,%d)", lo, hi, trials)
+	}
+	rows := make([][]float64, hi-lo)
+	_, err := runTrialRange(ctx, seed, trials, lo, hi, 0, workers, gate, func(t int, r *rng.Source, _ []*stat.Welford) error {
+		vals := f(r)
+		if len(vals) != points {
+			return fmt.Errorf("mc: trial %d returned %d series values, want %d", t, len(vals), points)
+		}
+		rows[t-lo] = vals
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// FoldSeriesRows folds per-trial series rows — a full trial space's rows
+// concatenated in trial order — into per-point aggregates, using the same
+// reduction the engine applies (a singleton Merge per trial, never Add), so
+// the result is bit-identical to the RunSeriesGate aggregates of the run
+// the rows came from. Every row must have exactly points values.
+func FoldSeriesRows(points int, rows [][]float64) ([]*stat.Welford, error) {
+	out := newAgg(points)
+	for t, row := range rows {
+		if len(row) != points {
+			return nil, fmt.Errorf("mc: row %d has %d series values, want %d", t, len(row), points)
+		}
+		for i, v := range row {
+			out[i].MergeObs(v)
+		}
 	}
 	return out, nil
 }

@@ -86,6 +86,9 @@ type Pipeline struct {
 	granularity   float64
 	seed          uint64
 	trials        int
+	rangeLo       int
+	rangeHi       int
+	ranged        bool
 	workers       int
 	gate          mc.Gate
 	cycleTable    []float64
@@ -231,6 +234,25 @@ func WithTrials(n int) Option {
 			return fmt.Errorf("trial count must be positive, got %d", n)
 		}
 		p.trials = n
+		return nil
+	}
+}
+
+// WithTrialRange restricts execution to the trial range [lo, hi) of the
+// full WithTrials space — the distributed-sharding entry point. Trial
+// streams depend only on (seed, trials, trial index), so a range's results
+// are the same bits whether it runs alone on a remote worker or as part of
+// a full local run. Run then returns a Result whose aggregates fold only
+// the range's trials; RunShard returns the raw mergeable observations
+// (MergeShards folds a complete partition back into the full-run Result,
+// bit for bit). Grid budgets only; New rejects a range outside
+// [0, trials).
+func WithTrialRange(lo, hi int) Option {
+	return func(p *Pipeline) error {
+		if lo < 0 || hi <= lo {
+			return fmt.Errorf("trial range [%d,%d) is empty or negative", lo, hi)
+		}
+		p.rangeLo, p.rangeHi, p.ranged = lo, hi, true
 		return nil
 	}
 }
@@ -390,6 +412,14 @@ func New(master *nn.Network, pol Policy, b Budget, opts ...Option) (*Pipeline, e
 	if err := b.validate(); err != nil {
 		return nil, fmt.Errorf("program: %w", err)
 	}
+	if p.ranged {
+		if p.rangeHi > p.trials {
+			return nil, fmt.Errorf("program: trial range [%d,%d) outside [0,%d)", p.rangeLo, p.rangeHi, p.trials)
+		}
+		if _, ok := b.(NWCGrid); !ok {
+			return nil, fmt.Errorf("program: trial ranges require a grid budget, got %T", b)
+		}
+	}
 	return p, nil
 }
 
@@ -402,6 +432,24 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 		ctx = p.baseCtx
 	}
 	env := p.env // shallow copy: Run never mutates the Pipeline
+	table, err := p.prepare(&env)
+	if err != nil {
+		return nil, err
+	}
+	switch b := p.budget.(type) {
+	case NWCGrid:
+		return p.runGrid(ctx, &env, table, b)
+	case DropTarget:
+		return p.runDrop(ctx, &env, table, b)
+	}
+	return nil, fmt.Errorf("program: unsupported budget type %T", p.budget)
+}
+
+// prepare derives the run environment shared by Run and RunShard: fill in
+// weights/sensitivities, preflight the policy, and resolve the cycle table.
+// Everything here is deterministic in the pipeline's configuration, so the
+// full run and every trial-range shard of it derive identical state.
+func (p *Pipeline) prepare(env *Env) ([]float64, error) {
 	if env.Weights == nil {
 		env.Weights = swim.FlatWeights(env.Net)
 	}
@@ -416,23 +464,17 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 	// Policies implementing envValidator are checked without paying for a
 	// throwaway trial (the built-ins all do); others mint and discard one.
 	if v, ok := p.policy.(envValidator); ok {
-		if err := v.validateEnv(&env); err != nil {
+		if err := v.validateEnv(env); err != nil {
 			return nil, fmt.Errorf("program: policy %q: %w", p.policy.Name(), err)
 		}
-	} else if _, err := p.policy.NewTrial(&env, rng.New(p.seed^0x9a11e7)); err != nil {
+	} else if _, err := p.policy.NewTrial(env, rng.New(p.seed^0x9a11e7)); err != nil {
 		return nil, fmt.Errorf("program: policy %q: %w", p.policy.Name(), err)
 	}
 	table := p.cycleTable
 	if table == nil {
 		table = env.Device.CycleTable(300, rng.New(p.seed^0x5eed))
 	}
-	switch b := p.budget.(type) {
-	case NWCGrid:
-		return p.runGrid(ctx, &env, table, b)
-	case DropTarget:
-		return p.runDrop(ctx, &env, table, b)
-	}
-	return nil, fmt.Errorf("program: unsupported budget type %T", p.budget)
+	return table, nil
 }
 
 // setupTrial builds one Monte-Carlo trial: the policy's per-trial state
@@ -475,11 +517,13 @@ func (p *Pipeline) setupTrial(env *Env, table []float64, r *rng.Source) (mp *map
 	return mp, trial, func() { p.arenas.Put(arena) }
 }
 
-// runGrid walks the cumulative NWC grid on one device instance per trial —
-// the paper's Table 1 / Fig. 2 protocol.
-func (p *Pipeline) runGrid(ctx context.Context, env *Env, table []float64, b NWCGrid) (*Result, error) {
+// gridTrial returns the per-trial body of a grid-budget run: walk the
+// cumulative NWC targets on one device instance and report accuracy then
+// NWC per target — the paper's Table 1 / Fig. 2 protocol. Shared by the
+// full run and the trial-range shard path so both execute identical bits.
+func (p *Pipeline) gridTrial(env *Env, table []float64, b NWCGrid) func(r *rng.Source) []float64 {
 	points := len(b.Targets)
-	agg, err := mc.RunSeriesGate(ctx, p.seed, p.trials, 2*points, p.workers, p.gate, func(r *rng.Source) []float64 {
+	return func(r *rng.Source) []float64 {
 		out := make([]float64, 2*points)
 		mp, trial, release := p.setupTrial(env, table, r)
 		defer release()
@@ -489,12 +533,31 @@ func (p *Pipeline) runGrid(ctx context.Context, env *Env, table []float64, b NWC
 			out[points+i] = mp.NWC()
 		}
 		return out
-	})
+	}
+}
+
+// runGrid walks the cumulative NWC grid on one device instance per trial.
+// With a trial range configured it executes (and folds) only that range.
+func (p *Pipeline) runGrid(ctx context.Context, env *Env, table []float64, b NWCGrid) (*Result, error) {
+	points := len(b.Targets)
+	var agg []*stat.Welford
+	var err error
+	trials := p.trials
+	if p.ranged {
+		var rows [][]float64
+		rows, err = mc.RunSeriesShard(ctx, p.seed, p.trials, p.rangeLo, p.rangeHi, 2*points, p.workers, p.gate, p.gridTrial(env, table, b))
+		if err == nil {
+			agg, err = mc.FoldSeriesRows(2*points, rows)
+		}
+		trials = p.rangeHi - p.rangeLo
+	} else {
+		agg, err = mc.RunSeriesGate(ctx, p.seed, p.trials, 2*points, p.workers, p.gate, p.gridTrial(env, table, b))
+	}
 	if err != nil {
 		return nil, fmt.Errorf("program: policy %q: %w", p.policy.Name(), err)
 	}
 	res := &Result{
-		Policy: p.policy.Name(), Budget: p.budget, Trials: p.trials,
+		Policy: p.policy.Name(), Budget: p.budget, Trials: trials,
 		Nonidealities: nonideal.Names(p.nonideal), ReadTime: p.readTime,
 	}
 	for i, target := range b.Targets {
@@ -606,8 +669,4 @@ func (p *Pipeline) runDrop(ctx context.Context, env *Env, table []float64, b Dro
 
 // addObs folds one observation into w as a singleton merge, mirroring the mc
 // engine's per-trial-accumulator reduction bit for bit.
-func addObs(w *stat.Welford, v float64) {
-	var s stat.Welford
-	s.Add(v)
-	w.Merge(&s)
-}
+func addObs(w *stat.Welford, v float64) { w.MergeObs(v) }

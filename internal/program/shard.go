@@ -1,0 +1,160 @@
+package program
+
+// Trial-range sharding: a grid-budget run over trials [lo, hi) of the full
+// (seed, trials) space, returned as raw per-trial observations instead of
+// folded aggregates. Because every trial's RNG stream depends only on
+// (seed, trials, trial index) and the engine's reduction is a singleton
+// Welford merge in trial order, the rows of ANY partition of [0, trials) —
+// computed on any mix of machines, in any order, at any worker counts —
+// concatenate and fold back into the exact bits a single-node Run produces.
+// This is the unit of work the distributed serving tier ships between a
+// coordinator and its /v1/shards workers.
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"swim/internal/mc"
+	"swim/internal/nonideal"
+	"swim/internal/stat"
+)
+
+// Shard is one trial range's partial grid-budget result: the raw per-trial
+// series observations plus the run metadata needed to rebuild the full
+// Result. Rows[t-Lo] holds trial t's values — accuracy at each target
+// first, then NWC at each target (2×len(Targets) values). A Shard is the
+// mergeable, serializable form of a partial fold: each row is a singleton's
+// sufficient statistics, so MergeShards can replay the engine's trial-order
+// reduction losslessly.
+type Shard struct {
+	// Policy is the registry name of the policy that produced the rows.
+	Policy string
+	// Targets is the cumulative NWC grid each trial walked.
+	Targets []float64
+	// Nonidealities are the configured read-time nonideality specs.
+	Nonidealities []string
+	// ReadTime is when accuracy was measured, seconds after programming.
+	ReadTime float64
+	// Trials is the FULL run's trial count (the stream-split space), not
+	// the shard's share of it.
+	Trials int
+	// Lo and Hi bound the half-open trial range [Lo, Hi) this shard ran.
+	Lo, Hi int
+	// Rows are the per-trial observations in trial order (len Hi-Lo).
+	Rows [][]float64
+}
+
+// RunShard executes the pipeline's configured trial range (WithTrialRange;
+// the full [0, trials) when none is set) and returns the raw per-trial
+// observations. Grid budgets only — drop-budget traces are variable-length
+// per trial and have no mergeable row form. A nil ctx falls back to
+// WithContext, exactly like Run.
+func (p *Pipeline) RunShard(ctx context.Context) (*Shard, error) {
+	if ctx == nil {
+		ctx = p.baseCtx
+	}
+	b, ok := p.budget.(NWCGrid)
+	if !ok {
+		return nil, fmt.Errorf("program: RunShard requires a grid budget, got %T", p.budget)
+	}
+	lo, hi := 0, p.trials
+	if p.ranged {
+		lo, hi = p.rangeLo, p.rangeHi
+	}
+	env := p.env // shallow copy: RunShard never mutates the Pipeline
+	table, err := p.prepare(&env)
+	if err != nil {
+		return nil, err
+	}
+	points := len(b.Targets)
+	rows, err := mc.RunSeriesShard(ctx, p.seed, p.trials, lo, hi, 2*points, p.workers, p.gate, p.gridTrial(&env, table, b))
+	if err != nil {
+		return nil, fmt.Errorf("program: policy %q: %w", p.policy.Name(), err)
+	}
+	return &Shard{
+		Policy:        p.policy.Name(),
+		Targets:       append([]float64(nil), b.Targets...),
+		Nonidealities: nonideal.Names(p.nonideal),
+		ReadTime:      p.readTime,
+		Trials:        p.trials,
+		Lo:            lo,
+		Hi:            hi,
+		Rows:          rows,
+	}, nil
+}
+
+// MergeShards folds a complete partition of [0, Trials) back into the
+// Result a single-node Run of the same pipeline returns — bit for bit,
+// because the rows are replayed through the engine's exact trial-order
+// singleton reduction. Shards may arrive in any order; they must tile the
+// trial space exactly (no gaps, no overlaps) and agree on every piece of
+// run metadata.
+func MergeShards(shards []*Shard) (*Result, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("program: no shards to merge")
+	}
+	sorted := append([]*Shard(nil), shards...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Lo < sorted[j].Lo })
+	first := sorted[0]
+	points := len(first.Targets)
+	covered := 0
+	for _, sh := range sorted {
+		if err := compatibleShards(first, sh); err != nil {
+			return nil, err
+		}
+		if sh.Lo != covered {
+			return nil, fmt.Errorf("program: shard range [%d,%d) does not continue coverage at trial %d", sh.Lo, sh.Hi, covered)
+		}
+		if len(sh.Rows) != sh.Hi-sh.Lo {
+			return nil, fmt.Errorf("program: shard [%d,%d) carries %d rows", sh.Lo, sh.Hi, len(sh.Rows))
+		}
+		covered = sh.Hi
+	}
+	if covered != first.Trials {
+		return nil, fmt.Errorf("program: shards cover [0,%d) of %d trials", covered, first.Trials)
+	}
+
+	agg := make([]*stat.Welford, 2*points)
+	for i := range agg {
+		agg[i] = &stat.Welford{}
+	}
+	for _, sh := range sorted {
+		for t, row := range sh.Rows {
+			if len(row) != 2*points {
+				return nil, fmt.Errorf("program: shard [%d,%d) row %d has %d values, want %d", sh.Lo, sh.Hi, t, len(row), 2*points)
+			}
+			for i, v := range row {
+				agg[i].MergeObs(v)
+			}
+		}
+	}
+	res := &Result{
+		Policy: first.Policy, Budget: GridBudget(first.Targets...), Trials: first.Trials,
+		Nonidealities: append([]string(nil), first.Nonidealities...), ReadTime: first.ReadTime,
+	}
+	for i, target := range first.Targets {
+		res.Points = append(res.Points, Point{Target: target, Accuracy: agg[i], NWC: agg[points+i]})
+	}
+	return res, nil
+}
+
+// compatibleShards reports whether two shards belong to the same run.
+func compatibleShards(a, b *Shard) error {
+	if a.Policy != b.Policy || a.Trials != b.Trials || a.ReadTime != b.ReadTime ||
+		len(a.Targets) != len(b.Targets) || len(a.Nonidealities) != len(b.Nonidealities) {
+		return fmt.Errorf("program: shards from different runs: (%s, %d trials) vs (%s, %d trials)",
+			a.Policy, a.Trials, b.Policy, b.Trials)
+	}
+	for i := range a.Targets {
+		if a.Targets[i] != b.Targets[i] {
+			return fmt.Errorf("program: shards disagree on target %d: %g vs %g", i, a.Targets[i], b.Targets[i])
+		}
+	}
+	for i := range a.Nonidealities {
+		if a.Nonidealities[i] != b.Nonidealities[i] {
+			return fmt.Errorf("program: shards disagree on nonideality %d: %s vs %s", i, a.Nonidealities[i], b.Nonidealities[i])
+		}
+	}
+	return nil
+}

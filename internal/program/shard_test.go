@@ -1,0 +1,164 @@
+package program
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// shardPipeline builds a small grid pipeline over the shared test workload,
+// optionally restricted to a trial range.
+func shardPipeline(t *testing.T, w *testWorkload, trials int, opts ...Option) *Pipeline {
+	t.Helper()
+	all := append(append(w.options(),
+		WithSeed(404),
+		WithTrials(trials),
+		WithEvalBatch(64)), opts...)
+	p, err := New(w.net, mustLookup(t, "swim"), GridBudget(0, 0.2), all...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// resultKey fingerprints a Result exactly: hex float formatting (%x) is
+// bit-faithful, so equal keys mean bit-identical aggregates. (The
+// envelope-level byte comparison lives in the serve tests; program cannot
+// import serialize without a cycle.)
+func resultKey(res *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s|%d|%g|%v;", res.Policy, res.Trials, res.ReadTime, res.Nonidealities)
+	for _, pt := range res.Points {
+		fmt.Fprintf(&b, "%g:%x/%x/%d:%x/%x/%d;", pt.Target,
+			pt.Accuracy.Mean(), pt.Accuracy.Std(), pt.Accuracy.N(),
+			pt.NWC.Mean(), pt.NWC.Std(), pt.NWC.N())
+	}
+	return b.String()
+}
+
+// The tentpole property: ANY contiguous partition of the trial space,
+// executed shard by shard at mixed worker counts (1 and NumCPU) and merged
+// in trial order, serializes bit-identically to the single-node run — even
+// when a shard is recomputed, as a coordinator does after reassigning a
+// failed worker's range.
+func TestShardPartitionMergeBitIdentity(t *testing.T) {
+	const trials = 7
+	w := workload(t)
+	full, err := shardPipeline(t, w, trials, WithWorkers(1)).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := resultKey(full)
+
+	r := rand.New(rand.NewSource(11))
+	for round := 0; round < 3; round++ {
+		// Random contiguous partition of [0, trials).
+		bounds := []int{0, trials}
+		for i := 0; i < r.Intn(trials); i++ {
+			bounds = append(bounds, 1+r.Intn(trials-1))
+		}
+		for i := 1; i < len(bounds); i++ {
+			for j := i; j > 0 && bounds[j] < bounds[j-1]; j-- {
+				bounds[j], bounds[j-1] = bounds[j-1], bounds[j]
+			}
+		}
+		var shards []*Shard
+		for i := 1; i < len(bounds); i++ {
+			lo, hi := bounds[i-1], bounds[i]
+			if lo == hi {
+				continue
+			}
+			workers := 1
+			if len(shards)%2 == 1 {
+				workers = runtime.NumCPU()
+			}
+			p := shardPipeline(t, w, trials, WithWorkers(workers), WithTrialRange(lo, hi))
+			sh, err := p.RunShard(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if round == 0 && len(shards) == 0 {
+				// Mid-run reassignment: recompute the first range at a
+				// different worker count and merge the retry's copy.
+				retry, err := shardPipeline(t, w, trials, WithWorkers(runtime.NumCPU()),
+					WithTrialRange(lo, hi)).RunShard(context.Background())
+				if err != nil {
+					t.Fatal(err)
+				}
+				sh = retry
+			}
+			shards = append(shards, sh)
+		}
+		// Shard arrival order must not matter.
+		r.Shuffle(len(shards), func(i, j int) { shards[i], shards[j] = shards[j], shards[i] })
+		merged, err := MergeShards(shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := resultKey(merged); got != want {
+			t.Fatalf("round %d (%d shards): merged result differs from single-node:\nmerged: %s\nsingle: %s",
+				round, len(shards), got, want)
+		}
+	}
+}
+
+func TestMergeShardsValidation(t *testing.T) {
+	w := workload(t)
+	sh := func(lo, hi int) *Shard {
+		t.Helper()
+		s, err := shardPipeline(t, w, 4, WithTrialRange(lo, hi)).RunShard(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a, b := sh(0, 2), sh(2, 4)
+
+	if _, err := MergeShards(nil); err == nil {
+		t.Error("empty shard list accepted")
+	}
+	if _, err := MergeShards([]*Shard{a}); err == nil || !strings.Contains(err.Error(), "cover") {
+		t.Errorf("gap at the tail accepted: %v", err)
+	}
+	if _, err := MergeShards([]*Shard{a, a}); err == nil {
+		t.Error("overlapping shards accepted")
+	}
+	foreign := *b
+	foreign.Policy = "magnitude"
+	if _, err := MergeShards([]*Shard{a, &foreign}); err == nil {
+		t.Error("shards from different runs merged")
+	}
+	short := *b
+	short.Rows = short.Rows[:1]
+	if _, err := MergeShards([]*Shard{a, &short}); err == nil {
+		t.Error("row-deficient shard accepted")
+	}
+}
+
+func TestWithTrialRangeValidation(t *testing.T) {
+	w := workload(t)
+	if _, err := New(w.net, mustLookup(t, "swim"), GridBudget(0.1),
+		append(w.options(), WithTrials(4), WithTrialRange(-1, 2))...); err == nil {
+		t.Error("negative lo accepted")
+	}
+	if _, err := New(w.net, mustLookup(t, "swim"), GridBudget(0.1),
+		append(w.options(), WithTrials(4), WithTrialRange(2, 2))...); err == nil {
+		t.Error("empty range accepted")
+	}
+	if _, err := New(w.net, mustLookup(t, "swim"), GridBudget(0.1),
+		append(w.options(), WithTrials(4), WithTrialRange(0, 5))...); err == nil {
+		t.Error("range past the trial space accepted")
+	}
+	// Drop budgets have no mergeable row form: RunShard must refuse.
+	p, err := New(w.net, mustLookup(t, "swim"), DropBudget(90, 1),
+		append(w.options(), WithTrials(2))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.RunShard(context.Background()); err == nil || !strings.Contains(err.Error(), "grid budget") {
+		t.Errorf("RunShard on a drop budget: %v", err)
+	}
+}

@@ -1,0 +1,60 @@
+package serialize
+
+// The /v1 error wire format: every non-2xx response from swim-serve carries
+// a single JSON shape, {"error":{"code":..., "message":...}}, with a typed
+// machine-readable code. Clients switch on Code; Message is for humans.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Error codes emitted by the /v1 API. The set is closed per version: adding
+// a code is a compatible change, changing one is not.
+const (
+	// ErrBadRequest marks a malformed or unnormalizable request payload.
+	ErrBadRequest = "bad_request"
+	// ErrNotFound marks an unknown resource (job ID, route).
+	ErrNotFound = "not_found"
+	// ErrMethodNotAllowed marks a known route hit with the wrong verb.
+	ErrMethodNotAllowed = "method_not_allowed"
+	// ErrConflict marks a state conflict (e.g. cancelling a finished job).
+	ErrConflict = "conflict"
+	// ErrUnavailable marks a draining or overloaded daemon; retry later.
+	ErrUnavailable = "unavailable"
+	// ErrInternal marks a daemon-side failure executing the request.
+	ErrInternal = "internal"
+)
+
+// ErrorRecord is the body of the "error" field: a typed code plus a
+// human-readable message.
+type ErrorRecord struct {
+	// Code is one of the Err* constants.
+	Code string `json:"code"`
+	// Message explains the failure for humans; not machine-parseable.
+	Message string `json:"message"`
+}
+
+// ErrorEnvelope is the uniform body of every non-2xx /v1 response.
+type ErrorEnvelope struct {
+	Error ErrorRecord `json:"error"`
+}
+
+// EncodeError writes the uniform error envelope for (code, message) to w.
+func EncodeError(w io.Writer, code, message string) error {
+	return json.NewEncoder(w).Encode(&ErrorEnvelope{Error: ErrorRecord{Code: code, Message: message}})
+}
+
+// DecodeError reads one JSON error envelope from rd and rejects bodies
+// missing the typed code — the signal that a peer is not speaking /v1.
+func DecodeError(rd io.Reader) (*ErrorEnvelope, error) {
+	var env ErrorEnvelope
+	if err := json.NewDecoder(rd).Decode(&env); err != nil {
+		return nil, fmt.Errorf("serialize: decode error envelope: %w", err)
+	}
+	if env.Error.Code == "" {
+		return nil, fmt.Errorf("serialize: error envelope without code")
+	}
+	return &env, nil
+}

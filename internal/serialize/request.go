@@ -185,7 +185,10 @@ type JobRecord struct {
 	Status string `json:"status"`
 	// Cached reports that the result was served from the canonical-key
 	// cache instead of recomputed.
-	Cached    bool           `json:"cached,omitempty"`
+	Cached bool `json:"cached,omitempty"`
+	// Coalesced reports that the job attached to an identical in-flight
+	// job's execution (single-flight) instead of starting its own.
+	Coalesced bool           `json:"coalesced,omitempty"`
 	Request   *RequestRecord `json:"request,omitempty"`
 	Error     string         `json:"error,omitempty"`
 	Submitted int64          `json:"submitted_ms,omitempty"`

@@ -1,0 +1,193 @@
+package serialize
+
+// This file implements the distributed-execution wire format of the /v1
+// API: shard requests (a trial range of a normalized sweep request), shard
+// records (the range's raw per-trial observations per grid cell), canonical
+// shard keys, and the coordinator-side merge that folds a complete shard
+// partition back into the single-node ResultEnvelope — bit for bit, because
+// each row is one trial's singleton Welford moments and the merge replays
+// the mc engine's exact trial-order reduction.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"swim/internal/program"
+)
+
+// ShardVersion is the record version written for shard requests/records.
+const ShardVersion = 1
+
+// ShardRequest is the body of a POST /v1/shards call: compute trials
+// [Lo, Hi) of the request's full trial space. The embedded request follows
+// the same normalization contract as job submissions — the worker fills
+// defaults and rejects what it cannot faithfully execute.
+type ShardRequest struct {
+	// Version is the shard wire-format version ("" the worker speaks).
+	Version int `json:"version"`
+	// Request is the sweep request the trial range belongs to. Trials is
+	// the FULL trial count; the shard computes only [Lo, Hi) of it.
+	Request *RequestRecord `json:"request"`
+	// Lo and Hi bound the half-open trial range to compute.
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+}
+
+// DecodeShardRequest reads one JSON shard request from rd.
+func DecodeShardRequest(rd io.Reader) (*ShardRequest, error) {
+	var req ShardRequest
+	if err := json.NewDecoder(rd).Decode(&req); err != nil {
+		return nil, fmt.Errorf("serialize: decode shard request: %w", err)
+	}
+	return &req, nil
+}
+
+// ShardCell is one grid cell's slice of a shard: the cell coordinates plus
+// the raw per-trial observations of the shard's trial range. Rows[t-lo]
+// holds trial t's series values — accuracy at each NWC target first, then
+// NWC spent at each target (2×len(Targets) values per row). Rows are
+// singleton Welford moments, so folding them in trial order reproduces the
+// single-node aggregates losslessly (stat.Welford.MergeObs).
+type ShardCell struct {
+	// Workload, Sigma, Scenario, ReadTime and Policy locate the cell in
+	// the request grid, exactly as CellRecord spells them.
+	Workload string  `json:"workload"`
+	Sigma    float64 `json:"sigma"`
+	Scenario string  `json:"scenario"`
+	ReadTime float64 `json:"read_time"`
+	Policy   string  `json:"policy"`
+	// Targets is the cumulative NWC grid each trial walked.
+	Targets []float64 `json:"targets"`
+	// Nonidealities are the cell's read-time nonideality specs.
+	Nonidealities []string `json:"nonidealities,omitempty"`
+	// Rows are the per-trial observations in trial order.
+	Rows [][]float64 `json:"rows"`
+}
+
+// ShardRecord is a worker's reply to a shard request: every cell of the
+// request grid, in canonical grid order, restricted to trials [Lo, Hi).
+// It is also the coordinator's journal entry — a persisted partial fold of
+// completed trial ranges IS a shard result, which is what makes
+// checkpoint/resume free.
+type ShardRecord struct {
+	// Version is the shard wire-format version.
+	Version int `json:"version"`
+	// Key is the canonical shard key: ShardKey(request key, Lo, Hi).
+	Key string `json:"key"`
+	// Lo and Hi bound the computed trial range; Trials is the full space.
+	Lo     int `json:"lo"`
+	Hi     int `json:"hi"`
+	Trials int `json:"trials"`
+	// Cells are the per-cell trial-range slices in grid order.
+	Cells []ShardCell `json:"cells"`
+}
+
+// DecodeShard reads one JSON shard record from rd.
+func DecodeShard(rd io.Reader) (*ShardRecord, error) {
+	var rec ShardRecord
+	if err := json.NewDecoder(rd).Decode(&rec); err != nil {
+		return nil, fmt.Errorf("serialize: decode shard: %w", err)
+	}
+	return &rec, nil
+}
+
+// EncodeShard writes rec to w as an indented JSON document.
+func EncodeShard(w io.Writer, rec *ShardRecord) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rec)
+}
+
+// ShardKey derives the canonical key of one trial-range shard from its
+// request's canonical key. Equal shard keys mean the same computation with
+// bit-identical rows (the determinism contract extended to ranges), so the
+// key serves as the worker's single-flight handle and the coordinator's
+// journal filename.
+func ShardKey(requestKey string, lo, hi int) string {
+	return fmt.Sprintf("%s-%06d-%06d", requestKey, lo, hi)
+}
+
+// Validate checks a shard record's internal consistency against the
+// request key and trial space it is supposed to belong to — the gate both
+// the coordinator's HTTP path and its journal loader run every record
+// through before merging.
+func (r *ShardRecord) Validate(requestKey string, trials int) error {
+	if r.Version != ShardVersion {
+		return fmt.Errorf("serialize: shard version %d (want %d)", r.Version, ShardVersion)
+	}
+	if r.Lo < 0 || r.Hi > trials || r.Lo >= r.Hi {
+		return fmt.Errorf("serialize: shard range [%d,%d) outside [0,%d)", r.Lo, r.Hi, trials)
+	}
+	if r.Trials != trials {
+		return fmt.Errorf("serialize: shard trial space %d, want %d", r.Trials, trials)
+	}
+	if want := ShardKey(requestKey, r.Lo, r.Hi); r.Key != want {
+		return fmt.Errorf("serialize: shard key %q, want %q", r.Key, want)
+	}
+	if len(r.Cells) == 0 {
+		return fmt.Errorf("serialize: shard [%d,%d) has no cells", r.Lo, r.Hi)
+	}
+	for i, c := range r.Cells {
+		if len(c.Rows) != r.Hi-r.Lo {
+			return fmt.Errorf("serialize: shard cell %d carries %d rows for range [%d,%d)", i, len(c.Rows), r.Lo, r.Hi)
+		}
+	}
+	return nil
+}
+
+// MergeShards folds a complete shard partition of [0, trials) into the
+// ResultEnvelope single-node execution of the same request produces —
+// byte-identical, because each cell's rows route through
+// program.MergeShards (the engine's exact trial-order reduction) and the
+// record construction mirrors CaptureResult. Shards may arrive in any
+// order and with heterogeneous range sizes; they must tile the trial space
+// exactly and agree on the cell grid.
+func MergeShards(trials int, shards []*ShardRecord) (*ResultEnvelope, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("serialize: no shards to merge")
+	}
+	cells := len(shards[0].Cells)
+	for _, sh := range shards {
+		if len(sh.Cells) != cells {
+			return nil, fmt.Errorf("serialize: shard [%d,%d) has %d cells, want %d", sh.Lo, sh.Hi, len(sh.Cells), cells)
+		}
+	}
+	env := &ResultEnvelope{}
+	for c := 0; c < cells; c++ {
+		parts := make([]*program.Shard, 0, len(shards))
+		first := shards[0].Cells[c]
+		for _, sh := range shards {
+			cell := sh.Cells[c]
+			if cell.Workload != first.Workload || cell.Sigma != first.Sigma ||
+				cell.Scenario != first.Scenario || cell.ReadTime != first.ReadTime || cell.Policy != first.Policy {
+				return nil, fmt.Errorf("serialize: shard [%d,%d) cell %d is (%s σ=%g %s t=%g %s), want (%s σ=%g %s t=%g %s)",
+					sh.Lo, sh.Hi, c, cell.Workload, cell.Sigma, cell.Scenario, cell.ReadTime, cell.Policy,
+					first.Workload, first.Sigma, first.Scenario, first.ReadTime, first.Policy)
+			}
+			parts = append(parts, &program.Shard{
+				Policy:        cell.Policy,
+				Targets:       cell.Targets,
+				Nonidealities: cell.Nonidealities,
+				ReadTime:      cell.ReadTime,
+				Trials:        trials,
+				Lo:            sh.Lo,
+				Hi:            sh.Hi,
+				Rows:          cell.Rows,
+			})
+		}
+		res, err := program.MergeShards(parts)
+		if err != nil {
+			return nil, fmt.Errorf("serialize: cell %d: %w", c, err)
+		}
+		env.Cells = append(env.Cells, CellRecord{
+			Workload: first.Workload,
+			Sigma:    first.Sigma,
+			Scenario: first.Scenario,
+			ReadTime: first.ReadTime,
+			Policy:   first.Policy,
+			Result:   CaptureResult(res),
+		})
+	}
+	return env, nil
+}

@@ -1,0 +1,144 @@
+package serialize
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func testShard(key string, lo, hi, trials int) *ShardRecord {
+	rows := make([][]float64, hi-lo)
+	for i := range rows {
+		rows[i] = []float64{float64(lo + i), float64(lo+i) * 0.5}
+	}
+	return &ShardRecord{
+		Version: ShardVersion,
+		Key:     ShardKey(key, lo, hi),
+		Lo:      lo,
+		Hi:      hi,
+		Trials:  trials,
+		Cells: []ShardCell{{
+			Workload: "test", Sigma: 1, Scenario: "none", ReadTime: 0,
+			Policy: "swim", Targets: []float64{0.1}, Rows: rows,
+		}},
+	}
+}
+
+func TestShardRoundTrip(t *testing.T) {
+	rec := testShard("k", 2, 5, 8)
+	var buf bytes.Buffer
+	if err := EncodeShard(&buf, rec); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeShard(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Key != rec.Key || back.Lo != 2 || back.Hi != 5 || back.Trials != 8 {
+		t.Fatalf("round trip lost metadata: %+v", back)
+	}
+	if len(back.Cells) != 1 || len(back.Cells[0].Rows) != 3 || back.Cells[0].Rows[2][0] != 4 {
+		t.Fatalf("round trip lost rows: %+v", back.Cells)
+	}
+	if err := back.Validate("k", 8); err != nil {
+		t.Fatalf("round-tripped shard invalid: %v", err)
+	}
+}
+
+func TestShardKeyCanonical(t *testing.T) {
+	if ShardKey("abc", 0, 10) == ShardKey("abc", 0, 11) {
+		t.Fatal("different ranges share a key")
+	}
+	if ShardKey("abc", 0, 10) == ShardKey("abd", 0, 10) {
+		t.Fatal("different requests share a key")
+	}
+	if ShardKey("abc", 3, 7) != ShardKey("abc", 3, 7) {
+		t.Fatal("key not deterministic")
+	}
+}
+
+func TestShardValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		warp func(*ShardRecord)
+		want string
+	}{
+		{"wrong version", func(r *ShardRecord) { r.Version = 99 }, "version"},
+		{"range past space", func(r *ShardRecord) { r.Hi = 20 }, "outside"},
+		{"inverted range", func(r *ShardRecord) { r.Lo = 6 }, "outside"},
+		{"wrong trial space", func(r *ShardRecord) { r.Trials = 9 }, "trial space"},
+		{"foreign key", func(r *ShardRecord) { r.Key = "nope" }, "key"},
+		{"no cells", func(r *ShardRecord) { r.Cells = nil }, "no cells"},
+		{"row deficit", func(r *ShardRecord) { r.Cells[0].Rows = r.Cells[0].Rows[:1] }, "rows"},
+	}
+	for _, tc := range cases {
+		rec := testShard("k", 2, 5, 8)
+		tc.warp(rec)
+		err := rec.Validate("k", 8)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v (want substring %q)", tc.name, err, tc.want)
+		}
+	}
+	if err := testShard("k", 2, 5, 8).Validate("k", 8); err != nil {
+		t.Errorf("valid shard rejected: %v", err)
+	}
+}
+
+func TestMergeShardsRejectsBadPartitions(t *testing.T) {
+	if _, err := MergeShards(6, nil); err == nil {
+		t.Error("empty shard set merged")
+	}
+	// Gap: [0,2) + [4,6) leaves trials 2..3 uncovered.
+	gap := []*ShardRecord{testShard("k", 0, 2, 6), testShard("k", 4, 6, 6)}
+	if _, err := MergeShards(6, gap); err == nil {
+		t.Error("gapped partition merged")
+	}
+	// Mismatched cell grids.
+	a, b := testShard("k", 0, 3, 6), testShard("k", 3, 6, 6)
+	b.Cells[0].Policy = "magnitude"
+	if _, err := MergeShards(6, []*ShardRecord{a, b}); err == nil {
+		t.Error("mismatched cell grids merged")
+	}
+	b.Cells[0].Policy = "swim"
+	b.Cells = append(b.Cells, b.Cells[0])
+	if _, err := MergeShards(6, []*ShardRecord{a, b}); err == nil {
+		t.Error("mismatched cell counts merged")
+	}
+}
+
+func TestMergeShardsFoldsCompletePartition(t *testing.T) {
+	env, err := MergeShards(6, []*ShardRecord{testShard("k", 3, 6, 6), testShard("k", 0, 3, 6)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(env.Cells) != 1 {
+		t.Fatalf("cells = %d", len(env.Cells))
+	}
+	cell := env.Cells[0]
+	if cell.Policy != "swim" || cell.Workload != "test" || cell.Sigma != 1 {
+		t.Fatalf("cell metadata: %+v", cell)
+	}
+	if cell.Result == nil || cell.Result.Trials != 6 {
+		t.Fatalf("merged result: %+v", cell.Result)
+	}
+}
+
+func TestErrorEnvelopeRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeError(&buf, ErrNotFound, "no such job"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"error"`) || !strings.Contains(buf.String(), `"code"`) {
+		t.Fatalf("envelope shape: %s", buf.String())
+	}
+	env, err := DecodeError(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Error.Code != ErrNotFound || env.Error.Message != "no such job" {
+		t.Fatalf("round trip: %+v", env)
+	}
+	if _, err := DecodeError(strings.NewReader(`{"error":{"message":"untyped"}}`)); err == nil {
+		t.Fatal("code-less envelope accepted")
+	}
+}

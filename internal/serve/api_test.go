@@ -1,0 +1,228 @@
+package serve
+
+// Tests for the /v1 API conventions: the uniform typed error envelope
+// (including route/method fallthroughs), job-list pagination and filtering,
+// terminal-job TTL eviction, and single-flight submit coalescing.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"swim/internal/experiments"
+	"swim/internal/serialize"
+)
+
+// errorCode performs a request and decodes the /v1 error envelope,
+// asserting status and typed code.
+func errorCode(t *testing.T, method, url string, body string, wantStatus int, wantCode string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("%s %s → %d, want %d", method, url, resp.StatusCode, wantStatus)
+	}
+	env, err := serialize.DecodeError(resp.Body)
+	if err != nil {
+		t.Fatalf("%s %s: response is not the /v1 error envelope: %v", method, url, err)
+	}
+	if env.Error.Code != wantCode {
+		t.Fatalf("%s %s → code %q, want %q", method, url, env.Error.Code, wantCode)
+	}
+	if env.Error.Message == "" {
+		t.Fatalf("%s %s: empty error message", method, url)
+	}
+	return resp
+}
+
+// Every non-2xx response — handler rejections AND mux fallthroughs for
+// unknown routes or wrong verbs — must carry the typed error envelope.
+func TestErrorEnvelopeShapes(t *testing.T) {
+	release := make(chan struct{})
+	_, ts := newTestServer(t, Config{TotalWorkers: 1, Workloads: map[string]func() *experiments.Workload{
+		"test": func() *experiments.Workload { <-release; return tinyWorkload() },
+	}})
+
+	errorCode(t, http.MethodGet, ts.URL+"/no/such/route", "", http.StatusNotFound, serialize.ErrNotFound)
+	errorCode(t, http.MethodGet, ts.URL+"/v2/jobs", "", http.StatusNotFound, serialize.ErrNotFound)
+	errorCode(t, http.MethodGet, ts.URL+"/v1/jobs/ghost", "", http.StatusNotFound, serialize.ErrNotFound)
+	errorCode(t, http.MethodGet, ts.URL+"/v1/jobs/ghost/result", "", http.StatusNotFound, serialize.ErrNotFound)
+	errorCode(t, http.MethodPost, ts.URL+"/v1/jobs/ghost/cancel", "", http.StatusNotFound, serialize.ErrNotFound)
+	errorCode(t, http.MethodPost, ts.URL+"/v1/jobs", "not json", http.StatusBadRequest, serialize.ErrBadRequest)
+	errorCode(t, http.MethodPost, ts.URL+"/v1/shards", "not json", http.StatusBadRequest, serialize.ErrBadRequest)
+
+	resp := errorCode(t, http.MethodDelete, ts.URL+"/v1/jobs", "", http.StatusMethodNotAllowed, serialize.ErrMethodNotAllowed)
+	if allow := resp.Header.Get("Allow"); !strings.Contains(allow, "POST") || !strings.Contains(allow, "GET") {
+		t.Fatalf("Allow header = %q", allow)
+	}
+	errorCode(t, http.MethodPut, ts.URL+"/healthz", "", http.StatusMethodNotAllowed, serialize.ErrMethodNotAllowed)
+	errorCode(t, http.MethodGet, ts.URL+"/v1/shards", "", http.StatusMethodNotAllowed, serialize.ErrMethodNotAllowed)
+	errorCode(t, http.MethodDelete, ts.URL+"/v1/jobs/ghost/cancel", "", http.StatusMethodNotAllowed, serialize.ErrMethodNotAllowed)
+
+	// Conflict: a result fetched before the job is done (the workload gate
+	// keeps it non-terminal until released).
+	rec, code := submit(t, ts, testRequest(601, ""))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit code %d", code)
+	}
+	errorCode(t, http.MethodGet, ts.URL+"/v1/jobs/"+rec.ID+"/result", "", http.StatusConflict, serialize.ErrConflict)
+	close(release)
+	await(t, ts, rec.ID)
+
+	// List parameter validation.
+	errorCode(t, http.MethodGet, ts.URL+"/v1/jobs?status=bogus", "", http.StatusBadRequest, serialize.ErrBadRequest)
+	errorCode(t, http.MethodGet, ts.URL+"/v1/jobs?limit=0", "", http.StatusBadRequest, serialize.ErrBadRequest)
+	errorCode(t, http.MethodGet, ts.URL+"/v1/jobs?limit=nope", "", http.StatusBadRequest, serialize.ErrBadRequest)
+	errorCode(t, http.MethodGet, ts.URL+"/v1/jobs?page_token=xyz", "", http.StatusBadRequest, serialize.ErrBadRequest)
+}
+
+// fastRequest is a minimal one-trial request; distinct seeds defeat the
+// cache so each submission really runs.
+func fastRequest(seed uint64) *serialize.RequestRecord {
+	return &serialize.RequestRecord{
+		Version: serialize.RequestVersion, Kind: serialize.KindSweep, Workload: "test",
+		Sigmas: []float64{1.0}, Policies: []string{"noverify"},
+		NWCs: []float64{0}, Times: []float64{0},
+		Seed: seed, Trials: 1, EvalBatch: 32,
+	}
+}
+
+type listPage struct {
+	Jobs          []serialize.JobRecord `json:"jobs"`
+	NextPageToken string                `json:"next_page_token"`
+}
+
+func fetchList(t *testing.T, ts *httptest.Server, query string) listPage {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs" + query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("list %q → %d", query, resp.StatusCode)
+	}
+	var page listPage
+	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+		t.Fatal(err)
+	}
+	return page
+}
+
+func TestListPaginationAndFilter(t *testing.T) {
+	_, ts := newTestServer(t, Config{TotalWorkers: 2, MaxConcurrent: 2})
+	var ids []string
+	for seed := uint64(1); seed <= 5; seed++ {
+		rec, code := submit(t, ts, fastRequest(seed))
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %d → %d", seed, code)
+		}
+		ids = append(ids, rec.ID)
+	}
+	for _, id := range ids {
+		if rec := await(t, ts, id); rec.Status != serialize.JobDone {
+			t.Fatalf("job %s: %s (%s)", id, rec.Status, rec.Error)
+		}
+	}
+
+	// Walk the pages: stable submit order, two per page.
+	var walked []string
+	query := "?limit=2"
+	for {
+		page := fetchList(t, ts, query)
+		for _, j := range page.Jobs {
+			walked = append(walked, j.ID)
+		}
+		if page.NextPageToken == "" {
+			break
+		}
+		if len(page.Jobs) != 2 {
+			t.Fatalf("non-final page holds %d jobs", len(page.Jobs))
+		}
+		query = "?limit=2&page_token=" + page.NextPageToken
+	}
+	if fmt.Sprint(walked) != fmt.Sprint(ids) {
+		t.Fatalf("paged walk %v != submit order %v", walked, ids)
+	}
+
+	if page := fetchList(t, ts, "?status=done"); len(page.Jobs) != 5 {
+		t.Fatalf("status=done → %d jobs", len(page.Jobs))
+	}
+	if page := fetchList(t, ts, "?status=running"); len(page.Jobs) != 0 {
+		t.Fatalf("status=running → %d jobs", len(page.Jobs))
+	}
+	if page := fetchList(t, ts, "?status=done&limit=3&page_token=0"); len(page.Jobs) != 3 || page.NextPageToken == "" {
+		t.Fatalf("filtered page: %d jobs, token %q", len(page.Jobs), page.NextPageToken)
+	}
+}
+
+func TestJobTTLEviction(t *testing.T) {
+	_, ts := newTestServer(t, Config{TotalWorkers: 1, JobTTL: 20 * time.Millisecond})
+	req := fastRequest(41)
+	rec, _ := submit(t, ts, req)
+	if done := await(t, ts, rec.ID); done.Status != serialize.JobDone {
+		t.Fatalf("job: %s (%s)", done.Status, done.Error)
+	}
+	time.Sleep(60 * time.Millisecond)
+	if page := fetchList(t, ts, ""); len(page.Jobs) != 0 {
+		t.Fatalf("terminal job survived its TTL: %+v", page.Jobs)
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + rec.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("evicted job still resolvable: %d", resp.StatusCode)
+	}
+	// Eviction clears the job table, never the result cache.
+	again, code := submit(t, ts, req)
+	if code != http.StatusOK || !again.Cached {
+		t.Fatalf("resubmit after eviction not served from cache: %d %+v", code, again)
+	}
+}
+
+func TestSubmitCoalescing(t *testing.T) {
+	release := make(chan struct{})
+	s, ts := newTestServer(t, Config{TotalWorkers: 2, MaxConcurrent: 2, Workloads: map[string]func() *experiments.Workload{
+		"test": func() *experiments.Workload { <-release; return tinyWorkload() },
+	}})
+	req := testRequest(701, "")
+	first, code := submit(t, ts, req)
+	if code != http.StatusAccepted || first.Coalesced {
+		t.Fatalf("first submit: %d, coalesced %v", code, first.Coalesced)
+	}
+	second, code := submit(t, ts, req)
+	if code != http.StatusAccepted || !second.Coalesced {
+		t.Fatalf("identical in-flight submit not coalesced: %d, %+v", code, second)
+	}
+	// A different request must NOT coalesce.
+	other, code := submit(t, ts, testRequest(702, ""))
+	if code != http.StatusAccepted || other.Coalesced {
+		t.Fatalf("distinct request coalesced: %d, %+v", code, other)
+	}
+	close(release)
+	d1, d2 := await(t, ts, first.ID), await(t, ts, second.ID)
+	if d1.Status != serialize.JobDone || d2.Status != serialize.JobDone {
+		t.Fatalf("jobs: %s (%s), %s (%s)", d1.Status, d1.Error, d2.Status, d2.Error)
+	}
+	await(t, ts, other.ID)
+	if b1, b2 := fetchResult(t, ts, first.ID), fetchResult(t, ts, second.ID); !bytes.Equal(b1, b2) {
+		t.Fatal("coalesced results differ")
+	}
+	if n := s.executed.Load(); n != 2 { // first + other; the follower rode along
+		t.Fatalf("executed = %d, want 2 (coalesced submit recomputed)", n)
+	}
+}

@@ -12,23 +12,46 @@ import (
 // a terminal status (done, failed or cancelled), and backs the ?wait=1
 // long-poll.
 type job struct {
-	id     string
-	key    string // canonical request hash (the cache key)
-	req    *serialize.RequestRecord
-	status string
-	cached bool
-	errMsg string
+	id        string
+	seq       int64  // submission sequence (stable list order, page tokens)
+	key       string // canonical request hash (the cache key)
+	req       *serialize.RequestRecord
+	status    string
+	cached    bool
+	coalesced bool
+	errMsg    string
 
 	submitted int64 // unix ms
 	started   int64
 	finished  int64
 
-	cancel context.CancelFunc // non-nil once running
-	result *serialize.ResultEnvelope
-	done   chan struct{}
+	cancel    context.CancelFunc // non-nil once running
+	result    *serialize.ResultEnvelope
+	followers []*job // coalesced jobs riding this job's execution
+	done      chan struct{}
 }
 
 func nowMS() int64 { return time.Now().UnixMilli() }
+
+// terminal reports whether the job reached a final status. Call under the
+// server mutex.
+func (j *job) terminal() bool {
+	switch j.status {
+	case serialize.JobDone, serialize.JobFailed, serialize.JobCancelled:
+		return true
+	}
+	return false
+}
+
+// finishLocked moves the job to a terminal status and wakes the ?wait=1
+// long-polls. Call under the server mutex, at most once per job.
+func (j *job) finishLocked(status string, env *serialize.ResultEnvelope, errMsg string) {
+	j.status = status
+	j.result = env
+	j.errMsg = errMsg
+	j.finished = nowMS()
+	close(j.done)
+}
 
 // record snapshots the job as its wire envelope. The result payload stays
 // out — clients fetch it from the result endpoint, keeping job listings
@@ -38,6 +61,7 @@ func (j *job) record() *serialize.JobRecord {
 		ID:        j.id,
 		Status:    j.status,
 		Cached:    j.cached,
+		Coalesced: j.coalesced,
 		Request:   j.req,
 		Error:     j.errMsg,
 		Submitted: j.submitted,
@@ -55,9 +79,11 @@ func (s *Server) dispatch() {
 	}
 }
 
-// runJob executes one queued job through the experiments/program stack,
-// with a request-scoped context (cancellable via the cancel endpoint and
-// the server-wide abort) and a fair-share worker gate.
+// runJob executes one queued job through the experiments/program stack —
+// or, in coordinator mode, through the distributed shard scheduler — with a
+// request-scoped context (cancellable via the cancel endpoint and the
+// server-wide abort) and a fair-share worker gate. Completion finishes the
+// job's coalesced followers with the same outcome.
 func (s *Server) runJob(j *job) {
 	s.mu.Lock()
 	if j.status != serialize.JobQueued { // cancelled while queued
@@ -71,25 +97,38 @@ func (s *Server) runJob(j *job) {
 	s.mu.Unlock()
 	defer cancel()
 
-	share := s.budget.acquire()
-	env, err := s.execute(ctx, j.req, share)
-	share.release()
+	var env *serialize.ResultEnvelope
+	var err error
+	if s.coord != nil {
+		env, err = s.coord.run(ctx, j.key, j.req)
+	} else {
+		share := s.budget.acquire()
+		env, err = s.execute(ctx, j.req, share)
+		share.release()
+	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	defer close(j.done)
-	j.finished = nowMS()
+	delete(s.inflight, j.key)
+	status, errMsg := serialize.JobDone, ""
 	if err != nil {
-		j.errMsg = err.Error()
+		env = nil
+		errMsg = err.Error()
 		if ctx.Err() != nil {
-			j.status = serialize.JobCancelled
+			status = serialize.JobCancelled
 		} else {
-			j.status = serialize.JobFailed
+			status = serialize.JobFailed
 		}
-		return
+	} else {
+		s.executed.Add(1)
+		s.cache[j.key] = env
 	}
-	s.executed.Add(1)
-	j.status = serialize.JobDone
-	j.result = env
-	s.cache[j.key] = env
+	j.finishLocked(status, env, errMsg)
+	for _, f := range j.followers {
+		if f.status != serialize.JobQueued { // cancelled individually
+			continue
+		}
+		f.started = j.started
+		f.finishLocked(status, env, errMsg)
+	}
 }

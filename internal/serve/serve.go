@@ -23,16 +23,31 @@
 //   - Canonical result caching. Requests are normalized (defaults filled,
 //     scenario specs re-rendered) and hashed (serialize.CanonicalKey);
 //     determinism makes equal keys interchangeable, so a repeated request
-//     is served from cache without recomputation.
+//     is served from cache without recomputation, and identical in-flight
+//     requests coalesce onto a single execution (single-flight).
+//
+// The same determinism contract scales the daemon horizontally: any /v1
+// daemon doubles as a shard worker (POST /v1/shards computes a trial range
+// of a request as raw per-trial rows), and a daemon configured with
+// Config.WorkerURLs runs as a coordinator — it splits each job into
+// trial-range shards, farms them out, retries failures onto surviving
+// workers, journals completed shards under the state directory (killed
+// runs resume without recomputation) and merges the rows back into a
+// result envelope byte-identical to single-node execution.
 //
 // Endpoints (see docs/ARCHITECTURE.md for the full reference):
 //
 //	POST /v1/jobs              submit a request → job envelope (202; 200 on cache hit)
-//	GET  /v1/jobs              list job envelopes
+//	GET  /v1/jobs              list job envelopes (?status=, ?limit=, ?page_token=)
 //	GET  /v1/jobs/{id}         one job envelope (?wait=1 long-polls until terminal)
 //	GET  /v1/jobs/{id}/result  completed job's result envelope
 //	POST /v1/jobs/{id}/cancel  cancel a queued or running job
+//	POST /v1/shards            compute one trial-range shard (worker API)
 //	GET  /healthz              liveness + queue/cache statistics
+//
+// Every non-2xx response carries the uniform /v1 error envelope
+// {"error":{"code":...,"message":...}} with a typed serialize.Err* code —
+// including 404s for unknown routes and 405s for wrong verbs.
 //
 // Shutdown is a graceful drain: intake stops (submits get 503), queued and
 // running jobs finish, and past the drain timeout the remaining jobs are
@@ -47,6 +62,7 @@ import (
 	"net/http"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -79,6 +95,24 @@ type Config struct {
 	// DrainTimeout bounds graceful shutdown: once it expires, still-running
 	// jobs are cancelled through their contexts (default 30s).
 	DrainTimeout time.Duration
+	// WorkerURLs switches the daemon into coordinator mode: each job is
+	// split into trial-range shards dispatched to these /v1 base URLs
+	// (plain daemons — every swim-serve is also a shard worker), with
+	// failed shards retried on surviving workers and the merged envelope
+	// byte-identical to single-node execution. Empty = standalone.
+	WorkerURLs []string
+	// ShardTrials sizes the coordinator's trial ranges (default: the job's
+	// trial count split into about three waves per worker, minimum 1).
+	ShardTrials int
+	// JobTTL evicts terminal jobs (done/failed/cancelled) from the job
+	// table this long after they finish (default 1h; negative disables
+	// eviction). The canonical-key result cache is unaffected.
+	JobTTL time.Duration
+	// StateDir is the daemon's state directory. The coordinator journals
+	// completed shards under StateDir/coord/<request key>/ so a killed run
+	// resumes from its checkpoint instead of recomputing; unfinished
+	// journalled jobs found at startup are re-enqueued automatically.
+	StateDir string
 }
 
 // DefaultWorkloads returns the standard registry workload set served by
@@ -109,23 +143,31 @@ type Server struct {
 	budget    *fairShare
 	mux       *http.ServeMux
 	workloads map[string]*workloadEntry
+	coord     *coordinator // non-nil in coordinator mode
 
 	baseCtx   context.Context // parent of every job context
 	cancelAll context.CancelFunc
 
 	mu       sync.Mutex
 	jobs     map[string]*job
-	order    []string // submission order, for listing
+	order    []string // submission order, for listing and pagination
 	queued   chan *job
 	draining bool
 	cache    map[string]*serialize.ResultEnvelope
+	inflight map[string]*job // canonical key → primary queued/running job
+	nextSeq  int64           // job sequence; assigned under mu for stable order
 
-	executed atomic.Int64 // jobs actually computed (cache misses)
-	seq      atomic.Int64
+	shardMu    sync.Mutex
+	shardCalls map[string]*shardCall // shard key → in-flight shard execution
+
+	executed atomic.Int64   // jobs actually computed (cache misses)
+	shards   atomic.Int64   // trial-range shards computed by this worker
 	wg       sync.WaitGroup // dispatcher goroutines
 }
 
-// New builds a Server and starts its dispatcher pool.
+// New builds a Server and starts its dispatcher pool. In coordinator mode
+// (Config.WorkerURLs non-empty) it also re-enqueues any unfinished
+// journalled jobs found under the state directory.
 func New(cfg Config) *Server {
 	if cfg.MaxConcurrent < 1 {
 		cfg.MaxConcurrent = 2
@@ -146,16 +188,21 @@ func New(cfg Config) *Server {
 		cfg.DrainTimeout = 30 * time.Second
 	}
 	s := &Server{
-		cfg:       cfg,
-		budget:    newFairShare(cfg.TotalWorkers),
-		workloads: make(map[string]*workloadEntry, len(cfg.Workloads)),
-		jobs:      make(map[string]*job),
-		queued:    make(chan *job, cfg.QueueDepth),
-		cache:     make(map[string]*serialize.ResultEnvelope),
+		cfg:        cfg,
+		budget:     newFairShare(cfg.TotalWorkers),
+		workloads:  make(map[string]*workloadEntry, len(cfg.Workloads)),
+		jobs:       make(map[string]*job),
+		queued:     make(chan *job, cfg.QueueDepth),
+		cache:      make(map[string]*serialize.ResultEnvelope),
+		inflight:   make(map[string]*job),
+		shardCalls: make(map[string]*shardCall),
 	}
 	s.baseCtx, s.cancelAll = context.WithCancel(context.Background())
 	for name, build := range cfg.Workloads {
 		s.workloads[name] = &workloadEntry{build: build}
+	}
+	if len(cfg.WorkerURLs) > 0 {
+		s.coord = newCoordinator(s, cfg)
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -163,10 +210,24 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	s.mux.HandleFunc("POST /v1/shards", s.handleShard)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	// JSON fallthroughs: unmatched paths get the /v1 404 envelope, known
+	// paths hit with the wrong verb the 405 one (the method-specific
+	// patterns above take precedence when the verb matches).
+	s.mux.HandleFunc("/", s.handleNotFound)
+	s.mux.HandleFunc("/v1/jobs", methodNotAllowed("GET, POST"))
+	s.mux.HandleFunc("/v1/jobs/{id}", methodNotAllowed("GET"))
+	s.mux.HandleFunc("/v1/jobs/{id}/result", methodNotAllowed("GET"))
+	s.mux.HandleFunc("/v1/jobs/{id}/cancel", methodNotAllowed("POST"))
+	s.mux.HandleFunc("/v1/shards", methodNotAllowed("POST"))
+	s.mux.HandleFunc("/healthz", methodNotAllowed("GET"))
 	for i := 0; i < cfg.MaxConcurrent; i++ {
 		s.wg.Add(1)
 		go s.dispatch()
+	}
+	if s.coord != nil {
+		s.coord.resumePending()
 	}
 	return s
 }
@@ -241,6 +302,39 @@ func (s *Server) Drain(timeout time.Duration) {
 	}
 }
 
+// jobTTL resolves the configured terminal-job retention (0 = disabled).
+func (s *Server) jobTTL() time.Duration {
+	switch {
+	case s.cfg.JobTTL < 0:
+		return 0
+	case s.cfg.JobTTL == 0:
+		return time.Hour
+	default:
+		return s.cfg.JobTTL
+	}
+}
+
+// evictLocked drops terminal jobs older than the TTL from the job table
+// (the result cache is untouched — results stay cheap to re-serve). Called
+// lazily from the submit/list/health paths, under the server mutex.
+func (s *Server) evictLocked(now int64) {
+	ttl := s.jobTTL()
+	if ttl == 0 || len(s.order) == 0 {
+		return
+	}
+	cutoff := now - ttl.Milliseconds()
+	keep := s.order[:0]
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if j.terminal() && j.finished > 0 && j.finished <= cutoff {
+			delete(s.jobs, id)
+			continue
+		}
+		keep = append(keep, id)
+	}
+	s.order = keep
+}
+
 // --- HTTP handlers -------------------------------------------------------
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -251,43 +345,63 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v) // encode error means the client went away
 }
 
-func writeError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+// writeError emits the uniform /v1 error envelope with a typed code.
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, &serialize.ErrorEnvelope{
+		Error: serialize.ErrorRecord{Code: code, Message: fmt.Sprintf(format, args...)},
+	})
+}
+
+// handleNotFound is the catch-all route: the /v1 404 envelope.
+func (s *Server) handleNotFound(w http.ResponseWriter, r *http.Request) {
+	writeError(w, http.StatusNotFound, serialize.ErrNotFound, "no route %s", r.URL.Path)
+}
+
+// methodNotAllowed builds the per-path wrong-verb fallthrough handler.
+func methodNotAllowed(allow string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Allow", allow)
+		writeError(w, http.StatusMethodNotAllowed, serialize.ErrMethodNotAllowed,
+			"method %s not allowed on %s (allow %s)", r.Method, r.URL.Path, allow)
+	}
 }
 
 // handleSubmit accepts one request record, normalizes it and either serves
-// it from the cache (200, Cached: true) or enqueues a job (202).
+// it from the cache (200, Cached: true), coalesces it onto an identical
+// in-flight job (202, Coalesced: true) or enqueues a new job (202).
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	req, err := serialize.DecodeRequest(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, serialize.ErrBadRequest, "%v", err)
 		return
 	}
 	norm, err := s.normalize(req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, serialize.ErrBadRequest, "%v", err)
 		return
 	}
 	key, err := norm.CanonicalKey()
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		writeError(w, http.StatusInternalServerError, serialize.ErrInternal, "%v", err)
 		return
-	}
-
-	j := &job{
-		id:        fmt.Sprintf("job-%d", s.seq.Add(1)),
-		key:       key,
-		req:       norm,
-		status:    serialize.JobQueued,
-		submitted: nowMS(),
-		done:      make(chan struct{}),
 	}
 
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
-		writeError(w, http.StatusServiceUnavailable, "draining: no new jobs accepted")
+		writeError(w, http.StatusServiceUnavailable, serialize.ErrUnavailable, "draining: no new jobs accepted")
 		return
+	}
+	s.evictLocked(nowMS())
+	s.nextSeq++
+	j := &job{
+		id:        fmt.Sprintf("job-%d", s.nextSeq),
+		seq:       s.nextSeq,
+		key:       key,
+		req:       norm,
+		status:    serialize.JobQueued,
+		submitted: nowMS(),
+		done:      make(chan struct{}),
 	}
 	if env, ok := s.cache[key]; ok {
 		j.status = serialize.JobDone
@@ -302,13 +416,28 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, rec)
 		return
 	}
+	if p := s.inflight[key]; p != nil {
+		// Single-flight: attach to the identical in-flight job instead of
+		// computing the same answer twice; the primary's completion
+		// finishes every attached follower.
+		j.coalesced = true
+		p.followers = append(p.followers, j)
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+		rec := j.record()
+		s.mu.Unlock()
+		writeJSON(w, http.StatusAccepted, rec)
+		return
+	}
 	select {
 	case s.queued <- j:
 	default:
+		s.nextSeq-- // the job was never admitted
 		s.mu.Unlock()
-		writeError(w, http.StatusServiceUnavailable, "queue full (%d queued)", s.cfg.QueueDepth)
+		writeError(w, http.StatusServiceUnavailable, serialize.ErrUnavailable, "queue full (%d queued)", s.cfg.QueueDepth)
 		return
 	}
+	s.inflight[key] = j
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	rec := j.record()
@@ -327,7 +456,7 @@ func (s *Server) lookup(id string) *job {
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	j := s.lookup(r.PathValue("id"))
 	if j == nil {
-		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		writeError(w, http.StatusNotFound, serialize.ErrNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
 	if r.URL.Query().Get("wait") != "" {
@@ -343,15 +472,71 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, rec)
 }
 
-// handleList reports every job envelope in submission order.
+// listLimit parses the ?limit= query (default 100, capped at 1000).
+func listLimit(raw string) (int, error) {
+	if raw == "" {
+		return 100, nil
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("limit must be a positive integer, got %q", raw)
+	}
+	if n > 1000 {
+		n = 1000
+	}
+	return n, nil
+}
+
+// handleList reports job envelopes in stable submit-time order, paginated.
+// ?status= filters by lifecycle status, ?limit= bounds the page (default
+// 100, max 1000) and ?page_token= resumes after a previous page's token;
+// the response carries next_page_token while more jobs remain.
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	status := q.Get("status")
+	switch status {
+	case "", serialize.JobQueued, serialize.JobRunning, serialize.JobDone, serialize.JobFailed, serialize.JobCancelled:
+	default:
+		writeError(w, http.StatusBadRequest, serialize.ErrBadRequest, "unknown status filter %q", status)
+		return
+	}
+	limit, err := listLimit(q.Get("limit"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, serialize.ErrBadRequest, "%v", err)
+		return
+	}
+	var after int64
+	if tok := q.Get("page_token"); tok != "" {
+		after, err = strconv.ParseInt(tok, 10, 64)
+		if err != nil || after < 0 {
+			writeError(w, http.StatusBadRequest, serialize.ErrBadRequest, "malformed page token %q", tok)
+			return
+		}
+	}
+
 	s.mu.Lock()
-	recs := make([]*serialize.JobRecord, 0, len(s.order))
+	s.evictLocked(nowMS())
+	recs := make([]*serialize.JobRecord, 0, limit)
+	var last int64
+	next := ""
 	for _, id := range s.order {
-		recs = append(recs, s.jobs[id].record())
+		j := s.jobs[id]
+		if j.seq <= after || (status != "" && j.status != status) {
+			continue
+		}
+		if len(recs) == limit {
+			next = strconv.FormatInt(last, 10)
+			break
+		}
+		recs = append(recs, j.record())
+		last = j.seq
 	}
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": recs})
+	body := map[string]any{"jobs": recs}
+	if next != "" {
+		body["next_page_token"] = next
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // handleResult streams a completed job's result envelope — the bytes the
@@ -359,14 +544,14 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	j := s.lookup(r.PathValue("id"))
 	if j == nil {
-		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		writeError(w, http.StatusNotFound, serialize.ErrNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
 	s.mu.Lock()
 	status, env := j.status, j.result
 	s.mu.Unlock()
 	if env == nil {
-		writeError(w, http.StatusConflict, "job %s is %s, not done", j.id, status)
+		writeError(w, http.StatusConflict, serialize.ErrConflict, "job %s is %s, not done", j.id, status)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -374,20 +559,29 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleCancel cancels a queued or running job (terminal jobs are left
-// untouched and reported as-is).
+// untouched and reported as-is). Cancelling a primary job also cancels the
+// coalesced followers riding its execution.
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	j := s.lookup(r.PathValue("id"))
 	if j == nil {
-		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		writeError(w, http.StatusNotFound, serialize.ErrNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
 	s.mu.Lock()
 	switch j.status {
 	case serialize.JobQueued:
 		// The dispatcher will skip it when it surfaces from the queue.
-		j.status = serialize.JobCancelled
-		j.finished = nowMS()
-		close(j.done)
+		j.finishLocked(serialize.JobCancelled, nil, "")
+		if s.inflight[j.key] == j {
+			// A cancelled primary never runs: release the single-flight
+			// slot and cancel the followers that were riding it.
+			delete(s.inflight, j.key)
+			for _, f := range j.followers {
+				if f.status == serialize.JobQueued {
+					f.finishLocked(serialize.JobCancelled, nil, "cancelled with primary job "+j.id)
+				}
+			}
+		}
 	case serialize.JobRunning:
 		j.cancel() // runJob records the terminal status
 	}
@@ -403,6 +597,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if s.draining {
 		status = "draining"
 	}
+	s.evictLocked(nowMS())
 	var queued, running int
 	for _, j := range s.jobs {
 		switch j.status {
@@ -413,14 +608,20 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	stats := map[string]any{
-		"status":        status,
-		"jobs_total":    len(s.jobs),
-		"jobs_queued":   queued,
-		"jobs_running":  running,
-		"executed":      s.executed.Load(),
-		"cache_entries": len(s.cache),
-		"workers_total": s.cfg.TotalWorkers,
-		"workloads":     s.workloadNames(),
+		"status":          status,
+		"mode":            "standalone",
+		"jobs_total":      len(s.jobs),
+		"jobs_queued":     queued,
+		"jobs_running":    running,
+		"executed":        s.executed.Load(),
+		"shards_executed": s.shards.Load(),
+		"cache_entries":   len(s.cache),
+		"workers_total":   s.cfg.TotalWorkers,
+		"workloads":       s.workloadNames(),
+	}
+	if s.coord != nil {
+		stats["mode"] = "coordinator"
+		stats["coordinator_workers"] = s.coord.workerURLs()
 	}
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, stats)

@@ -47,6 +47,17 @@ func (w *Welford) Merge(o *Welford) {
 	w.n = n
 }
 
+// MergeObs folds one observation into w as a singleton Merge — the
+// reduction the mc engine applies to per-trial accumulators. Add's
+// incremental update computes the same statistics through a different
+// rounding sequence, so code that must reproduce an engine fold bit for bit
+// (shard merging, trace re-aggregation) uses MergeObs, never Add.
+func (w *Welford) MergeObs(x float64) {
+	var s Welford
+	s.Add(x)
+	w.Merge(&s)
+}
+
 // N returns the number of observations.
 func (w *Welford) N() int { return w.n }
 

@@ -1,22 +1,84 @@
 #!/usr/bin/env bash
-# End-to-end smoke test for the serving tier: boot swim-serve on an
-# ephemeral port, submit a small scenario request over HTTP, and diff the
-# JSON result against the equivalent swim-scenario CLI invocation — the
-# bit-identical-serving contract (same seeds, same workload recipe, any
-# worker split).
+# End-to-end smoke test for the serving tier, in three parts:
 #
-# Both processes train the same workload from the same seeds (or restore it
+#   A. Single daemon: boot swim-serve on an ephemeral port, submit a small
+#      scenario request over HTTP, and diff the JSON result against the
+#      equivalent swim-scenario CLI invocation — the bit-identical-serving
+#      contract (same seeds, same workload recipe, any worker split).
+#   B. Distributed topology: boot two shard workers plus a coordinator
+#      pointed at them, submit the same request, and diff the merged
+#      envelope against the same CLI output — sharding must not change a
+#      single byte.
+#   C. Resilience: submit a longer job to the coordinator and kill -9 one
+#      worker mid-job; the coordinator must reassign its shards to the
+#      survivor and still produce the CLI-identical envelope.
+#
+# All processes train the same workload from the same seeds (or restore it
 # from the shared -state directory), so the only moving part is the serving
-# path itself. Keep the request here and the CLI flags in lockstep.
+# path itself. Keep the requests here and the CLI flags in lockstep.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 workdir="$(mktemp -d)"
-server_pid=""
-trap '[ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+pids=""
+trap 'for p in $pids; do kill -9 "$p" 2>/dev/null || true; done; rm -rf "$workdir"' EXIT
 
-# CI-scale knobs; export the same environment to both processes.
+# CI-scale knobs; export the same environment to every process.
 export SWIM_FAST=1 SWIM_MC=3 SWIM_EVAL=64
+
+# boot_serve <portfile> <args...>: start a daemon, wait for its port, and
+# print "pid addr". The daemon's own output goes to <portfile>.log — it
+# must NOT share this function's stdout, which the caller reads from.
+boot_serve() {
+  local portfile="$1"; shift
+  "$workdir/swim-serve" -addr 127.0.0.1:0 -portfile "$portfile" "$@" \
+    >"$portfile.log" 2>&1 &
+  local pid=$!
+  for _ in $(seq 1 300); do
+    [ -s "$portfile" ] && break
+    sleep 0.1
+  done
+  if [ ! -s "$portfile" ]; then
+    echo "swim-serve never wrote $portfile:" >&2
+    cat "$portfile.log" >&2
+    return 1
+  fi
+  echo "$pid $(cat "$portfile")"
+}
+
+# submit_job <addr> <json>: POST a request and print the job id.
+submit_job() {
+  curl -sf -XPOST "http://$1/v1/jobs" -d "$2" \
+    | sed -n 's/.*"id": "\([^"]*\)".*/\1/p'
+}
+
+# await_exit <pid...>: wait for processes that are not children of this
+# shell (boot_serve starts them from a process substitution).
+await_exit() {
+  local pid
+  for pid in "$@"; do
+    for _ in $(seq 1 300); do
+      kill -0 "$pid" 2>/dev/null || break
+      sleep 0.1
+    done
+    if kill -0 "$pid" 2>/dev/null; then
+      echo "process $pid did not exit" >&2
+      return 1
+    fi
+  done
+}
+
+# await_job <addr> <job_id>: long-poll until terminal; fail unless done.
+await_job() {
+  local status
+  status="$(curl -sf "http://$1/v1/jobs/$2?wait=1" \
+    | sed -n 's/.*"status": "\([^"]*\)".*/\1/p')"
+  if [ "$status" != "done" ]; then
+    echo "job $2 finished with status '$status'" >&2
+    curl -s "http://$1/v1/jobs/$2" >&2
+    return 1
+  fi
+}
 
 echo "=== building binaries"
 go build -o "$workdir/swim-serve" ./cmd/swim-serve
@@ -27,19 +89,7 @@ echo "=== swim-scenario reference run"
   -nonideal "none;stuckat:p=0.02" -times 0,3600 -nwcs 0,0.1 \
   -policies swim,noverify -trials 3 -json "$workdir/cli.json" >/dev/null
 
-echo "=== booting swim-serve"
-"$workdir/swim-serve" -addr 127.0.0.1:0 -state "$workdir/state" \
-  -portfile "$workdir/port" -jobs 2 &
-server_pid=$!
-for _ in $(seq 1 100); do
-  [ -s "$workdir/port" ] && break
-  sleep 0.1
-done
-addr="$(cat "$workdir/port")"
-curl -sf "http://$addr/healthz" >/dev/null
-
-echo "=== submitting scenario request to $addr"
-job_id="$(curl -sf -XPOST "http://$addr/v1/jobs" -d '{
+request='{
   "kind": "scenario",
   "workload": "lenet",
   "scenarios": "none;stuckat:p=0.02",
@@ -48,40 +98,93 @@ job_id="$(curl -sf -XPOST "http://$addr/v1/jobs" -d '{
   "policies": ["swim", "noverify"],
   "trials": 3,
   "seed": 4000
-}' | sed -n 's/.*"id": "\([^"]*\)".*/\1/p')"
+}'
+
+echo "=== part A: single daemon ==="
+echo "=== booting swim-serve"
+read -r server_pid addr < <(boot_serve "$workdir/port" -state "$workdir/state" -jobs 2)
+pids="$server_pid"
+curl -sf "http://$addr/healthz" >/dev/null
+
+echo "=== submitting scenario request to $addr"
+job_id="$(submit_job "$addr" "$request")"
 test -n "$job_id"
 
 echo "=== waiting for $job_id"
-status="$(curl -sf "http://$addr/v1/jobs/$job_id?wait=1" \
-  | sed -n 's/.*"status": "\([^"]*\)".*/\1/p')"
-if [ "$status" != "done" ]; then
-  echo "job finished with status '$status'" >&2
-  curl -s "http://$addr/v1/jobs/$job_id" >&2
-  exit 1
-fi
+await_job "$addr" "$job_id"
 curl -sf "http://$addr/v1/jobs/$job_id/result" >"$workdir/http.json"
 
 echo "=== diffing HTTP result against the CLI output"
 diff -u "$workdir/cli.json" "$workdir/http.json"
 
 echo "=== resubmitting: must be served from cache"
-cached="$(curl -sf -XPOST "http://$addr/v1/jobs" -d '{
-  "kind": "scenario",
-  "workload": "lenet",
-  "scenarios": "none;stuckat:p=0.02",
-  "times": [0, 3600],
-  "nwcs": [0, 0.1],
-  "policies": ["swim", "noverify"],
-  "trials": 3,
-  "seed": 4000
-}' | sed -n 's/.*"cached": \(true\).*/\1/p')"
+cached="$(curl -sf -XPOST "http://$addr/v1/jobs" -d "$request" \
+  | sed -n 's/.*"cached": \(true\).*/\1/p')"
 if [ "$cached" != "true" ]; then
   echo "repeat request was not served from cache" >&2
   exit 1
 fi
 
+echo "=== error envelope: unknown route must carry a typed code"
+curl -s "http://$addr/v1/nope" | grep -q '"code": "not_found"'
+
 echo "=== graceful drain on SIGTERM"
 kill -TERM "$server_pid"
-wait "$server_pid"
+await_exit "$server_pid"
+pids=""
 
-echo "serve e2e smoke: OK (result bit-identical to CLI, cache hit, clean drain)"
+echo "=== part B: coordinator + 2 shard workers ==="
+read -r w1_pid w1_addr < <(boot_serve "$workdir/port1" -state "$workdir/state")
+pids="$w1_pid"
+read -r w2_pid w2_addr < <(boot_serve "$workdir/port2" -state "$workdir/state")
+pids="$pids $w2_pid"
+read -r coord_pid coord_addr < <(boot_serve "$workdir/portc" \
+  -state "$workdir/coordstate" -coordinator "http://$w1_addr,http://$w2_addr" -shard-trials 1)
+pids="$pids $coord_pid"
+curl -sf "http://$coord_addr/healthz" | grep -q '"mode": "coordinator"'
+
+echo "=== submitting the same request to the coordinator"
+job_id="$(submit_job "$coord_addr" "$request")"
+test -n "$job_id"
+await_job "$coord_addr" "$job_id"
+curl -sf "http://$coord_addr/v1/jobs/$job_id/result" >"$workdir/coord.json"
+
+echo "=== diffing the coordinator-merged result against the CLI output"
+diff -u "$workdir/cli.json" "$workdir/coord.json"
+
+echo "=== both workers computed shards"
+for waddr in "$w1_addr" "$w2_addr"; do
+  if curl -sf "http://$waddr/healthz" | grep -q '"shards_executed": 0,'; then
+    echo "worker $waddr computed no shards" >&2
+    exit 1
+  fi
+done
+
+echo "=== part C: kill one worker mid-job ==="
+"$workdir/swim-scenario" -workload lenet -state "$workdir/state" \
+  -nonideal "none" -times 0 -nwcs 0,0.1 \
+  -policies swim -trials 12 -json "$workdir/cli12.json" >/dev/null
+job_id="$(submit_job "$coord_addr" '{
+  "kind": "scenario",
+  "workload": "lenet",
+  "scenarios": "none",
+  "times": [0],
+  "nwcs": [0, 0.1],
+  "policies": ["swim"],
+  "trials": 12,
+  "seed": 4000
+}')"
+test -n "$job_id"
+kill -9 "$w1_pid"
+pids="$w2_pid $coord_pid"
+echo "=== worker 1 killed; the survivor must absorb its shards"
+await_job "$coord_addr" "$job_id"
+curl -sf "http://$coord_addr/v1/jobs/$job_id/result" >"$workdir/coord12.json"
+diff -u "$workdir/cli12.json" "$workdir/coord12.json"
+
+echo "=== draining the distributed topology"
+kill -TERM "$coord_pid" "$w2_pid"
+await_exit "$coord_pid" "$w2_pid"
+pids=""
+
+echo "serve e2e smoke: OK (single + sharded results bit-identical to CLI, cache hit, worker-loss resilience, clean drains)"
