@@ -345,8 +345,36 @@ func benchEvalLegacy(b *testing.B, model string) {
 	}
 }
 
-func BenchmarkEvalPlanLeNet(b *testing.B)    { benchEvalPlan(b, "lenet") }
-func BenchmarkEvalPlanResNet(b *testing.B)   { benchEvalPlan(b, "resnet") }
+func BenchmarkEvalPlanLeNet(b *testing.B)  { benchEvalPlan(b, "lenet") }
+func BenchmarkEvalPlanResNet(b *testing.B) { benchEvalPlan(b, "resnet") }
+
+// costAccountingSink keeps the cost-accounting reads observable so the
+// compiler cannot elide them from BenchmarkEvalPlanCostAccounting.
+var costAccountingSink float64
+
+// BenchmarkEvalPlanCostAccounting measures the eval hot path exactly as the
+// cost tier drives it: a device-programmed mapping evaluated through the
+// compiled plan with the write-cycle aggregates (CyclesUsed, NWC) read back
+// each iteration — the same reads gridTrial performs per trial to feed
+// cost.Report. It shares the BenchmarkEvalPlan* 0 allocs/op CI gate: cost
+// accounting must never put allocations back on the hot path.
+func BenchmarkEvalPlanCostAccounting(b *testing.B) {
+	ds := data.MNISTLike(64, 64, 42)
+	net := models.LeNet(10, 4, rng.New(1))
+	dm := device.Default(4, 0.5)
+	table := dm.CycleTable(50, rng.New(2))
+	mp, err := mapping.New(net, dm, table, rng.New(3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	mp.SetEvalArena(tensor.NewArena())
+	mp.Accuracy(ds.TrainX, ds.TrainY, 32) // compile + warm up the plan
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		costAccountingSink = mp.Accuracy(ds.TrainX, ds.TrainY, 32) + mp.CyclesUsed + mp.NWC()
+	}
+}
 func BenchmarkEvalLegacyLeNet(b *testing.B)  { benchEvalLegacy(b, "lenet") }
 func BenchmarkEvalLegacyResNet(b *testing.B) { benchEvalLegacy(b, "resnet") }
 

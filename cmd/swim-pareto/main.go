@@ -1,0 +1,226 @@
+// Command swim-pareto traces the accuracy-vs-programming-energy Pareto
+// frontier across programming policies: every (policy, NWC-target) cell of a
+// Monte-Carlo sweep is costed through a hardware cost model (package cost),
+// and the cells no other cell dominates — higher accuracy for no more
+// programming energy — form the frontier. This is the question the cost tier
+// exists to answer: how much accuracy each nanojoule of write-verify
+// programming actually buys on a given device.
+//
+// Usage:
+//
+//	swim-pareto [-workload lenet|convnet|resnet|tiny]
+//	            [-cost rram] [-nwcs 0,0.1,0.3]
+//	            [-policies swim,magnitude,noverify]
+//	            [-sigma 1.0] [-trials N] [-workers N]
+//	            [-json path] [-state dir]
+//
+// -cost selects the hardware cost model ("list" prints the registered
+// presets; parameters attach as name:key=value). -json additionally writes
+// the costed sweep as a serialized result envelope — byte-identical to what
+// the swim-serve daemon's result endpoint returns for the equivalent
+// cost-bearing sweep request (CI diffs the two). -state restores/persists
+// trained workload states so repeated runs skip training. Environment:
+// SWIM_MC (trials), SWIM_EVAL (evaluation subset), SWIM_FAST (CI-scale
+// workloads).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"swim/internal/cost"
+	"swim/internal/experiments"
+	"swim/internal/mc"
+	"swim/internal/program"
+	"swim/internal/serialize"
+	"swim/internal/stat"
+)
+
+func parseFloats(csv string) ([]float64, error) {
+	if strings.TrimSpace(csv) == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, s := range strings.Split(csv, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q: %v", s, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// paretoPoint is one costed sweep cell flattened for frontier analysis.
+type paretoPoint struct {
+	policy   string
+	target   float64
+	acc      *stat.Welford
+	energyUJ *stat.Welford
+	timeMS   *stat.Welford
+	frontier bool
+}
+
+// markFrontier marks the Pareto-optimal points: a point is dominated when
+// another point reaches at least its mean accuracy for at most its mean
+// programming energy, strictly better on one of the two.
+func markFrontier(pts []paretoPoint) {
+	for i := range pts {
+		dominated := false
+		for j := range pts {
+			if i == j {
+				continue
+			}
+			betterAcc := pts[j].acc.Mean() >= pts[i].acc.Mean()
+			betterEnergy := pts[j].energyUJ.Mean() <= pts[i].energyUJ.Mean()
+			strict := pts[j].acc.Mean() > pts[i].acc.Mean() || pts[j].energyUJ.Mean() < pts[i].energyUJ.Mean()
+			if betterAcc && betterEnergy && strict {
+				dominated = true
+				break
+			}
+		}
+		pts[i].frontier = !dominated
+	}
+}
+
+func main() {
+	workload := flag.String("workload", "lenet", "lenet | convnet | resnet | tiny")
+	costFlag := flag.String("cost", "rram",
+		"hardware cost model spec, e.g. rram or rram:write_pj=12,par=64 ('list' prints the registered presets)")
+	nwcsFlag := flag.String("nwcs", "", "comma-separated NWC grid (default 0,0.1,0.3)")
+	policiesFlag := flag.String("policies", "swim,magnitude,noverify",
+		"comma-separated registry policies ('list' prints the registered names)")
+	sigma := flag.Float64("sigma", experiments.SigmaHigh, "device variation before write-verify")
+	jsonFlag := flag.String("json", "",
+		"also write the costed sweep as a serialized result envelope to this path ('-' = stdout) — byte-identical to the swim-serve result endpoint")
+	trials := flag.Int("trials", 0, "Monte-Carlo trials (0 = default / SWIM_MC)")
+	workers := flag.Int("workers", 0, "Monte-Carlo worker goroutines (0 = SWIM_WORKERS or all CPUs)")
+	stateFlag := flag.String("state", "",
+		"directory of serialized workload states: restore instead of retraining, persist after training (see swim-train -state)")
+	flag.Parse()
+	mc.SetWorkers(*workers)
+	experiments.SetStateDir(*stateFlag)
+
+	if *policiesFlag == "list" {
+		fmt.Println(strings.Join(program.Names(), "\n"))
+		return
+	}
+	fatal := func(code int, err error) {
+		fmt.Fprintln(os.Stderr, "swim-pareto:", err)
+		os.Exit(code)
+	}
+	model, ok, listing, err := cost.FromFlag(*costFlag)
+	if err != nil {
+		fatal(2, err)
+	}
+	if listing != "" {
+		fmt.Println(listing)
+		return
+	}
+	if !ok {
+		fatal(2, fmt.Errorf("a cost model is required (-cost %q disables cost accounting; try -cost rram)", *costFlag))
+	}
+
+	cfg := experiments.DefaultScenarioConfig()
+	cfg.Times = []float64{0} // the frontier is a programming-time question
+	cfg.Cost = model.Spec()
+	if *trials > 0 {
+		cfg.Trials = *trials
+	}
+	if ns, err := parseFloats(*nwcsFlag); err != nil {
+		fatal(2, err)
+	} else if ns != nil {
+		cfg.NWCs = ns
+	}
+	policies, err := program.ResolveNames(*policiesFlag)
+	if err != nil {
+		fatal(2, err)
+	}
+	if policies != nil {
+		cfg.Policies = policies
+	}
+
+	// With -json - the envelope owns stdout; route the human-readable
+	// commentary to stderr so the JSON stays machine-parseable.
+	human := io.Writer(os.Stdout)
+	if *jsonFlag == "-" {
+		human = os.Stderr
+	}
+	var w *experiments.Workload
+	switch *workload {
+	case "lenet":
+		fmt.Fprintln(human, "training LeNet on the MNIST-like task (cached per process)...")
+		w = experiments.LeNetMNIST()
+	case "convnet":
+		fmt.Fprintln(human, "training ConvNet on the CIFAR-like task...")
+		w = experiments.ConvNetCIFAR()
+	case "resnet":
+		fmt.Fprintln(human, "training ResNet-18 on the CIFAR-like task...")
+		w = experiments.ResNetCIFAR()
+	case "tiny":
+		fmt.Fprintln(human, "training ResNet-18 on the TinyImageNet-like task...")
+		w = experiments.ResNetTiny()
+	default:
+		fatal(2, fmt.Errorf("unknown workload %q (want lenet, convnet, resnet or tiny)", *workload))
+	}
+
+	results, err := experiments.ScenarioResults(context.Background(), w, *sigma, nil, cfg)
+	if err != nil {
+		fatal(1, err)
+	}
+
+	var pts []paretoPoint
+	rep := results[0].Result.Cost
+	for _, sr := range results {
+		if sr.Result.Cost == nil {
+			fatal(1, fmt.Errorf("policy %s returned no cost report", sr.Policy))
+		}
+		// Cost.Points and Points share the NWC-target grid index for index.
+		for i, cp := range sr.Result.Cost.Points {
+			pts = append(pts, paretoPoint{
+				policy: sr.Policy, target: cp.Target, acc: sr.Result.Points[i].Accuracy,
+				energyUJ: cp.EnergyUJ, timeMS: cp.TimeMS,
+			})
+		}
+	}
+	markFrontier(pts)
+
+	fmt.Fprintf(human, "\nAccuracy vs programming energy on %s (clean %.2f%%, sigma=%.2f, %d MC trials)\n",
+		w.Name, w.CleanAcc, *sigma, cfg.Trials)
+	fmt.Fprintf(human, "cost model: %s\n", rep.Model)
+	fmt.Fprintf(human, "array: %d tiles (%d×%d), %.3f mm²; inference: %.1f nJ + %.2f µs per sample\n\n",
+		rep.Geometry.Tiles, rep.Geometry.TileRows, rep.Geometry.TileCols,
+		rep.AreaMM2, rep.InferenceEnergyNJ, rep.InferenceLatencyUS)
+	fmt.Fprintf(human, "%-10s %6s %16s %18s %14s  %s\n", "policy", "nwc", "accuracy (%)", "energy (µJ)", "time (ms)", "pareto")
+	for _, p := range pts {
+		mark := ""
+		if p.frontier {
+			mark = "*"
+		}
+		fmt.Fprintf(human, "%-10s %6.2f %8.2f ± %4.2f %10.2f ± %5.2f %8.2f ± %3.2f  %s\n",
+			p.policy, p.target, p.acc.Mean(), p.acc.Std(),
+			p.energyUJ.Mean(), p.energyUJ.Std(), p.timeMS.Mean(), p.timeMS.Std(), mark)
+	}
+	fmt.Fprintln(human, "\n* = Pareto-optimal: no cell reaches higher mean accuracy for less programming energy")
+
+	if *jsonFlag != "" {
+		out := os.Stdout
+		if *jsonFlag != "-" {
+			f, err := os.Create(*jsonFlag)
+			if err != nil {
+				fatal(1, err)
+			}
+			defer f.Close()
+			out = f
+		}
+		env := &serialize.ResultEnvelope{Cells: experiments.EnvelopeCells(*workload, *sigma, results)}
+		if err := serialize.EncodeEnvelope(out, env); err != nil {
+			fatal(1, err)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package eval
+
+import "swim/internal/nn"
+
+// MatVecOp describes one crossbar matrix-vector workload in a network: a
+// weight matrix of shape [Out, In] activated PerSample times per input
+// sample. Linear layers contribute one activation per sample; convolutions
+// lowered to im2col + matmul contribute one per output spatial position.
+// The cost tier composes these counts with a tile size to derive per-sample
+// DAC/ADC conversion counts and tile-activation totals.
+type MatVecOp struct {
+	// Layer is the contributing layer's name, for reporting.
+	Layer string
+	// In and Out are the weight-matrix dimensions ([Out, In] row-major,
+	// matching the mapped parameter layout).
+	In, Out int
+	// PerSample is how many times the matrix is applied per input sample.
+	PerSample int
+}
+
+// MatVecOps walks a network's layer tree in forward order and returns the
+// crossbar MatVec workload of every mapped layer. The walk mirrors the plan
+// compiler's flattening (Sequential in order, Residual body before
+// shortcut), so Plan.MatVecOps returns the same slice for a compiled plan.
+func MatVecOps(net *nn.Network) []MatVecOp {
+	if net == nil || net.Trunk == nil {
+		return nil
+	}
+	return appendLayerOps(nil, net.Trunk)
+}
+
+// appendLayerOps accumulates MatVec ops from one layer subtree, in the same
+// order as Plan compilation.
+func appendLayerOps(ops []MatVecOp, l nn.Layer) []MatVecOp {
+	switch v := l.(type) {
+	case nil:
+		return ops
+	case *nn.Sequential:
+		for _, inner := range v.Layers {
+			ops = appendLayerOps(ops, inner)
+		}
+		return ops
+	case *nn.Residual:
+		ops = appendLayerOps(ops, v.Body)
+		return appendLayerOps(ops, v.Shortcut)
+	case *nn.Linear:
+		return append(ops, MatVecOp{Layer: v.Name(), In: v.In, Out: v.Out, PerSample: 1})
+	case *nn.Conv2D:
+		return append(ops, MatVecOp{
+			Layer:     v.Name(),
+			In:        v.Geom.ColRows(),
+			Out:       v.OutC,
+			PerSample: v.Geom.ColCols(),
+		})
+	default:
+		return ops
+	}
+}
+
+// MatVecOps returns the crossbar MatVec workload of the plan's forward
+// steps, in execution order. It matches the free-function walk over the
+// source network — the compiler flattens the same tree the walk descends —
+// and is the hook the cost tier uses when only the compiled plan is in
+// hand.
+func (p *Plan) MatVecOps() []MatVecOp {
+	var ops []MatVecOp
+	for _, s := range p.steps {
+		if s.kind != opForward {
+			continue
+		}
+		ops = appendLayerOps(ops, s.layer)
+	}
+	return ops
+}

@@ -1,0 +1,103 @@
+package eval_test
+
+import (
+	"reflect"
+	"testing"
+
+	"swim/internal/eval"
+	"swim/internal/models"
+	"swim/internal/nn"
+	"swim/internal/rng"
+)
+
+// TestMatVecOpsMatchMappedWeights checks the op walk against the mapping
+// ground truth: summing In×Out over all ops must equal the network's
+// crossbar-mapped weight count, for every model in the zoo.
+func TestMatVecOpsMatchMappedWeights(t *testing.T) {
+	for _, tc := range builders {
+		t.Run(tc.name, func(t *testing.T) {
+			net := tc.build(rng.New(7))
+			ops := eval.MatVecOps(net)
+			if len(ops) == 0 {
+				t.Fatal("no MatVec ops found")
+			}
+			total := 0
+			for _, op := range ops {
+				if op.In <= 0 || op.Out <= 0 || op.PerSample <= 0 {
+					t.Fatalf("degenerate op %+v", op)
+				}
+				total += op.In * op.Out
+			}
+			if want := net.NumMappedWeights(); total != want {
+				t.Fatalf("ops cover %d weights, mapping has %d", total, want)
+			}
+		})
+	}
+}
+
+// TestPlanMatVecOpsMatchTreeWalk pins that the compiled plan reports the
+// identical op sequence as the source-network walk — the cost tier must not
+// care which one it composes over.
+func TestPlanMatVecOpsMatchTreeWalk(t *testing.T) {
+	for _, tc := range builders {
+		t.Run(tc.name, func(t *testing.T) {
+			net := tc.build(rng.New(7))
+			plan, err := eval.Compile(net, append([]int{2}, tc.sample...), nil)
+			if err != nil {
+				t.Fatalf("Compile: %v", err)
+			}
+			if got, want := plan.MatVecOps(), eval.MatVecOps(net); !reflect.DeepEqual(got, want) {
+				t.Fatalf("plan ops != tree ops:\n plan %+v\n tree %+v", got, want)
+			}
+		})
+	}
+}
+
+func TestMatVecOpsPerSample(t *testing.T) {
+	net := models.LeNet(10, 4, rng.New(7))
+	for _, op := range eval.MatVecOps(net) {
+		mapped := findMapped(t, net, op.Layer)
+		switch v := mapped.(type) {
+		case *nn.Linear:
+			if op.PerSample != 1 || op.In != v.In || op.Out != v.Out {
+				t.Fatalf("linear op mismatch: %+v vs In=%d Out=%d", op, v.In, v.Out)
+			}
+		case *nn.Conv2D:
+			if op.PerSample != v.Geom.ColCols() || op.In != v.Geom.ColRows() || op.Out != v.OutC {
+				t.Fatalf("conv op mismatch: %+v vs geom %+v", op, v.Geom)
+			}
+		}
+	}
+	if eval.MatVecOps(nil) != nil {
+		t.Fatal("nil network must yield nil ops")
+	}
+}
+
+// findMapped locates the layer a MatVecOp came from by name.
+func findMapped(t *testing.T, net *nn.Network, name string) nn.Layer {
+	t.Helper()
+	var found nn.Layer
+	var walk func(l nn.Layer)
+	walk = func(l nn.Layer) {
+		switch v := l.(type) {
+		case *nn.Sequential:
+			for _, inner := range v.Layers {
+				walk(inner)
+			}
+		case *nn.Residual:
+			walk(v.Body)
+			if v.Shortcut != nil {
+				walk(v.Shortcut)
+			}
+		default:
+			if l != nil && l.Name() == name {
+				found = l
+			}
+		}
+	}
+	walk(net.Trunk)
+	if found == nil {
+		t.Fatalf("layer %q not found", name)
+	}
+	return found
+}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"strings"
 
+	"swim/internal/cost"
 	"swim/internal/data"
 	"swim/internal/mc"
 	"swim/internal/nonideal"
@@ -96,6 +97,11 @@ type ScenarioConfig struct {
 	Seed uint64
 	// EvalBatch is the accuracy-measurement batch size (0 = 64).
 	EvalBatch int
+	// Cost is a hardware cost-model spec (package cost grammar); every
+	// cell's Result then carries a Cost report. Empty disables cost
+	// accounting (the default — cost is an opt-in axis so legacy requests
+	// hash and serialize unchanged).
+	Cost string
 }
 
 // DefaultScenarioConfig returns the scenario-sweep defaults, honouring
@@ -232,6 +238,14 @@ func scenarioCells(w *Workload, sigma float64, scenarios []Scenario, cfg Scenari
 		scenarios = []Scenario{{Spec: "none"}}
 	}
 	cfg = cfg.normalized()
+	var costOpts []program.Option
+	if cfg.Cost != "" {
+		m, err := cost.Parse(cfg.Cost)
+		if err != nil {
+			return err
+		}
+		costOpts = []program.Option{program.WithCostModel(m)}
+	}
 	dm := w.DeviceFor(sigma)
 	table := dm.CycleTable(300, rng.New(cfg.Seed^0x5ce11a))
 	evalX, evalY := data.Subset(w.DS.TestX, w.DS.TestY, mc.EvalSize(len(w.DS.TestY)))
@@ -250,6 +264,7 @@ func scenarioCells(w *Workload, sigma float64, scenarios []Scenario, cfg Scenari
 					program.WithReadTime(tRead),
 					program.WithSeed(cfg.Seed),
 					program.WithTrials(cfg.Trials))
+				opts = append(opts, costOpts...)
 				p, err := program.New(w.Net, pol, program.GridBudget(cfg.NWCs...),
 					append(opts, extra...)...)
 				if err != nil {

@@ -1,0 +1,214 @@
+package program
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"strings"
+	"testing"
+
+	"swim/internal/cost"
+	"swim/internal/eval"
+)
+
+// costPipeline builds a small grid pipeline with cost accounting attached.
+func costPipeline(t *testing.T, w *testWorkload, m cost.Model, trials int, opts ...Option) *Pipeline {
+	t.Helper()
+	return shardPipeline(t, w, trials, append([]Option{WithCostModel(m)}, opts...)...)
+}
+
+// costKey fingerprints a Result's cycle aggregates and Cost report exactly
+// (%x float formatting is bit-faithful): equal keys mean bit-identical cost
+// accounting.
+func costKey(res *Result) string {
+	var b strings.Builder
+	for _, pt := range res.Points {
+		fmt.Fprintf(&b, "%g:%x/%x/%d;", pt.Target, pt.Cycles.Mean(), pt.Cycles.Std(), pt.Cycles.N())
+	}
+	rep := res.Cost
+	if rep == nil {
+		return b.String() + "|no-cost"
+	}
+	fmt.Fprintf(&b, "|%s|%+v|%x/%x/%x;", rep.Model, rep.Geometry,
+		rep.InferenceEnergyNJ, rep.InferenceLatencyUS, rep.AreaMM2)
+	for _, pc := range rep.Points {
+		fmt.Fprintf(&b, "%g:%x/%x/%d:%x/%x/%d;", pc.Target,
+			pc.EnergyUJ.Mean(), pc.EnergyUJ.Std(), pc.EnergyUJ.N(),
+			pc.TimeMS.Mean(), pc.TimeMS.Std(), pc.TimeMS.N())
+	}
+	return b.String()
+}
+
+func rramModel(t *testing.T) cost.Model {
+	t.Helper()
+	m, err := cost.Parse("rram")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestCyclesSurfaced pins satellite #1: grid results carry the raw
+// write-verify cycle aggregates NWC normalization used to discard, and the
+// two series agree through the baseline (cycles = NWC × baseline cycles per
+// trial, with a fixed network and cycle table, so the means stay exactly
+// proportional).
+func TestCyclesSurfaced(t *testing.T) {
+	w := workload(t)
+	res, err := shardPipeline(t, w, 3).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != nil {
+		t.Fatal("cost report present without WithCostModel")
+	}
+	var baseline float64
+	for i, pt := range res.Points {
+		if pt.Cycles == nil || pt.Cycles.N() != res.Trials {
+			t.Fatalf("point %d: missing cycle aggregate: %+v", i, pt.Cycles)
+		}
+		if pt.NWC.Mean() == 0 {
+			if pt.Cycles.Mean() != 0 {
+				t.Fatalf("point %d: zero NWC but %g cycles", i, pt.Cycles.Mean())
+			}
+			continue
+		}
+		ratio := pt.Cycles.Mean() / pt.NWC.Mean()
+		if baseline == 0 {
+			baseline = ratio
+		} else if math.Abs(ratio-baseline) > 1e-6*baseline {
+			t.Fatalf("point %d: cycles/NWC ratio %g drifts from baseline %g", i, ratio, baseline)
+		}
+	}
+	if baseline <= 0 {
+		t.Fatal("no point spent any cycles")
+	}
+}
+
+// TestCostBitIdenticalAcrossWorkers is the satellite #3 property at the
+// worker axis: the Cost block is bit-identical at 1 worker and NumCPU
+// workers.
+func TestCostBitIdenticalAcrossWorkers(t *testing.T) {
+	w := workload(t)
+	m := rramModel(t)
+	const trials = 5
+	seq, err := costPipeline(t, w, m, trials, WithWorkers(1)).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Cost == nil || len(seq.Cost.Points) != len(seq.Points) {
+		t.Fatalf("missing cost report: %+v", seq.Cost)
+	}
+	if seq.Cost.Model != m.Spec() {
+		t.Fatalf("cost model %q, want %q", seq.Cost.Model, m.Spec())
+	}
+	par, err := costPipeline(t, w, m, trials, WithWorkers(runtime.NumCPU())).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := costKey(par), costKey(seq); got != want {
+		t.Fatalf("cost diverges across worker counts:\n 1 worker: %s\n %d workers: %s",
+			want, runtime.NumCPU(), got)
+	}
+	if got, want := resultKey(par), resultKey(seq); got != want {
+		t.Fatalf("accuracy aggregates diverge across worker counts:\n%s\n%s", want, got)
+	}
+}
+
+// TestCostShardMergeBitIdentity is the satellite #3 property at the
+// sharding axis: a partition of the trial space computed at mixed worker
+// counts and folded through MergeShards reproduces the single-node Cost
+// block bit for bit.
+func TestCostShardMergeBitIdentity(t *testing.T) {
+	w := workload(t)
+	m := rramModel(t)
+	const trials = 6
+	full, err := costPipeline(t, w, m, trials, WithWorkers(1)).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shards []*Shard
+	for _, rg := range [][2]int{{0, 2}, {2, 3}, {3, 6}} {
+		workers := 1
+		if len(shards)%2 == 1 {
+			workers = runtime.NumCPU()
+		}
+		p := costPipeline(t, w, m, trials, WithWorkers(workers), WithTrialRange(rg[0], rg[1]))
+		sh, err := p.RunShard(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sh.Cost != m.Spec() || sh.Geom == nil {
+			t.Fatalf("shard [%d,%d) lost cost metadata: %q %v", rg[0], rg[1], sh.Cost, sh.Geom)
+		}
+		shards = append(shards, sh)
+	}
+	merged, err := MergeShards(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := costKey(merged), costKey(full); got != want {
+		t.Fatalf("merged cost diverges from single-node run:\n full:   %s\n merged: %s", want, got)
+	}
+	if got, want := resultKey(merged), resultKey(full); got != want {
+		t.Fatalf("merged aggregates diverge from single-node run:\n%s\n%s", want, got)
+	}
+}
+
+// TestMergeShardsRejectsCostMismatch covers the compatibility checks: a
+// partition mixing cost-bearing and cost-free shards (or different models)
+// must not merge.
+func TestMergeShardsRejectsCostMismatch(t *testing.T) {
+	w := workload(t)
+	m := rramModel(t)
+	const trials = 2
+	withCost, err := costPipeline(t, w, m, trials, WithTrialRange(0, 1)).RunShard(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := shardPipeline(t, w, trials, WithTrialRange(1, 2)).RunShard(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergeShards([]*Shard{withCost, without}); err == nil {
+		t.Fatal("merged shards with mismatched cost models")
+	}
+}
+
+// TestCostGeometryMatchesMapping cross-checks the derived geometry against
+// the mapping and op-walk ground truth.
+func TestCostGeometryMatchesMapping(t *testing.T) {
+	w := workload(t)
+	p := costPipeline(t, w, rramModel(t), 2)
+	g := costGeometry(p.env.Net, p.env.Device)
+	if g.Weights != w.net.NumMappedWeights() {
+		t.Fatalf("geometry weights %d, mapping has %d", g.Weights, w.net.NumMappedWeights())
+	}
+	if g.Slices != p.env.Device.NumDevices() {
+		t.Fatalf("geometry slices %d, device has %d", g.Slices, p.env.Device.NumDevices())
+	}
+	var matvecs, dacs, adcs int
+	for _, op := range eval.MatVecOps(w.net) {
+		tiles := ((op.Out + g.TileCols - 1) / g.TileCols) * ((op.In + g.TileRows - 1) / g.TileRows)
+		matvecs += tiles * op.PerSample
+		dacs += op.In * op.PerSample
+		adcs += op.Out * op.PerSample
+	}
+	if g.MatVecs != matvecs || g.DACs != dacs || g.ADCs != adcs {
+		t.Fatalf("geometry %+v disagrees with op walk (matvecs %d dacs %d adcs %d)", g, matvecs, dacs, adcs)
+	}
+	if g.Tiles < 1 || g.MatVecs < g.Tiles {
+		t.Fatalf("degenerate geometry %+v", g)
+	}
+}
+
+// TestWithCostModelValidates pins eager option validation.
+func TestWithCostModelValidates(t *testing.T) {
+	w := workload(t)
+	_, err := New(w.net, mustLookup(t, "swim"), GridBudget(0, 0.1),
+		append(w.options(), WithCostModel(cost.Model{}))...)
+	if err == nil {
+		t.Fatal("New accepted an invalid (zero) cost model")
+	}
+}

@@ -51,6 +51,7 @@ import (
 	"math"
 	"sync"
 
+	"swim/internal/cost"
 	"swim/internal/device"
 	"swim/internal/mapping"
 	"swim/internal/mc"
@@ -96,6 +97,7 @@ type Pipeline struct {
 	nonideal      []nonideal.Nonideality
 	readTime      float64
 	selectorSplit bool
+	costModel     *cost.Model
 	baseCtx       context.Context
 
 	deviceSet bool
@@ -518,19 +520,22 @@ func (p *Pipeline) setupTrial(env *Env, table []float64, r *rng.Source) (mp *map
 }
 
 // gridTrial returns the per-trial body of a grid-budget run: walk the
-// cumulative NWC targets on one device instance and report accuracy then
-// NWC per target — the paper's Table 1 / Fig. 2 protocol. Shared by the
-// full run and the trial-range shard path so both execute identical bits.
+// cumulative NWC targets on one device instance and report accuracy, NWC
+// and raw write-verify cycles per target — the paper's Table 1 / Fig. 2
+// protocol plus the cycle counts cost accounting is derived from. Shared by
+// the full run and the trial-range shard path so both execute identical
+// bits.
 func (p *Pipeline) gridTrial(env *Env, table []float64, b NWCGrid) func(r *rng.Source) []float64 {
 	points := len(b.Targets)
 	return func(r *rng.Source) []float64 {
-		out := make([]float64, 2*points)
+		out := make([]float64, 3*points)
 		mp, trial, release := p.setupTrial(env, table, r)
 		defer release()
 		for i, nwc := range b.Targets {
 			trial.SpendTo(mp, nwc, r)
 			out[i] = mp.Accuracy(p.evalX, p.evalY, p.evalBatch)
 			out[points+i] = mp.NWC()
+			out[2*points+i] = mp.CyclesUsed
 		}
 		return out
 	}
@@ -545,13 +550,13 @@ func (p *Pipeline) runGrid(ctx context.Context, env *Env, table []float64, b NWC
 	trials := p.trials
 	if p.ranged {
 		var rows [][]float64
-		rows, err = mc.RunSeriesShard(ctx, p.seed, p.trials, p.rangeLo, p.rangeHi, 2*points, p.workers, p.gate, p.gridTrial(env, table, b))
+		rows, err = mc.RunSeriesShard(ctx, p.seed, p.trials, p.rangeLo, p.rangeHi, 3*points, p.workers, p.gate, p.gridTrial(env, table, b))
 		if err == nil {
-			agg, err = mc.FoldSeriesRows(2*points, rows)
+			agg, err = mc.FoldSeriesRows(3*points, rows)
 		}
 		trials = p.rangeHi - p.rangeLo
 	} else {
-		agg, err = mc.RunSeriesGate(ctx, p.seed, p.trials, 2*points, p.workers, p.gate, p.gridTrial(env, table, b))
+		agg, err = mc.RunSeriesGate(ctx, p.seed, p.trials, 3*points, p.workers, p.gate, p.gridTrial(env, table, b))
 	}
 	if err != nil {
 		return nil, fmt.Errorf("program: policy %q: %w", p.policy.Name(), err)
@@ -561,7 +566,12 @@ func (p *Pipeline) runGrid(ctx context.Context, env *Env, table []float64, b NWC
 		Nonidealities: nonideal.Names(p.nonideal), ReadTime: p.readTime,
 	}
 	for i, target := range b.Targets {
-		res.Points = append(res.Points, Point{Target: target, Accuracy: agg[i], NWC: agg[points+i]})
+		res.Points = append(res.Points, Point{
+			Target: target, Accuracy: agg[i], NWC: agg[points+i], Cycles: agg[2*points+i],
+		})
+	}
+	if p.costModel != nil {
+		applyCost(res, *p.costModel, costGeometry(env.Net, env.Device))
 	}
 	return res, nil
 }

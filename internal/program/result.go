@@ -1,6 +1,9 @@
 package program
 
-import "swim/internal/stat"
+import (
+	"swim/internal/cost"
+	"swim/internal/stat"
+)
 
 // Result is the structured outcome of one Pipeline.Run.
 //
@@ -24,6 +27,12 @@ type Result struct {
 
 	// Points is the per-grid-point outcome (NWCGrid budgets only).
 	Points []Point
+
+	// Cost is the hardware cost composition of the run (WithCostModel;
+	// NWCGrid budgets only). It is derived deterministically from the
+	// folded Point.Cycles aggregates and the mapping geometry, so it is
+	// bit-identical at any worker count and across shard merges.
+	Cost *cost.Report
 
 	// Trace is the per-granule accuracy trajectory (DropTarget budgets
 	// only). Step 0 is the accuracy right after the free parallel
@@ -50,6 +59,11 @@ type Point struct {
 	// NWC aggregates the write cycles actually spent, which can undershoot
 	// the target when the policy ran out of weights to verify.
 	NWC *stat.Welford
+	// Cycles aggregates the RAW write-verify cycle count spent by this
+	// point (mapping.Mapped.CyclesUsed) — the numerator NWC normalizes
+	// away. Cost accounting and the Table 1 reproduction both read these
+	// counts, so they agree by construction.
+	Cycles *stat.Welford
 }
 
 // TraceStep is one granule of a drop-budget run aggregated over the trials

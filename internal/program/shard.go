@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 
+	"swim/internal/cost"
 	"swim/internal/mc"
 	"swim/internal/nonideal"
 	"swim/internal/stat"
@@ -23,10 +24,10 @@ import (
 // Shard is one trial range's partial grid-budget result: the raw per-trial
 // series observations plus the run metadata needed to rebuild the full
 // Result. Rows[t-Lo] holds trial t's values — accuracy at each target
-// first, then NWC at each target (2×len(Targets) values). A Shard is the
-// mergeable, serializable form of a partial fold: each row is a singleton's
-// sufficient statistics, so MergeShards can replay the engine's trial-order
-// reduction losslessly.
+// first, then NWC at each target, then raw write-verify cycles at each
+// target (3×len(Targets) values). A Shard is the mergeable, serializable
+// form of a partial fold: each row is a singleton's sufficient statistics,
+// so MergeShards can replay the engine's trial-order reduction losslessly.
 type Shard struct {
 	// Policy is the registry name of the policy that produced the rows.
 	Policy string
@@ -43,6 +44,14 @@ type Shard struct {
 	Lo, Hi int
 	// Rows are the per-trial observations in trial order (len Hi-Lo).
 	Rows [][]float64
+	// Cost is the canonical cost-model spec the run was configured with
+	// (WithCostModel), empty when cost accounting is off. Carrying the spec
+	// lets MergeShards rebuild the Cost report without re-deriving the
+	// pipeline configuration.
+	Cost string
+	// Geom is the mapping geometry the cost report composes over; nil when
+	// cost accounting is off.
+	Geom *cost.Geometry
 }
 
 // RunShard executes the pipeline's configured trial range (WithTrialRange;
@@ -68,11 +77,11 @@ func (p *Pipeline) RunShard(ctx context.Context) (*Shard, error) {
 		return nil, err
 	}
 	points := len(b.Targets)
-	rows, err := mc.RunSeriesShard(ctx, p.seed, p.trials, lo, hi, 2*points, p.workers, p.gate, p.gridTrial(&env, table, b))
+	rows, err := mc.RunSeriesShard(ctx, p.seed, p.trials, lo, hi, 3*points, p.workers, p.gate, p.gridTrial(&env, table, b))
 	if err != nil {
 		return nil, fmt.Errorf("program: policy %q: %w", p.policy.Name(), err)
 	}
-	return &Shard{
+	sh := &Shard{
 		Policy:        p.policy.Name(),
 		Targets:       append([]float64(nil), b.Targets...),
 		Nonidealities: nonideal.Names(p.nonideal),
@@ -81,7 +90,12 @@ func (p *Pipeline) RunShard(ctx context.Context) (*Shard, error) {
 		Lo:            lo,
 		Hi:            hi,
 		Rows:          rows,
-	}, nil
+	}
+	if p.costModel != nil {
+		geom := costGeometry(env.Net, env.Device)
+		sh.Cost, sh.Geom = p.costModel.Spec(), &geom
+	}
+	return sh, nil
 }
 
 // MergeShards folds a complete partition of [0, Trials) back into the
@@ -115,14 +129,14 @@ func MergeShards(shards []*Shard) (*Result, error) {
 		return nil, fmt.Errorf("program: shards cover [0,%d) of %d trials", covered, first.Trials)
 	}
 
-	agg := make([]*stat.Welford, 2*points)
+	agg := make([]*stat.Welford, 3*points)
 	for i := range agg {
 		agg[i] = &stat.Welford{}
 	}
 	for _, sh := range sorted {
 		for t, row := range sh.Rows {
-			if len(row) != 2*points {
-				return nil, fmt.Errorf("program: shard [%d,%d) row %d has %d values, want %d", sh.Lo, sh.Hi, t, len(row), 2*points)
+			if len(row) != 3*points {
+				return nil, fmt.Errorf("program: shard [%d,%d) row %d has %d values, want %d", sh.Lo, sh.Hi, t, len(row), 3*points)
 			}
 			for i, v := range row {
 				agg[i].MergeObs(v)
@@ -134,7 +148,19 @@ func MergeShards(shards []*Shard) (*Result, error) {
 		Nonidealities: append([]string(nil), first.Nonidealities...), ReadTime: first.ReadTime,
 	}
 	for i, target := range first.Targets {
-		res.Points = append(res.Points, Point{Target: target, Accuracy: agg[i], NWC: agg[points+i]})
+		res.Points = append(res.Points, Point{
+			Target: target, Accuracy: agg[i], NWC: agg[points+i], Cycles: agg[2*points+i],
+		})
+	}
+	if first.Cost != "" {
+		m, err := cost.Parse(first.Cost)
+		if err != nil {
+			return nil, fmt.Errorf("program: shard cost model: %w", err)
+		}
+		if first.Geom == nil {
+			return nil, fmt.Errorf("program: shard carries cost spec %q but no geometry", first.Cost)
+		}
+		applyCost(res, m, *first.Geom)
 	}
 	return res, nil
 }
@@ -145,6 +171,12 @@ func compatibleShards(a, b *Shard) error {
 		len(a.Targets) != len(b.Targets) || len(a.Nonidealities) != len(b.Nonidealities) {
 		return fmt.Errorf("program: shards from different runs: (%s, %d trials) vs (%s, %d trials)",
 			a.Policy, a.Trials, b.Policy, b.Trials)
+	}
+	if a.Cost != b.Cost {
+		return fmt.Errorf("program: shards disagree on cost model: %q vs %q", a.Cost, b.Cost)
+	}
+	if (a.Geom == nil) != (b.Geom == nil) || (a.Geom != nil && *a.Geom != *b.Geom) {
+		return fmt.Errorf("program: shards disagree on cost geometry")
 	}
 	for i := range a.Targets {
 		if a.Targets[i] != b.Targets[i] {

@@ -32,9 +32,10 @@ func resultKey(res *Result) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s|%d|%g|%v;", res.Policy, res.Trials, res.ReadTime, res.Nonidealities)
 	for _, pt := range res.Points {
-		fmt.Fprintf(&b, "%g:%x/%x/%d:%x/%x/%d;", pt.Target,
+		fmt.Fprintf(&b, "%g:%x/%x/%d:%x/%x/%d:%x/%x/%d;", pt.Target,
 			pt.Accuracy.Mean(), pt.Accuracy.Std(), pt.Accuracy.N(),
-			pt.NWC.Mean(), pt.NWC.Std(), pt.NWC.N())
+			pt.NWC.Mean(), pt.NWC.Std(), pt.NWC.N(),
+			pt.Cycles.Mean(), pt.Cycles.Std(), pt.Cycles.N())
 	}
 	return b.String()
 }

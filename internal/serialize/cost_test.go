@@ -1,0 +1,169 @@
+package serialize
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"swim/internal/cost"
+	"swim/internal/program"
+	"swim/internal/stat"
+)
+
+func costResult(t *testing.T) *program.Result {
+	t.Helper()
+	m, err := cost.Parse("rram")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cyc := &stat.Welford{}
+	for _, v := range []float64{1200, 1800, 2400} {
+		cyc.Add(v)
+	}
+	res := &program.Result{
+		Policy: "swim", Budget: program.GridBudget(0, 0.1), Trials: 3,
+		Points: []program.Point{
+			{Target: 0, Accuracy: &stat.Welford{}, NWC: &stat.Welford{}, Cycles: &stat.Welford{}},
+			{Target: 0.1, Accuracy: &stat.Welford{}, NWC: &stat.Welford{}, Cycles: cyc},
+		},
+	}
+	res.Cost = m.Report(
+		cost.Geometry{Weights: 10, Slices: 2, TileRows: 128, TileCols: 128, Tiles: 1, MatVecs: 1, DACs: 10, ADCs: 4},
+		[]float64{0, 0.1},
+		[]*stat.Welford{res.Points[0].Cycles, cyc},
+	)
+	return res
+}
+
+// TestCostRoundTrip pins the versioned cost block: capture → encode →
+// decode → restore reproduces the cycle aggregates and the full report,
+// losslessly (sufficient statistics, not formatted floats).
+func TestCostRoundTrip(t *testing.T) {
+	res := costResult(t)
+	var buf bytes.Buffer
+	if err := EncodeResult(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.String()
+	for _, want := range []string{`"cost"`, `"cycles"`, `"energy_uj"`, `"time_ms"`, `"geometry"`, `"area_mm2"`} {
+		if !strings.Contains(raw, want) {
+			t.Fatalf("encoded record lacks %s:\n%s", want, raw)
+		}
+	}
+	back, rec, err := DecodeResult(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Cost == nil || rec.Cost.Version != CostVersion {
+		t.Fatalf("cost record version: %+v", rec.Cost)
+	}
+	if back.Cost == nil || back.Cost.Model != res.Cost.Model || back.Cost.Geometry != res.Cost.Geometry {
+		t.Fatalf("restored cost header diverges: %+v vs %+v", back.Cost, res.Cost)
+	}
+	if back.Cost.AreaMM2 != res.Cost.AreaMM2 ||
+		back.Cost.InferenceEnergyNJ != res.Cost.InferenceEnergyNJ ||
+		back.Cost.InferenceLatencyUS != res.Cost.InferenceLatencyUS {
+		t.Fatalf("restored cost statics diverge: %+v vs %+v", back.Cost, res.Cost)
+	}
+	for i, p := range back.Cost.Points {
+		want := res.Cost.Points[i]
+		if p.EnergyUJ.Mean() != want.EnergyUJ.Mean() || p.EnergyUJ.M2() != want.EnergyUJ.M2() ||
+			p.TimeMS.Mean() != want.TimeMS.Mean() || p.EnergyUJ.N() != want.EnergyUJ.N() {
+			t.Fatalf("point %d diverges: %+v vs %+v", i, p, want)
+		}
+	}
+	for i, p := range back.Points {
+		if p.Cycles.Mean() != res.Points[i].Cycles.Mean() || p.Cycles.N() != res.Points[i].Cycles.N() {
+			t.Fatalf("cycles %d diverge", i)
+		}
+	}
+}
+
+// TestCostForwardCompatibility: a cost block written by a newer version
+// (with fields this binary does not know) survives decode → encode.
+func TestCostForwardCompatibility(t *testing.T) {
+	res := costResult(t)
+	rec := CaptureResult(res)
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	var costMap map[string]json.RawMessage
+	if err := json.Unmarshal(m["cost"], &costMap); err != nil {
+		t.Fatal(err)
+	}
+	costMap["thermal_w"] = json.RawMessage(`{"tdp": 5.5}`)
+	m["cost"], _ = json.Marshal(costMap)
+	future, _ := json.Marshal(m)
+
+	var back ResultRecord
+	if err := json.Unmarshal(future, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Cost == nil || back.Cost.Extra == nil || string(back.Cost.Extra["thermal_w"]) != `{"tdp":5.5}` {
+		t.Fatalf("future cost field not preserved: %+v", back.Cost)
+	}
+	again, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(again), `"thermal_w"`) {
+		t.Fatalf("future cost field dropped on re-encode:\n%s", again)
+	}
+}
+
+// TestCostBackwardCompatibility: records written before the cost tier
+// (no cycles, no cost) decode cleanly.
+func TestCostBackwardCompatibility(t *testing.T) {
+	legacy := `{"version":1,"policy":"swim","trials":2,"points":[{"target":0.1,"accuracy":{"n":2,"mean":90,"m2":1},"nwc":{"n":2,"mean":0.1,"m2":0}}]}`
+	res, rec, err := DecodeResult(strings.NewReader(legacy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != nil || rec.Cost != nil {
+		t.Fatalf("legacy record grew a cost block: %+v", rec.Cost)
+	}
+	if res.Points[0].Cycles != nil {
+		t.Fatalf("legacy record grew cycle aggregates: %+v", res.Points[0])
+	}
+	var buf bytes.Buffer
+	if err := EncodeResult(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `"cost"`) || strings.Contains(buf.String(), `"cycles"`) {
+		t.Fatalf("re-encoded legacy record emits empty cost fields:\n%s", buf.String())
+	}
+}
+
+// TestRequestCostAxisParticipatesInKey pins cache-key participation: two
+// requests differing only in cost model hash to different canonical keys,
+// while omitting the field entirely keeps legacy keys stable.
+func TestRequestCostAxisParticipatesInKey(t *testing.T) {
+	base := &RequestRecord{Version: 1, Kind: KindSweep, Workload: "lenet", Trials: 3}
+	withCost := &RequestRecord{Version: 1, Kind: KindSweep, Workload: "lenet", Trials: 3, Cost: "rram"}
+	otherCost := &RequestRecord{Version: 1, Kind: KindSweep, Workload: "lenet", Trials: 3, Cost: "ramwich"}
+	k0, err := base.CanonicalKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1, err := withCost.CanonicalKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := otherCost.CanonicalKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k0 == k1 || k1 == k2 || k0 == k2 {
+		t.Fatalf("cost axis does not participate in the canonical key: %s %s %s", k0, k1, k2)
+	}
+	raw, _ := json.Marshal(base)
+	if strings.Contains(string(raw), `"cost"`) {
+		t.Fatalf("empty cost axis serialized (legacy keys would shift): %s", raw)
+	}
+}

@@ -56,6 +56,13 @@ type RequestRecord struct {
 	Scenarios string `json:"scenarios,omitempty"`
 	// Times are the read times in seconds after programming.
 	Times []float64 `json:"times,omitempty"`
+	// Cost names a hardware cost model spec (package cost grammar, e.g.
+	// "rram" or "rram:write_pj=12"); "" and "none" disable cost accounting.
+	// The daemon canonicalizes the spec before hashing, so "rram" and its
+	// spelled-out form share a cache key, while different models never do —
+	// the cost axis participates in the canonical key like every other
+	// field.
+	Cost string `json:"cost,omitempty"`
 	// Seed is the Monte-Carlo master seed shared by every cell.
 	Seed uint64 `json:"seed,omitempty"`
 	// Trials is the Monte-Carlo trial count per cell.
@@ -72,7 +79,7 @@ type RequestRecord struct {
 // fields.
 var knownRequestFields = []string{
 	"version", "kind", "workload", "sigmas", "policies", "nwcs",
-	"scenarios", "times", "seed", "trials", "eval_batch",
+	"scenarios", "cost", "times", "seed", "trials", "eval_batch",
 }
 
 // MarshalJSON emits the known fields plus any preserved unknown ones.

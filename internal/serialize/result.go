@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"io"
 
+	"swim/internal/cost"
 	"swim/internal/program"
 	"swim/internal/stat"
 )
@@ -59,11 +60,15 @@ type BudgetRecord struct {
 	MaxNWC       float64   `json:"max_nwc,omitempty"`
 }
 
-// PointRecord serializes one fixed-NWC grid point.
+// PointRecord serializes one fixed-NWC grid point. Cycles (the raw
+// write-verify cycle aggregate behind the normalized NWC) is omitted when
+// absent, so records written before the cost tier existed decode and
+// re-encode unchanged.
 type PointRecord struct {
 	Target   float64        `json:"target"`
 	Accuracy *WelfordRecord `json:"accuracy"`
 	NWC      *WelfordRecord `json:"nwc"`
+	Cycles   *WelfordRecord `json:"cycles,omitempty"`
 }
 
 // TraceRecord serializes one granule of a drop-budget trace.
@@ -71,6 +76,104 @@ type TraceRecord struct {
 	FractionVerified float64        `json:"fraction_verified"`
 	Accuracy         *WelfordRecord `json:"accuracy"`
 	NWC              *WelfordRecord `json:"nwc"`
+}
+
+// CostVersion is the cost-block version written inside result records.
+const CostVersion = 1
+
+// CostPointRecord serializes the programming cost at one grid target.
+type CostPointRecord struct {
+	Target   float64        `json:"target"`
+	EnergyUJ *WelfordRecord `json:"energy_uj"`
+	TimeMS   *WelfordRecord `json:"time_ms"`
+}
+
+// CostRecord is the versioned serialized form of a cost.Report. Like the
+// enclosing ResultRecord it preserves unknown fields across a decode →
+// encode round trip, so cost blocks written by a newer version survive
+// older tools.
+type CostRecord struct {
+	Version            int               `json:"version"`
+	Model              string            `json:"model"`
+	Geometry           cost.Geometry     `json:"geometry"`
+	Points             []CostPointRecord `json:"points,omitempty"`
+	InferenceEnergyNJ  float64           `json:"inference_energy_nj"`
+	InferenceLatencyUS float64           `json:"inference_latency_us"`
+	AreaMM2            float64           `json:"area_mm2"`
+
+	// Extra holds fields written by a newer version, preserved verbatim.
+	Extra map[string]json.RawMessage `json:"-"`
+}
+
+// knownCostFields mirrors the json tags above; keep in sync when adding
+// fields.
+var knownCostFields = []string{
+	"version", "model", "geometry", "points",
+	"inference_energy_nj", "inference_latency_us", "area_mm2",
+}
+
+// MarshalJSON emits the known fields plus any preserved unknown ones.
+func (r CostRecord) MarshalJSON() ([]byte, error) {
+	type bare CostRecord // strip methods to avoid recursion
+	return marshalWithExtra(bare(r), r.Extra)
+}
+
+// UnmarshalJSON decodes the known fields and stashes unknown top-level
+// fields in Extra.
+func (r *CostRecord) UnmarshalJSON(data []byte) error {
+	type bare CostRecord
+	var b bare
+	if err := json.Unmarshal(data, &b); err != nil {
+		return err
+	}
+	*r = CostRecord(b)
+	extra, err := splitExtra(data, knownCostFields)
+	if err != nil {
+		return err
+	}
+	r.Extra = extra
+	return nil
+}
+
+// captureCost converts a cost.Report into its serialized record.
+func captureCost(rep *cost.Report) *CostRecord {
+	if rep == nil {
+		return nil
+	}
+	rec := &CostRecord{
+		Version:            CostVersion,
+		Model:              rep.Model,
+		Geometry:           rep.Geometry,
+		InferenceEnergyNJ:  rep.InferenceEnergyNJ,
+		InferenceLatencyUS: rep.InferenceLatencyUS,
+		AreaMM2:            rep.AreaMM2,
+	}
+	for _, p := range rep.Points {
+		rec.Points = append(rec.Points, CostPointRecord{
+			Target: p.Target, EnergyUJ: welfordRecord(p.EnergyUJ), TimeMS: welfordRecord(p.TimeMS),
+		})
+	}
+	return rec
+}
+
+// restoreCost rebuilds a cost.Report from a record.
+func restoreCost(rec *CostRecord) *cost.Report {
+	if rec == nil {
+		return nil
+	}
+	rep := &cost.Report{
+		Model:              rec.Model,
+		Geometry:           rec.Geometry,
+		InferenceEnergyNJ:  rec.InferenceEnergyNJ,
+		InferenceLatencyUS: rec.InferenceLatencyUS,
+		AreaMM2:            rec.AreaMM2,
+	}
+	for _, p := range rec.Points {
+		rep.Points = append(rep.Points, cost.PointCost{
+			Target: p.Target, EnergyUJ: p.EnergyUJ.welford(), TimeMS: p.TimeMS.welford(),
+		})
+	}
+	return rep
 }
 
 // ResultRecord is the top-level serialized form of a program.Result.
@@ -84,6 +187,7 @@ type ResultRecord struct {
 	Nonidealities []string       `json:"nonidealities,omitempty"`
 	ReadTime      float64        `json:"read_time,omitempty"`
 	Points        []PointRecord  `json:"points,omitempty"`
+	Cost          *CostRecord    `json:"cost,omitempty"`
 	Trace         []TraceRecord  `json:"trace,omitempty"`
 	NWC           *WelfordRecord `json:"nwc,omitempty"`
 	Evals         *WelfordRecord `json:"evals,omitempty"`
@@ -98,7 +202,7 @@ type ResultRecord struct {
 // fields (the compat test round-trips a synthetic future record).
 var knownResultFields = []string{
 	"version", "policy", "trials", "budget", "nonidealities", "read_time",
-	"points", "trace", "nwc", "evals", "achieved",
+	"points", "cost", "trace", "nwc", "evals", "achieved",
 }
 
 // MarshalJSON emits the known fields plus any preserved unknown ones.
@@ -145,8 +249,10 @@ func CaptureResult(res *program.Result) *ResultRecord {
 	for _, p := range res.Points {
 		rec.Points = append(rec.Points, PointRecord{
 			Target: p.Target, Accuracy: welfordRecord(p.Accuracy), NWC: welfordRecord(p.NWC),
+			Cycles: welfordRecord(p.Cycles),
 		})
 	}
+	rec.Cost = captureCost(res.Cost)
 	for _, s := range res.Trace {
 		rec.Trace = append(rec.Trace, TraceRecord{
 			FractionVerified: s.FractionVerified, Accuracy: welfordRecord(s.Accuracy), NWC: welfordRecord(s.NWC),
@@ -181,8 +287,10 @@ func RestoreResult(rec *ResultRecord) *program.Result {
 	for _, p := range rec.Points {
 		res.Points = append(res.Points, program.Point{
 			Target: p.Target, Accuracy: p.Accuracy.welford(), NWC: p.NWC.welford(),
+			Cycles: p.Cycles.welford(),
 		})
 	}
+	res.Cost = restoreCost(rec.Cost)
 	for _, s := range rec.Trace {
 		res.Trace = append(res.Trace, program.TraceStep{
 			FractionVerified: s.FractionVerified, Accuracy: s.Accuracy.welford(), NWC: s.NWC.welford(),

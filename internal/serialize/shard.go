@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 
+	"swim/internal/cost"
 	"swim/internal/program"
 )
 
@@ -46,9 +47,10 @@ func DecodeShardRequest(rd io.Reader) (*ShardRequest, error) {
 // ShardCell is one grid cell's slice of a shard: the cell coordinates plus
 // the raw per-trial observations of the shard's trial range. Rows[t-lo]
 // holds trial t's series values — accuracy at each NWC target first, then
-// NWC spent at each target (2×len(Targets) values per row). Rows are
-// singleton Welford moments, so folding them in trial order reproduces the
-// single-node aggregates losslessly (stat.Welford.MergeObs).
+// NWC spent at each target, then raw write-verify cycles at each target
+// (3×len(Targets) values per row). Rows are singleton Welford moments, so
+// folding them in trial order reproduces the single-node aggregates
+// losslessly (stat.Welford.MergeObs).
 type ShardCell struct {
 	// Workload, Sigma, Scenario, ReadTime and Policy locate the cell in
 	// the request grid, exactly as CellRecord spells them.
@@ -61,6 +63,13 @@ type ShardCell struct {
 	Targets []float64 `json:"targets"`
 	// Nonidealities are the cell's read-time nonideality specs.
 	Nonidealities []string `json:"nonidealities,omitempty"`
+	// Cost is the canonical cost-model spec the cell ran under ("" when
+	// cost accounting is off), and Geometry the mapping geometry the cost
+	// report composes over. Workers derive both deterministically; the
+	// merge checks agreement so a heterogeneous fleet cannot silently mix
+	// cost bases.
+	Cost     string         `json:"cost,omitempty"`
+	Geometry *cost.Geometry `json:"geometry,omitempty"`
 	// Rows are the per-trial observations in trial order.
 	Rows [][]float64 `json:"rows"`
 }
@@ -165,6 +174,10 @@ func MergeShards(trials int, shards []*ShardRecord) (*ResultEnvelope, error) {
 					sh.Lo, sh.Hi, c, cell.Workload, cell.Sigma, cell.Scenario, cell.ReadTime, cell.Policy,
 					first.Workload, first.Sigma, first.Scenario, first.ReadTime, first.Policy)
 			}
+			if cell.Cost != first.Cost {
+				return nil, fmt.Errorf("serialize: shard [%d,%d) cell %d ran cost model %q, want %q",
+					sh.Lo, sh.Hi, c, cell.Cost, first.Cost)
+			}
 			parts = append(parts, &program.Shard{
 				Policy:        cell.Policy,
 				Targets:       cell.Targets,
@@ -174,6 +187,8 @@ func MergeShards(trials int, shards []*ShardRecord) (*ResultEnvelope, error) {
 				Lo:            sh.Lo,
 				Hi:            sh.Hi,
 				Rows:          cell.Rows,
+				Cost:          cell.Cost,
+				Geom:          cell.Geometry,
 			})
 		}
 		res, err := program.MergeShards(parts)

@@ -9,7 +9,7 @@ import (
 func testShard(key string, lo, hi, trials int) *ShardRecord {
 	rows := make([][]float64, hi-lo)
 	for i := range rows {
-		rows[i] = []float64{float64(lo + i), float64(lo+i) * 0.5}
+		rows[i] = []float64{float64(lo + i), float64(lo+i) * 0.5, float64(lo+i) * 100}
 	}
 	return &ShardRecord{
 		Version: ShardVersion,

@@ -191,18 +191,21 @@ func (c *coordinator) dispatch(ctx context.Context, key string, req *serialize.R
 				case <-ctx.Done():
 					return
 				}
+				c.s.shardsDispatched.Add(1)
 				rec, err := c.callShard(ctx, cw.url, key, req, r)
 				if err != nil {
 					work <- r // hand the range to a surviving worker
 					if ctx.Err() != nil {
 						return
 					}
+					c.s.shardRetries.Add(1)
 					lastErr.Store(fmt.Errorf("worker %s shard [%d,%d): %w", cw.url, r.lo, r.hi, err))
 					cw.fails++
 					if cw.fails >= maxWorkerFails {
 						if aliveN.Add(-1) == 0 {
 							cancel() // whole pool lost: fail the job
 						}
+						c.s.workersEvicted.Add(1)
 						return
 					}
 					continue

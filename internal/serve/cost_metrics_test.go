@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"swim/internal/cost"
+	"swim/internal/serialize"
+)
+
+// TestServeCostAxis pins the cost tier end to end over HTTP: a cost-bearing
+// sweep request returns an envelope byte-identical to the CLI path running
+// the same cost model, and the envelope actually carries cost blocks.
+func TestServeCostAxis(t *testing.T) {
+	_, ts := newTestServer(t, Config{TotalWorkers: 2})
+	req := testRequest(303, "")
+	req.Cost = "rram"
+	want := referenceEnvelope(t, req)
+	if !bytes.Contains(want, []byte(`"cost"`)) {
+		t.Fatalf("reference envelope carries no cost block:\n%s", want)
+	}
+
+	rec, code := submit(t, ts, req)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit code %d", code)
+	}
+	if done := await(t, ts, rec.ID); done.Status != serialize.JobDone {
+		t.Fatalf("job %s (%s)", done.Status, done.Error)
+	}
+	if got := fetchResult(t, ts, rec.ID); !bytes.Equal(got, want) {
+		t.Errorf("cost-bearing result differs from the CLI path:\nhttp: %s\ncli:  %s", got, want)
+	}
+}
+
+// TestNormalizeCostCanonical pins the cache contract on the cost axis: a
+// preset name and its fully spelled-out spec normalize to the same canonical
+// key, "none" collapses to the disabled form, distinct models get distinct
+// keys, and a malformed spec is rejected at submission.
+func TestNormalizeCostCanonical(t *testing.T) {
+	s, _ := newTestServer(t, Config{TotalWorkers: 1})
+	key := func(c string) string {
+		t.Helper()
+		n, err := s.normalize(&serialize.RequestRecord{Kind: serialize.KindSweep, Workload: "test", Cost: c})
+		if err != nil {
+			t.Fatal(err)
+		}
+		k, err := n.CanonicalKey()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k
+	}
+	m, err := cost.Parse("rram")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key("rram") != key(m.Spec()) {
+		t.Error("preset name and spelled-out spec hash differently")
+	}
+	if key("") != key("none") {
+		t.Error(`"" and "none" hash differently`)
+	}
+	if key("rram") == key("") {
+		t.Error("cost axis does not participate in the canonical key")
+	}
+	if key("rram") == key("ramwich") {
+		t.Error("distinct cost models share a canonical key")
+	}
+	if _, err := s.normalize(&serialize.RequestRecord{Kind: serialize.KindSweep, Workload: "test", Cost: "warpcore"}); err == nil {
+		t.Error("unknown cost model accepted")
+	}
+}
+
+// TestServeMetrics exercises the /v1/metrics snapshot: counters reflect a
+// computed job and its cache hit, the shard-dispatch counters are present
+// (zero in standalone mode), and the wrong verb gets the 405 envelope.
+func TestServeMetrics(t *testing.T) {
+	_, ts := newTestServer(t, Config{TotalWorkers: 1})
+	req := testRequest(404, "")
+	first, _ := submit(t, ts, req)
+	await(t, ts, first.ID)
+	if second, code := submit(t, ts, req); code != http.StatusOK || !second.Cached {
+		t.Fatalf("repeat submit not cached: %d %+v", code, second)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	want := map[string]float64{
+		"cache_hits": 1, "cache_misses": 1, "executed": 1, "cache_entries": 1,
+		"jobs_total": 2, "jobs_queued": 0, "jobs_running": 0, "queue_depth": 0,
+		"shards_dispatched": 0, "shard_retries": 0, "workers_evicted": 0,
+	}
+	for k, v := range want {
+		got, ok := m[k].(float64)
+		if !ok || got != v {
+			t.Errorf("metrics[%q] = %v, want %g (all: %v)", k, m[k], v, m)
+		}
+	}
+	if m["status"] != "ok" {
+		t.Errorf("metrics status = %v", m["status"])
+	}
+
+	post, err := http.Post(ts.URL+"/v1/metrics", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /v1/metrics = %d, want 405", post.StatusCode)
+	}
+}

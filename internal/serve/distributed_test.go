@@ -60,6 +60,7 @@ func TestCoordinatorByteIdentity(t *testing.T) {
 	})
 
 	req := testRequest(301, "stuckat:p=0.05")
+	req.Cost = "rram" // the cost axis must survive the shard round trip too
 	want := referenceEnvelope(t, req)
 	rec, code := submit(t, coord, req)
 	if code != http.StatusAccepted {
@@ -274,7 +275,8 @@ func TestShardEndpoint(t *testing.T) {
 		t.Fatalf("shard metadata: %+v", rec)
 	}
 	// testRequest: 2 policies × 1 sigma × 1 scenario × 1 time = 2 cells,
-	// each carrying hi-lo rows of 2×len(NWCs) values.
+	// each carrying hi-lo rows of 3×len(NWCs) values (accuracy, NWC spent,
+	// raw write-verify cycles).
 	if len(rec.Cells) != 2 {
 		t.Fatalf("cells = %d", len(rec.Cells))
 	}
@@ -283,8 +285,8 @@ func TestShardEndpoint(t *testing.T) {
 			t.Fatalf("cell rows = %d, want 3", len(cell.Rows))
 		}
 		for _, row := range cell.Rows {
-			if len(row) != 2*len(req.NWCs) {
-				t.Fatalf("row width = %d, want %d", len(row), 2*len(req.NWCs))
+			if len(row) != 3*len(req.NWCs) {
+				t.Fatalf("row width = %d, want %d", len(row), 3*len(req.NWCs))
 			}
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 
+	"swim/internal/cost"
 	"swim/internal/experiments"
 	"swim/internal/mc"
 	"swim/internal/program"
@@ -124,6 +125,20 @@ func (s *Server) normalize(req *serialize.RequestRecord) (*serialize.RequestReco
 		}
 		n.Scenarios = strings.Join(specs, ";")
 	}
+	// Canonicalize the cost axis the same way: "none" collapses to the
+	// empty (disabled) form, anything else re-renders as the fully
+	// spelled-out model spec, so "rram" and its explicit form share a key
+	// while every distinct model gets its own.
+	switch c := strings.TrimSpace(n.Cost); c {
+	case "", "none":
+		n.Cost = ""
+	default:
+		m, err := cost.Parse(c)
+		if err != nil {
+			return nil, err
+		}
+		n.Cost = m.Spec()
+	}
 	return &n, nil
 }
 
@@ -162,6 +177,7 @@ func (s *Server) execute(ctx context.Context, req *serialize.RequestRecord, gate
 		Trials:    req.Trials,
 		Seed:      req.Seed,
 		EvalBatch: req.EvalBatch,
+		Cost:      req.Cost,
 	}
 	env := &serialize.ResultEnvelope{}
 	for _, sigma := range req.Sigmas {

@@ -43,6 +43,7 @@
 //	GET  /v1/jobs/{id}/result  completed job's result envelope
 //	POST /v1/jobs/{id}/cancel  cancel a queued or running job
 //	POST /v1/shards            compute one trial-range shard (worker API)
+//	GET  /v1/metrics           operational counters snapshot (queue, cache, shard dispatch)
 //	GET  /healthz              liveness + queue/cache statistics
 //
 // Every non-2xx response carries the uniform /v1 error envelope
@@ -160,9 +161,16 @@ type Server struct {
 	shardMu    sync.Mutex
 	shardCalls map[string]*shardCall // shard key → in-flight shard execution
 
-	executed atomic.Int64   // jobs actually computed (cache misses)
-	shards   atomic.Int64   // trial-range shards computed by this worker
-	wg       sync.WaitGroup // dispatcher goroutines
+	executed    atomic.Int64 // jobs actually computed (cache misses that ran)
+	shards      atomic.Int64 // trial-range shards computed by this worker
+	cacheHits   atomic.Int64 // submissions answered straight from the cache
+	cacheMisses atomic.Int64 // submissions that enqueued a fresh computation
+	jobsEvicted atomic.Int64 // terminal jobs dropped by the TTL sweep
+	// Coordinator-mode dispatch counters (zero in standalone mode).
+	shardsDispatched atomic.Int64   // shard calls attempted against workers
+	shardRetries     atomic.Int64   // failed shard calls requeued elsewhere
+	workersEvicted   atomic.Int64   // workers abandoned after repeated failures
+	wg               sync.WaitGroup // dispatcher goroutines
 }
 
 // New builds a Server and starts its dispatcher pool. In coordinator mode
@@ -211,6 +219,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
 	s.mux.HandleFunc("POST /v1/shards", s.handleShard)
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	// JSON fallthroughs: unmatched paths get the /v1 404 envelope, known
 	// paths hit with the wrong verb the 405 one (the method-specific
@@ -221,6 +230,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/jobs/{id}/result", methodNotAllowed("GET"))
 	s.mux.HandleFunc("/v1/jobs/{id}/cancel", methodNotAllowed("POST"))
 	s.mux.HandleFunc("/v1/shards", methodNotAllowed("POST"))
+	s.mux.HandleFunc("/v1/metrics", methodNotAllowed("GET"))
 	s.mux.HandleFunc("/healthz", methodNotAllowed("GET"))
 	for i := 0; i < cfg.MaxConcurrent; i++ {
 		s.wg.Add(1)
@@ -328,6 +338,7 @@ func (s *Server) evictLocked(now int64) {
 		j := s.jobs[id]
 		if j.terminal() && j.finished > 0 && j.finished <= cutoff {
 			delete(s.jobs, id)
+			s.jobsEvicted.Add(1)
 			continue
 		}
 		keep = append(keep, id)
@@ -404,6 +415,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		done:      make(chan struct{}),
 	}
 	if env, ok := s.cache[key]; ok {
+		s.cacheHits.Add(1)
 		j.status = serialize.JobDone
 		j.cached = true
 		j.result = env
@@ -437,6 +449,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, serialize.ErrUnavailable, "queue full (%d queued)", s.cfg.QueueDepth)
 		return
 	}
+	s.cacheMisses.Add(1)
 	s.inflight[key] = j
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
@@ -625,4 +638,54 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, stats)
+}
+
+// handleMetrics reports a point-in-time JSON snapshot of the daemon's
+// operational counters: queue depth and job states, canonical-cache
+// hit/miss/entry counts, and the distributed tier's shard dispatch, retry
+// and worker-eviction totals (zero in standalone mode). Counters are
+// monotonic over the process lifetime; gauges are instantaneous.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	s.evictLocked(nowMS())
+	status := "ok"
+	if s.draining {
+		status = "draining"
+	}
+	var queued, running int
+	for _, j := range s.jobs {
+		switch j.status {
+		case serialize.JobQueued:
+			queued++
+		case serialize.JobRunning:
+			running++
+		}
+	}
+	queueDepth := len(s.queued)
+	jobsTotal := len(s.jobs)
+	inflight := len(s.inflight)
+	cacheEntries := len(s.cache)
+	s.mu.Unlock()
+	s.shardMu.Lock()
+	shardsInflight := len(s.shardCalls)
+	s.shardMu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":            status,
+		"queue_depth":       queueDepth,
+		"jobs_total":        jobsTotal,
+		"jobs_queued":       queued,
+		"jobs_running":      running,
+		"jobs_inflight":     inflight,
+		"jobs_evicted":      s.jobsEvicted.Load(),
+		"executed":          s.executed.Load(),
+		"cache_hits":        s.cacheHits.Load(),
+		"cache_misses":      s.cacheMisses.Load(),
+		"cache_entries":     cacheEntries,
+		"shards_executed":   s.shards.Load(),
+		"shards_inflight":   shardsInflight,
+		"shards_dispatched": s.shardsDispatched.Load(),
+		"shard_retries":     s.shardRetries.Load(),
+		"workers_evicted":   s.workersEvicted.Load(),
+		"workers_total":     s.cfg.TotalWorkers,
+	})
 }

@@ -127,6 +127,7 @@ func (s *Server) executeShard(ctx context.Context, req *serialize.RequestRecord,
 		Trials:    req.Trials,
 		Seed:      req.Seed,
 		EvalBatch: req.EvalBatch,
+		Cost:      req.Cost,
 	}
 	rec := &serialize.ShardRecord{
 		Version: serialize.ShardVersion,
@@ -151,6 +152,8 @@ func (s *Server) executeShard(ctx context.Context, req *serialize.RequestRecord,
 				Policy:        ss.Policy,
 				Targets:       ss.Shard.Targets,
 				Nonidealities: ss.Shard.Nonidealities,
+				Cost:          ss.Shard.Cost,
+				Geometry:      ss.Shard.Geom,
 				Rows:          ss.Shard.Rows,
 			})
 		}

@@ -12,6 +12,10 @@
 #   C. Resilience: submit a longer job to the coordinator and kill -9 one
 #      worker mid-job; the coordinator must reassign its shards to the
 #      survivor and still produce the CLI-identical envelope.
+#   D. Cost tier: diff swim-pareto -json (the costed sweep envelope) against
+#      the daemon's answer for the equivalent cost-bearing sweep request —
+#      the cost axis must serve byte-identically too — and probe the
+#      /v1/metrics snapshot for the operational counters.
 #
 # All processes train the same workload from the same seeds (or restore it
 # from the shared -state directory), so the only moving part is the serving
@@ -83,6 +87,7 @@ await_job() {
 echo "=== building binaries"
 go build -o "$workdir/swim-serve" ./cmd/swim-serve
 go build -o "$workdir/swim-scenario" ./cmd/swim-scenario
+go build -o "$workdir/swim-pareto" ./cmd/swim-pareto
 
 echo "=== swim-scenario reference run"
 "$workdir/swim-scenario" -workload lenet -state "$workdir/state" \
@@ -127,6 +132,41 @@ fi
 
 echo "=== error envelope: unknown route must carry a typed code"
 curl -s "http://$addr/v1/nope" | grep -q '"code": "not_found"'
+
+echo "=== part D: cost tier — swim-pareto vs served cost cells ==="
+"$workdir/swim-pareto" -workload lenet -state "$workdir/state" \
+  -cost rram -nwcs 0,0.1 -policies swim,magnitude,noverify -trials 3 \
+  -json "$workdir/pareto.json" >/dev/null
+
+cost_request='{
+  "kind": "sweep",
+  "workload": "lenet",
+  "nwcs": [0, 0.1],
+  "policies": ["swim", "magnitude", "noverify"],
+  "times": [0],
+  "trials": 3,
+  "seed": 4000,
+  "cost": "rram"
+}'
+job_id="$(submit_job "$addr" "$cost_request")"
+test -n "$job_id"
+await_job "$addr" "$job_id"
+curl -sf "http://$addr/v1/jobs/$job_id/result" >"$workdir/pareto_http.json"
+
+echo "=== diffing the served cost cells against swim-pareto -json"
+diff -u "$workdir/pareto.json" "$workdir/pareto_http.json"
+grep -q '"cost"' "$workdir/pareto_http.json" || {
+  echo "served envelope carries no cost blocks" >&2; exit 1; }
+
+echo "=== probing /v1/metrics"
+metrics="$(curl -sf "http://$addr/v1/metrics")"
+for field in queue_depth jobs_running cache_hits cache_misses \
+             shards_dispatched shard_retries workers_evicted; do
+  echo "$metrics" | grep -q "\"$field\"" || {
+    echo "metrics snapshot lacks $field: $metrics" >&2; exit 1; }
+done
+echo "$metrics" | grep -q '"cache_hits": 1' || {
+  echo "metrics cache_hits != 1: $metrics" >&2; exit 1; }
 
 echo "=== graceful drain on SIGTERM"
 kill -TERM "$server_pid"
@@ -187,4 +227,4 @@ kill -TERM "$coord_pid" "$w2_pid"
 await_exit "$coord_pid" "$w2_pid"
 pids=""
 
-echo "serve e2e smoke: OK (single + sharded results bit-identical to CLI, cache hit, worker-loss resilience, clean drains)"
+echo "serve e2e smoke: OK (single + sharded + costed results bit-identical to CLI, cache hit, metrics snapshot, worker-loss resilience, clean drains)"
