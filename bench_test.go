@@ -31,6 +31,7 @@ import (
 	"swim/internal/device"
 	"swim/internal/eval"
 	"swim/internal/experiments"
+	"swim/internal/kernel"
 	"swim/internal/mapping"
 	"swim/internal/mc"
 	"swim/internal/models"
@@ -347,6 +348,37 @@ func benchEvalLegacy(b *testing.B, model string) {
 
 func BenchmarkEvalPlanLeNet(b *testing.B)  { benchEvalPlan(b, "lenet") }
 func BenchmarkEvalPlanResNet(b *testing.B) { benchEvalPlan(b, "resnet") }
+
+// BenchmarkEvalPlanKernels measures the same full-dataset plan evaluation
+// under every registered kernel backend (internal/kernel): scalar is the
+// bit-identical baseline, blocked re-tiles the matmuls for cache locality on
+// one core, and parallel fans batch rows across the shared worker pool. The
+// sub-benchmark names feed scripts/bench_kernels.sh, which gates the
+// blocked-vs-scalar speedup in CI, and the BenchmarkEvalPlan prefix keeps
+// every backend under the 0 allocs/op gate.
+func BenchmarkEvalPlanKernels(b *testing.B) {
+	for _, model := range []string{"lenet", "resnet"} {
+		net, x, y := evalWorkload(model)
+		for _, spec := range []string{"scalar", "blocked", "parallel"} {
+			k, err := kernel.Parse(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ev := eval.NewEvaluatorKernel(net, nil, k)
+			if _, err := ev.Accuracy(x, y, 32); err != nil { // compile + warm up plans
+				b.Fatal(err)
+			}
+			b.Run(model+"/"+spec, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := ev.Accuracy(x, y, 32); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
 
 // costAccountingSink keeps the cost-accounting reads observable so the
 // compiler cannot elide them from BenchmarkEvalPlanCostAccounting.

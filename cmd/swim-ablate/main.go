@@ -20,6 +20,7 @@ import (
 	"os"
 
 	"swim/internal/experiments"
+	"swim/internal/kernel"
 	"swim/internal/mc"
 	"swim/internal/nonideal"
 	"swim/internal/program"
@@ -32,6 +33,8 @@ func main() {
 		"'+'-stacked device-nonideality scenario applied at read time ('list' prints the registered models)")
 	readTime := flag.Float64("readtime", 0, "read time in seconds after programming for -nonideal")
 	workers := flag.Int("workers", 0, "Monte-Carlo worker goroutines (0 = SWIM_WORKERS or all CPUs)")
+	kernelFlag := flag.String("kernel", "",
+		"kernel backend for the eval plans' dense primitives (bit-identical to scalar; 'list' prints registered backends)")
 	stateFlag := flag.String("state", "",
 		"directory of serialized workload states: restore instead of retraining, persist after training (see swim-train -state)")
 	flag.Parse()
@@ -51,7 +54,19 @@ func main() {
 		fmt.Println(listing)
 		return
 	}
+	kern, klisting, err := kernel.FromFlag(*kernelFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "swim-ablate:", err)
+		os.Exit(2)
+	}
+	if klisting != "" {
+		fmt.Println(klisting)
+		return
+	}
 	scn := experiments.ReadScenario{Models: scenario, ReadTime: *readTime}
+	if *kernelFlag != "" {
+		scn.Kernel = kern
+	}
 	pol, err := program.Lookup(*policy)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "swim-ablate:", err)

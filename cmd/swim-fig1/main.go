@@ -21,6 +21,7 @@ import (
 	"os"
 
 	"swim/internal/experiments"
+	"swim/internal/kernel"
 	"swim/internal/mc"
 	"swim/internal/nonideal"
 )
@@ -38,6 +39,8 @@ func main() {
 		"'+'-stacked device-nonideality scenario applied at read time ('list' prints the registered models)")
 	flag.Float64Var(&cfg.ReadTime, "readtime", 0, "read time in seconds after programming for -nonideal")
 	workers := flag.Int("workers", 0, "Monte-Carlo worker goroutines (0 = SWIM_WORKERS or all CPUs)")
+	kernelFlag := flag.String("kernel", "",
+		"kernel backend for the per-clone compiled evaluators (bit-identical to scalar; 'list' prints registered backends)")
 	stateFlag := flag.String("state", "",
 		"directory of serialized workload states: restore instead of retraining, persist after training (see swim-train -state)")
 	flag.Parse()
@@ -54,6 +57,18 @@ func main() {
 		return
 	}
 	cfg.Nonideal = scenario
+	kern, klisting, err := kernel.FromFlag(*kernelFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "swim-fig1:", err)
+		os.Exit(2)
+	}
+	if klisting != "" {
+		fmt.Println(klisting)
+		return
+	}
+	if *kernelFlag != "" {
+		cfg.Kernel = kern.Spec()
+	}
 
 	w := experiments.LeNetMNIST()
 	res, err := experiments.Fig1(w, cfg)

@@ -35,6 +35,7 @@ import (
 
 	"swim/internal/cost"
 	"swim/internal/experiments"
+	"swim/internal/kernel"
 	"swim/internal/mc"
 	"swim/internal/program"
 	"swim/internal/serialize"
@@ -100,6 +101,8 @@ func main() {
 		"also write the costed sweep as a serialized result envelope to this path ('-' = stdout) — byte-identical to the swim-serve result endpoint")
 	trials := flag.Int("trials", 0, "Monte-Carlo trials (0 = default / SWIM_MC)")
 	workers := flag.Int("workers", 0, "Monte-Carlo worker goroutines (0 = SWIM_WORKERS or all CPUs)")
+	kernelFlag := flag.String("kernel", "",
+		"kernel backend for the eval plans' dense primitives (bit-identical to scalar; 'list' prints registered backends)")
 	stateFlag := flag.String("state", "",
 		"directory of serialized workload states: restore instead of retraining, persist after training (see swim-train -state)")
 	flag.Parse()
@@ -125,10 +128,21 @@ func main() {
 	if !ok {
 		fatal(2, fmt.Errorf("a cost model is required (-cost %q disables cost accounting; try -cost rram)", *costFlag))
 	}
+	kern, klisting, err := kernel.FromFlag(*kernelFlag)
+	if err != nil {
+		fatal(2, err)
+	}
+	if klisting != "" {
+		fmt.Println(klisting)
+		return
+	}
 
 	cfg := experiments.DefaultScenarioConfig()
 	cfg.Times = []float64{0} // the frontier is a programming-time question
 	cfg.Cost = model.Spec()
+	if *kernelFlag != "" {
+		cfg.Kernel = kern.Spec()
+	}
 	if *trials > 0 {
 		cfg.Trials = *trials
 	}

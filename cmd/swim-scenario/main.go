@@ -12,6 +12,7 @@
 //	              [-times 0,3600,86400] [-nwcs 0,0.1,0.3]
 //	              [-policies swim,magnitude,noverify]
 //	              [-sigma 1.0] [-trials N] [-workers N]
+//	              [-kernel scalar|blocked|parallel[:workers=N]]
 //	              [-json path] [-state dir]
 //
 // -json additionally writes the sweep as a serialized result envelope —
@@ -35,6 +36,7 @@ import (
 	"strings"
 
 	"swim/internal/experiments"
+	"swim/internal/kernel"
 	"swim/internal/mc"
 	"swim/internal/nonideal"
 	"swim/internal/program"
@@ -69,6 +71,8 @@ func main() {
 		"also write the sweep as a serialized result envelope to this path ('-' = stdout) — byte-identical to the swim-serve result endpoint")
 	trials := flag.Int("trials", 0, "Monte-Carlo trials (0 = default / SWIM_MC)")
 	workers := flag.Int("workers", 0, "Monte-Carlo worker goroutines (0 = SWIM_WORKERS or all CPUs)")
+	kernelFlag := flag.String("kernel", "",
+		"kernel backend for the eval plans' dense primitives (bit-identical to scalar; 'list' prints registered backends)")
 	stateFlag := flag.String("state", "",
 		"directory of serialized workload states: restore instead of retraining, persist after training (see swim-train -state)")
 	flag.Parse()
@@ -115,6 +119,17 @@ func main() {
 	}
 	if policies != nil {
 		cfg.Policies = policies
+	}
+	kern, listing, err := kernel.FromFlag(*kernelFlag)
+	if err != nil {
+		fatal(2, err)
+	}
+	if listing != "" {
+		fmt.Println(listing)
+		return
+	}
+	if *kernelFlag != "" {
+		cfg.Kernel = kern.Spec()
 	}
 
 	// With -json - the envelope owns stdout; route the human-readable run

@@ -11,6 +11,7 @@
 //	swim-serve [-addr 127.0.0.1:8080] [-jobs 2] [-queue 64] [-workers N]
 //	           [-state dir] [-drain 30s] [-portfile path] [-job-ttl 1h]
 //	           [-coordinator url1,url2,...] [-shard-trials N]
+//	           [-kernel scalar|blocked|parallel[:workers=N]]
 //
 // With -coordinator, the daemon computes nothing locally: each job's trial
 // space is split into ranges dispatched as POST /v1/shards calls across the
@@ -50,6 +51,7 @@ import (
 	"time"
 
 	"swim/internal/experiments"
+	"swim/internal/kernel"
 	"swim/internal/serve"
 )
 
@@ -66,7 +68,23 @@ func main() {
 		"comma-separated worker base URLs: run as a coordinator, sharding jobs across them instead of computing locally")
 	shardTrials := flag.Int("shard-trials", 0, "trials per dispatched shard in coordinator mode (0 = auto)")
 	jobTTL := flag.Duration("job-ttl", 0, "evict finished jobs from listings after this long (0 = 1h, negative = never)")
+	kernelFlag := flag.String("kernel", "",
+		"daemon-default kernel backend for requests that leave the axis empty (bit-identical to scalar; 'list' prints registered backends)")
 	flag.Parse()
+
+	kern, klisting, err := kernel.FromFlag(*kernelFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "swim-serve:", err)
+		os.Exit(2)
+	}
+	if klisting != "" {
+		fmt.Println(klisting)
+		return
+	}
+	kernelSpec := ""
+	if *kernelFlag != "" {
+		kernelSpec = kern.Spec()
+	}
 
 	experiments.SetStateDir(*stateFlag)
 	total := *workers
@@ -92,6 +110,7 @@ func main() {
 		ShardTrials:   *shardTrials,
 		JobTTL:        *jobTTL,
 		StateDir:      *stateFlag,
+		Kernel:        kernelSpec,
 	})
 
 	l, err := net.Listen("tcp", *addr)

@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"swim/internal/experiments"
+	"swim/internal/kernel"
 	"swim/internal/mc"
 	"swim/internal/nonideal"
 	"swim/internal/program"
@@ -36,6 +37,8 @@ func main() {
 	nonidealFlag := flag.String("nonideal", "",
 		"'+'-stacked device-nonideality scenario applied at read time ('list' prints the registered models)")
 	readTime := flag.Float64("readtime", 0, "read time in seconds after programming for -nonideal")
+	kernelFlag := flag.String("kernel", "",
+		"kernel backend for the eval plans' dense primitives (bit-identical to scalar; 'list' prints registered backends)")
 	stateFlag := flag.String("state", "",
 		"directory of serialized workload states: restore instead of retraining, persist after training (see swim-train -state)")
 	flag.Parse()
@@ -55,8 +58,20 @@ func main() {
 		fmt.Println(listing)
 		return
 	}
+	kern, klisting, err := kernel.FromFlag(*kernelFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "swim-table1:", err)
+		os.Exit(2)
+	}
+	if klisting != "" {
+		fmt.Println(klisting)
+		return
+	}
 	cfg := experiments.DefaultSweep()
 	cfg.Scenario = experiments.ReadScenario{Models: scenario, ReadTime: *readTime}
+	if *kernelFlag != "" {
+		cfg.Kernel = kern.Spec()
+	}
 	if *trials > 0 {
 		cfg.Trials = *trials
 	}

@@ -3,6 +3,7 @@ package eval
 import (
 	"fmt"
 
+	"swim/internal/kernel"
 	"swim/internal/nn"
 	"swim/internal/tensor"
 )
@@ -17,6 +18,7 @@ type Evaluator struct {
 	net     *nn.Network
 	scratch *tensor.Arena
 	plans   map[int]*Plan
+	kern    kernel.Backend
 	view    tensor.Tensor // reusable batch-view header over the eval set
 }
 
@@ -25,10 +27,18 @@ type Evaluator struct {
 // arena (the pipeline passes its per-worker arena so successive trials reuse
 // the same memory).
 func NewEvaluator(net *nn.Network, arena *tensor.Arena) *Evaluator {
+	return NewEvaluatorKernel(net, arena, nil)
+}
+
+// NewEvaluatorKernel is NewEvaluator with an explicit kernel backend for the
+// dense primitives of every plan the evaluator compiles; nil selects the
+// scalar default. Backends are bit-identical, so accuracy results never
+// depend on the choice.
+func NewEvaluatorKernel(net *nn.Network, arena *tensor.Arena, k kernel.Backend) *Evaluator {
 	if arena == nil {
 		arena = tensor.NewArena()
 	}
-	return &Evaluator{net: net, scratch: arena, plans: make(map[int]*Plan)}
+	return &Evaluator{net: net, scratch: arena, plans: make(map[int]*Plan), kern: k}
 }
 
 // Plan returns the compiled plan for the given batched input shape,
@@ -40,7 +50,7 @@ func (e *Evaluator) Plan(inShape []int) (*Plan, error) {
 	if pl, ok := e.plans[inShape[0]]; ok && tensor.ShapeEq(pl.InShape(), inShape) {
 		return pl, nil
 	}
-	pl, err := Compile(e.net, inShape, e.scratch)
+	pl, err := CompileKernel(e.net, inShape, e.scratch, e.kern)
 	if err != nil {
 		return nil, err
 	}

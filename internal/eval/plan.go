@@ -35,6 +35,7 @@ import (
 	"errors"
 	"fmt"
 
+	"swim/internal/kernel"
 	"swim/internal/nn"
 	"swim/internal/tensor"
 )
@@ -57,10 +58,11 @@ const (
 // step is one instruction of the compiled plan.
 type step struct {
 	kind    opKind
-	layer   nn.PlanLayer // opForward only
-	src     int          // input buffer index (opForward)
-	dst     int          // output buffer index
-	operand int          // opAdd: buffer accumulated into dst
+	layer   nn.PlanLayer   // opForward only
+	klayer  nn.KernelLayer // opForward, non-nil when layer routes through a kernel backend
+	src     int            // input buffer index (opForward)
+	dst     int            // output buffer index
+	operand int            // opAdd: buffer accumulated into dst
 }
 
 // StepInfo describes one compiled step for diagnostics and tests.
@@ -83,6 +85,7 @@ type Plan struct {
 	bufs    []*tensor.Tensor
 	out     int // buffer index of the logits
 	scratch *tensor.Arena
+	kern    kernel.Backend
 }
 
 // Compile builds a plan for net at the given batched input shape (axis 0 is
@@ -91,6 +94,15 @@ type Plan struct {
 // The first Forward call grows the arena to its fixed point (warm-up); every
 // later call with the same plan set is allocation-free.
 func Compile(net *nn.Network, inShape []int, scratch *tensor.Arena) (*Plan, error) {
+	return CompileKernel(net, inShape, scratch, nil)
+}
+
+// CompileKernel is Compile with an explicit kernel backend executing the
+// dense primitives (matmul, fused bias+matmul, convolution) of the layers
+// that support one; nil selects the scalar default. Every registered backend
+// is bit-identical to scalar, so the backend never changes plan results —
+// only how fast the steps run.
+func CompileKernel(net *nn.Network, inShape []int, scratch *tensor.Arena, k kernel.Backend) (*Plan, error) {
 	if net == nil {
 		return nil, errors.New("eval: nil network")
 	}
@@ -100,10 +112,14 @@ func Compile(net *nn.Network, inShape []int, scratch *tensor.Arena) (*Plan, erro
 	if scratch == nil {
 		scratch = tensor.NewArena()
 	}
+	if k == nil {
+		k = kernel.Default()
+	}
 	p := &Plan{
 		net:     net,
 		inShape: append([]int(nil), inShape...),
 		scratch: scratch,
+		kern:    k,
 	}
 	// Buffer 0 is the input slot, rebound on every Forward call.
 	p.bufs = append(p.bufs, nil)
@@ -167,7 +183,8 @@ func (p *Plan) compile(l nn.Layer, src int, srcShape []int) (int, error) {
 		}
 		p.bufs = append(p.bufs, tensor.New(outShape...))
 		dst := len(p.bufs) - 1
-		p.steps = append(p.steps, step{kind: opForward, layer: pl, src: src, dst: dst})
+		kl, _ := l.(nn.KernelLayer)
+		p.steps = append(p.steps, step{kind: opForward, layer: pl, klayer: kl, src: src, dst: dst})
 		p.infos = append(p.infos, StepInfo{Name: pl.Name(), OutShape: append([]int(nil), outShape...)})
 		return dst, nil
 	}
@@ -216,7 +233,11 @@ func (p *Plan) Forward(x *tensor.Tensor) *tensor.Tensor {
 	for _, st := range p.steps {
 		switch st.kind {
 		case opForward:
-			st.layer.ForwardInto(p.bufs[st.dst], p.bufs[st.src], p.scratch)
+			if st.klayer != nil {
+				st.klayer.ForwardIntoKernel(p.bufs[st.dst], p.bufs[st.src], p.scratch, p.kern)
+			} else {
+				st.layer.ForwardInto(p.bufs[st.dst], p.bufs[st.src], p.scratch)
+			}
 		case opAdd:
 			p.bufs[st.dst].Add(p.bufs[st.operand])
 		}

@@ -8,6 +8,7 @@ import (
 	"swim/internal/data"
 	"swim/internal/device"
 	"swim/internal/eval"
+	"swim/internal/kernel"
 	"swim/internal/mapping"
 	"swim/internal/mc"
 	"swim/internal/nn"
@@ -46,6 +47,9 @@ type Fig1Config struct {
 	// evaluation instant in seconds.
 	Nonideal []nonideal.Nonideality
 	ReadTime float64
+	// Kernel is a kernel-backend spec for the per-clone compiled
+	// evaluators; "" = scalar. Bit-identical across backends.
+	Kernel string
 }
 
 // DefaultFig1 returns the Fig. 1 configuration.
@@ -78,6 +82,14 @@ func Fig1(w *Workload, cfg Fig1Config) (Fig1Result, error) {
 	batch := cfg.EvalBatch
 	if batch <= 0 {
 		batch = 64
+	}
+	var kern kernel.Backend
+	if cfg.Kernel != "" {
+		k, err := kernel.Parse(cfg.Kernel)
+		if err != nil {
+			return Fig1Result{}, fmt.Errorf("fig1 on %s: %w", w.Name, err)
+		}
+		kern = k
 	}
 	r := rng.New(cfg.Seed)
 	evalX, evalY := data.Subset(w.DS.TestX, w.DS.TestY, cfg.EvalN)
@@ -179,7 +191,7 @@ func Fig1(w *Workload, cfg Fig1Config) (Fig1Result, error) {
 		// compiled path ever fails (it cannot for the internal/models
 		// networks), pin the legacy path for the remaining repeats instead of
 		// re-attempting a doomed compile per repeat.
-		ev := eval.NewEvaluator(net, nil)
+		ev := eval.NewEvaluatorKernel(net, nil, kern)
 		useEval := true
 		var acc stat.Welford
 		for rep := 0; rep < cfg.Repeats; rep++ {

@@ -8,6 +8,7 @@ import (
 
 	"swim/internal/cost"
 	"swim/internal/data"
+	"swim/internal/kernel"
 	"swim/internal/mc"
 	"swim/internal/nonideal"
 	"swim/internal/program"
@@ -25,18 +26,27 @@ type ReadScenario struct {
 	Models []nonideal.Nonideality
 	// ReadTime is when accuracy is measured, in seconds after programming.
 	ReadTime float64
+	// Kernel optionally overrides the kernel backend executing the dense
+	// primitives of the scenario's compiled evaluation plans (nil = scalar
+	// default). Backends are bit-identical, so this never changes results;
+	// it rides here so every pipeline-backed experiment and ablation that
+	// threads a ReadScenario picks the backend up without signature churn.
+	Kernel kernel.Backend
 }
 
 // Options returns the pipeline options implementing the scenario (nil for
-// the ideal baseline).
+// the ideal baseline with the default kernel).
 func (s ReadScenario) Options() []program.Option {
-	if len(s.Models) == 0 {
-		return nil
+	var opts []program.Option
+	if len(s.Models) > 0 {
+		opts = append(opts,
+			program.WithNonidealities(s.Models...),
+			program.WithReadTime(s.ReadTime))
 	}
-	return []program.Option{
-		program.WithNonidealities(s.Models...),
-		program.WithReadTime(s.ReadTime),
+	if s.Kernel != nil {
+		opts = append(opts, program.WithKernelBackend(s.Kernel))
 	}
+	return opts
 }
 
 // Scenario is one named stack of device-nonideality models a robustness
@@ -102,6 +112,12 @@ type ScenarioConfig struct {
 	// accounting (the default — cost is an opt-in axis so legacy requests
 	// hash and serialize unchanged).
 	Cost string
+	// Kernel is a kernel-backend spec (package kernel grammar) selecting
+	// how every cell's compiled evaluation plans execute their dense
+	// primitives. Empty selects the scalar default. Backends are
+	// bit-identical, so this never changes results — it is a throughput
+	// knob only, and the serving tier excludes it from cache keys.
+	Kernel string
 }
 
 // DefaultScenarioConfig returns the scenario-sweep defaults, honouring
@@ -245,6 +261,13 @@ func scenarioCells(w *Workload, sigma float64, scenarios []Scenario, cfg Scenari
 			return err
 		}
 		costOpts = []program.Option{program.WithCostModel(m)}
+	}
+	if cfg.Kernel != "" {
+		k, err := kernel.Parse(cfg.Kernel)
+		if err != nil {
+			return err
+		}
+		costOpts = append(costOpts, program.WithKernelBackend(k))
 	}
 	dm := w.DeviceFor(sigma)
 	table := dm.CycleTable(300, rng.New(cfg.Seed^0x5ce11a))

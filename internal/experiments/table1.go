@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"swim/internal/data"
+	"swim/internal/kernel"
 	"swim/internal/mc"
 	"swim/internal/program"
 	"swim/internal/stat"
@@ -40,6 +41,10 @@ type SweepConfig struct {
 	// sweep (the explicit replacement for the removed process-global
 	// SetScenario). Zero value = ideal devices.
 	Scenario ReadScenario
+	// Kernel is a kernel-backend spec (package kernel grammar) for the
+	// sweep's compiled evaluation plans; "" = scalar. Bit-identical across
+	// backends — a throughput knob, never a results axis.
+	Kernel string
 }
 
 // DefaultNWCs is the paper's Table 1 NWC grid.
@@ -87,6 +92,13 @@ func Sweep(w *Workload, sigma float64, method string, cfg SweepConfig) ([]Cell, 
 func SweepPolicy(w *Workload, sigma float64, pol program.Policy, cfg SweepConfig) ([]Cell, error) {
 	evalX, evalY := data.Subset(w.DS.TestX, w.DS.TestY, mc.EvalSize(len(w.DS.TestY)))
 	opts := append(w.Options(sigma), cfg.Scenario.Options()...)
+	if cfg.Kernel != "" {
+		k, err := kernel.Parse(cfg.Kernel)
+		if err != nil {
+			return nil, fmt.Errorf("sweep %s/%s at sigma=%.2f: %w", w.Name, pol.Name(), sigma, err)
+		}
+		opts = append(opts, program.WithKernelBackend(k))
+	}
 	p, err := program.New(w.Net, pol, program.GridBudget(cfg.NWCs...),
 		append(opts,
 			program.WithEval(evalX, evalY),

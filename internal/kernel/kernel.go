@@ -1,0 +1,100 @@
+// Package kernel implements the pluggable dense-compute backends behind the
+// compiled evaluation tier. PR 3's plans drove Monte-Carlo evaluation to zero
+// steady-state allocations, which leaves the forward pass pure compute: every
+// serving-side trial is dominated by the matmul and im2col-convolution loops
+// in package tensor. This package separates that operator contract from the
+// loops that execute it, the same operator/backend split the photonic and
+// CIM simulators in the related work use, so the hot loops can be swapped
+// without touching any layer arithmetic.
+//
+// A Backend implements the dense primitives the plan tier needs: the three
+// matmul orientations (plain, Aᵀ, Bᵀ) with accumulate variants, a fused
+// bias+matmul for fully connected layers, im2col lowering, and a batched
+// (optionally im2col-free) convolution. Three backends ship:
+//
+//   - "scalar": today's single-threaded loops, extracted verbatim from
+//     package tensor and internal/nn. This is the default everywhere and the
+//     reference the other backends are pinned against.
+//   - "blocked": register-tiled matmul loops and a sparse direct
+//     convolution that skips the exact zeros ReLU and quantization leave in
+//     hidden feature maps. Same accumulation order per output element, so
+//     results are bit-identical to scalar.
+//   - "parallel": batch-row parallelism over a bounded shared worker pool,
+//     with the blocked loop bodies inside each unit of work. Batch rows are
+//     written to disjoint destination regions, so results are bit-identical
+//     to scalar at any worker count.
+//
+// # Determinism contract
+//
+// Every backend must produce bit-for-bit the results of the scalar backend
+// for finite inputs. The scalar loops fix the observable floating-point
+// behavior: each output element accumulates its k-terms in ascending k
+// order, terms whose left-hand (weight) operand is exactly zero are skipped,
+// and fused bias is added after the full k-sum. Backends may re-tile loops,
+// hold accumulators in registers, partition independent output regions
+// across goroutines, or skip any term whose product is exactly ±0 — padding,
+// zero weights, zero activations — because a non-accumulating element's sum
+// is seeded at +0 and under round-to-nearest can never become -0, making a
+// ±0 term a bitwise no-op (this does not hold for accumulate variants, whose
+// seed may be -0). None of that changes any per-element operation sequence;
+// backends must not split an element's accumulation into partial sums or
+// reorder its terms. The
+// cross-backend tests in this package and in package eval pin the contract
+// for every model in internal/models, digital and analog.
+//
+// Because backends are bit-identical, the choice of backend is an execution
+// hint, not a computation axis: swim-serve records it in the request record
+// but excludes it from cache keys (see internal/serialize).
+//
+// A future GOAMD64/assembly backend slots in behind the same interface via
+// Register, exactly like the nonideality and cost-model registries.
+package kernel
+
+import (
+	"swim/internal/tensor"
+)
+
+// Backend executes the dense primitives behind the compiled evaluation tier.
+// Implementations must satisfy the package-level determinism contract:
+// bit-identical results to the scalar backend for finite inputs. Backends
+// must be safe for concurrent use by independent callers (the Monte-Carlo
+// pipeline shares one backend across its workers); the tensors passed to any
+// single call are only touched by that call.
+type Backend interface {
+	// Name returns the registered backend name (e.g. "scalar").
+	Name() string
+	// Spec renders the backend back to its canonical parse spec — Name
+	// plus any non-default parameters — so Parse(b.Spec()) reproduces it.
+	Spec() string
+	// MatMul computes C = A·B (or C += A·B when accumulate is true) with
+	// A m×k, B k×n, C m×n.
+	MatMul(c, a, b *tensor.Tensor, accumulate bool)
+	// MatMulTransA computes C = Aᵀ·B (or += when accumulate) with A k×m,
+	// B k×n, C m×n.
+	MatMulTransA(c, a, b *tensor.Tensor, accumulate bool)
+	// MatMulTransB computes C = A·Bᵀ (or += when accumulate) with A m×k,
+	// B n×k, C m×n.
+	MatMulTransB(c, a, b *tensor.Tensor, accumulate bool)
+	// Linear computes the fused fully connected forward dst = x·wᵀ + bias
+	// for x [B, in], w [out, in], bias [out] — the bias is added after each
+	// element's full k-sum, matching the unfused matmul-then-bias passes
+	// bit for bit.
+	Linear(dst, x, w *tensor.Tensor, bias []float64)
+	// Im2Col lowers one image x (inC×inH×inW, flat) into cols
+	// (ColRows × ColCols) for the geometry g, padding with zeros.
+	Im2Col(g tensor.Conv2DGeom, cols *tensor.Tensor, x []float64)
+	// Conv2D computes the batched convolution forward dst = conv(x, w) +
+	// bias for x [B, inC, inH, inW], w [outC, inC*kh*kw], bias [outC].
+	// cols is the caller-provided im2col workspace (ColRows × ColCols);
+	// backends that are im2col-free (UsesIm2Col() == false) receive nil.
+	Conv2D(g tensor.Conv2DGeom, outC int, dst, x, w *tensor.Tensor, bias []float64, cols *tensor.Tensor)
+	// UsesIm2Col reports whether Conv2D consumes the cols workspace, so
+	// callers with im2col-free backends can skip carving it from scratch
+	// arenas entirely.
+	UsesIm2Col() bool
+}
+
+// Default returns the default backend, scalar — the reference loops every
+// other backend is pinned against. It is the backend used anywhere no
+// explicit selection is threaded through.
+func Default() Backend { return scalarBackend }

@@ -18,6 +18,7 @@ import (
 	"swim/internal/data"
 	"swim/internal/device"
 	"swim/internal/eval"
+	"swim/internal/kernel"
 	"swim/internal/nn"
 	"swim/internal/nonideal"
 	"swim/internal/quant"
@@ -80,6 +81,7 @@ type Mapped struct {
 	// Forward path for the rest of the trial.
 	ev         *eval.Evaluator
 	evalArena  *tensor.Arena
+	evalKern   kernel.Backend
 	evalLegacy bool
 }
 
@@ -393,6 +395,12 @@ func (mp *Mapped) syncWeight(i int) {
 // Accuracy measurement; the arena must not be used concurrently.
 func (mp *Mapped) SetEvalArena(a *tensor.Arena) { mp.evalArena = a }
 
+// SetKernel selects the kernel backend the compiled evaluation plans route
+// their dense primitives through (nil keeps the scalar default). Backends
+// are bit-identical, so this changes evaluation speed, never results. Call
+// it before the first Accuracy measurement, alongside SetEvalArena.
+func (mp *Mapped) SetKernel(k kernel.Backend) { mp.evalKern = k }
+
 // Accuracy evaluates the programmed network's top-1 accuracy (%) over the
 // given evaluation set. It runs through a compiled evaluation plan (package
 // eval) — bit-for-bit identical to the legacy Forward path but with zero
@@ -405,7 +413,7 @@ func (mp *Mapped) Accuracy(x *tensor.Tensor, y []int, batch int) float64 {
 	mp.SyncRead()
 	if !mp.evalLegacy {
 		if mp.ev == nil {
-			mp.ev = eval.NewEvaluator(mp.Net, mp.evalArena)
+			mp.ev = eval.NewEvaluatorKernel(mp.Net, mp.evalArena, mp.evalKern)
 		}
 		acc, err := mp.ev.Accuracy(x, y, batch)
 		if err == nil {

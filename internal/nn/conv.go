@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"swim/internal/kernel"
 	"swim/internal/rng"
 	"swim/internal/tensor"
 )
@@ -19,9 +20,8 @@ type Conv2D struct {
 	Geom tensor.Conv2DGeom
 	W, B *Param // W is [outC, inC*kh*kw]
 
-	x       *tensor.Tensor // cached input [B, inC, inH, inW]
-	cols    *tensor.Tensor // scratch im2col buffer, reused across calls
-	omShape []int          // cached [outC, colCols] view shape for ForwardInto
+	x    *tensor.Tensor // cached input [B, inC, inH, inW]
+	cols *tensor.Tensor // scratch im2col buffer, reused across calls
 }
 
 // NewConv2D builds a convolution for a fixed input geometry (channels ×
@@ -71,40 +71,27 @@ func (c *Conv2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	return out
 }
 
-// ForwardInto implements PlanLayer. The im2col buffer comes from scratch
-// when provided (nil scratch falls back to the layer-owned buffer, as the
-// legacy path always did).
+// ForwardInto implements PlanLayer through the default (scalar) backend.
 func (c *Conv2D) ForwardInto(dst, x *tensor.Tensor, s *tensor.Arena) {
-	b := x.Shape[0]
+	c.ForwardIntoKernel(dst, x, s, kernel.Default())
+}
+
+// ForwardIntoKernel implements KernelLayer: the batched convolution
+// primitive dst = conv(x, W) + b. For backends that lower through im2col the
+// workspace comes from scratch when provided (nil scratch falls back to the
+// layer-owned buffer, as the legacy path always did); im2col-free backends
+// get no workspace at all.
+func (c *Conv2D) ForwardIntoKernel(dst, x *tensor.Tensor, s *tensor.Arena, k kernel.Backend) {
 	g := c.Geom
 	var cols *tensor.Tensor
-	if s != nil {
-		cols = s.Alloc(g.ColRows(), g.ColCols())
-	} else {
-		cols = c.scratch()
-	}
-	sampleIn := g.InC * g.InH * g.InW
-	sampleOut := c.OutC * g.OutH * g.OutW
-	if c.omShape == nil {
-		c.omShape = []int{c.OutC, g.ColCols()}
-	}
-	om := tensor.Tensor{Shape: c.omShape}
-	for bi := 0; bi < b; bi++ {
-		g.Im2ColInto(cols, x.Data[bi*sampleIn:(bi+1)*sampleIn])
-		om.Data = dst.Data[bi*sampleOut : (bi+1)*sampleOut]
-		tensor.MatMulInto(&om, c.W.Data, cols, false)
-	}
-	// Broadcast bias across spatial positions.
-	hw := g.OutH * g.OutW
-	for bi := 0; bi < b; bi++ {
-		for oc := 0; oc < c.OutC; oc++ {
-			bias := c.B.Data.Data[oc]
-			seg := dst.Data[(bi*c.OutC+oc)*hw : (bi*c.OutC+oc+1)*hw]
-			for i := range seg {
-				seg[i] += bias
-			}
+	if k.UsesIm2Col() {
+		if s != nil {
+			cols = s.Alloc(g.ColRows(), g.ColCols())
+		} else {
+			cols = c.scratch()
 		}
 	}
+	k.Conv2D(g, c.OutC, dst, x, c.W.Data, c.B.Data.Data, cols)
 }
 
 // Backward implements Layer.

@@ -3,6 +3,7 @@ package nn
 import (
 	"fmt"
 
+	"swim/internal/kernel"
 	"swim/internal/tensor"
 )
 
@@ -41,6 +42,28 @@ type PlanLayer interface {
 	ForwardInto(dst, x *tensor.Tensor, scratch *tensor.Arena)
 }
 
+// KernelLayer is implemented by the layers whose ForwardInto is built from
+// the dense primitives of a kernel.Backend (matmul, fused bias+matmul,
+// convolution). ForwardIntoKernel is ForwardInto with an explicit backend:
+// compiled plans route these layers through the plan's selected backend,
+// while ForwardInto itself always runs the scalar default. Because every
+// registered backend is bit-identical to scalar (the package kernel
+// determinism contract), the two entry points produce the same bits for any
+// backend choice — backend selection is an execution hint, never a
+// computation axis.
+//
+// Layers whose forward pass has no dense primitive (activations, pooling,
+// normalization) and the analog crossbar layers (whose arithmetic is the
+// device model's, not a dense matmul) do not implement KernelLayer; plans
+// fall back to their plain ForwardInto.
+type KernelLayer interface {
+	PlanLayer
+	// ForwardIntoKernel computes the evaluation-mode forward pass into dst
+	// through the given kernel backend, under the same contracts as
+	// ForwardInto.
+	ForwardIntoKernel(dst, x *tensor.Tensor, scratch *tensor.Arena, k kernel.Backend)
+}
+
 // Compile-time checks: every layer in the package satisfies PlanLayer.
 var (
 	_ PlanLayer = (*Linear)(nil)
@@ -55,6 +78,9 @@ var (
 	_ PlanLayer = (*Residual)(nil)
 	_ PlanLayer = (*Sigmoid)(nil)
 	_ PlanLayer = (*Tanh)(nil)
+
+	_ KernelLayer = (*Linear)(nil)
+	_ KernelLayer = (*Conv2D)(nil)
 )
 
 // planChild asserts that a container child implements PlanLayer.

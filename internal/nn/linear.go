@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"swim/internal/kernel"
 	"swim/internal/rng"
 	"swim/internal/tensor"
 )
@@ -69,17 +70,16 @@ func (l *Linear) OutShape(in []int) ([]int, error) {
 	return []int{in[0], l.Out}, nil
 }
 
-// ForwardInto implements PlanLayer.
-func (l *Linear) ForwardInto(dst, x *tensor.Tensor, _ *tensor.Arena) {
-	b := x.Shape[0]
-	// dst = x · Wᵀ
-	tensor.MatMulTransBInto(dst, x, l.W.Data, false)
-	for bi := 0; bi < b; bi++ {
-		row := dst.Data[bi*l.Out : (bi+1)*l.Out]
-		for j := range row {
-			row[j] += l.B.Data.Data[j]
-		}
-	}
+// ForwardInto implements PlanLayer through the default (scalar) backend.
+func (l *Linear) ForwardInto(dst, x *tensor.Tensor, s *tensor.Arena) {
+	l.ForwardIntoKernel(dst, x, s, kernel.Default())
+}
+
+// ForwardIntoKernel implements KernelLayer: the fused bias+matmul primitive
+// dst = x·Wᵀ + b, which every backend computes bit-identically to the
+// historical separate matmul and bias passes.
+func (l *Linear) ForwardIntoKernel(dst, x *tensor.Tensor, _ *tensor.Arena, k kernel.Backend) {
+	k.Linear(dst, x, l.W.Data, l.B.Data.Data)
 }
 
 // Backward implements Layer.

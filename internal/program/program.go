@@ -53,6 +53,7 @@ import (
 
 	"swim/internal/cost"
 	"swim/internal/device"
+	"swim/internal/kernel"
 	"swim/internal/mapping"
 	"swim/internal/mc"
 	"swim/internal/nn"
@@ -98,6 +99,7 @@ type Pipeline struct {
 	readTime      float64
 	selectorSplit bool
 	costModel     *cost.Model
+	kern          kernel.Backend
 	baseCtx       context.Context
 
 	deviceSet bool
@@ -118,6 +120,19 @@ func WithDevice(m device.Model) Option {
 	return func(p *Pipeline) error {
 		p.env.Device = m
 		p.deviceSet = true
+		return nil
+	}
+}
+
+// WithKernelBackend selects the kernel backend executing the dense forward
+// primitives (matmul, fused bias+matmul, convolution) of every compiled
+// evaluation plan the pipeline's trials run. All registered backends are
+// bit-identical to the scalar default, so this is purely a throughput knob:
+// accuracy bits, Monte-Carlo streams and cache keys are unchanged. nil
+// restores the default.
+func WithKernelBackend(k kernel.Backend) Option {
+	return func(p *Pipeline) error {
+		p.kern = k
 		return nil
 	}
 }
@@ -516,6 +531,9 @@ func (p *Pipeline) setupTrial(env *Env, table []float64, r *rng.Source) (mp *map
 		arena = tensor.NewArena()
 	}
 	mp.SetEvalArena(arena)
+	if p.kern != nil {
+		mp.SetKernel(p.kern)
+	}
 	return mp, trial, func() { p.arenas.Put(arena) }
 }
 

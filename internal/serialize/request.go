@@ -63,6 +63,15 @@ type RequestRecord struct {
 	// the cost axis participates in the canonical key like every other
 	// field.
 	Cost string `json:"cost,omitempty"`
+	// Kernel names a kernel-backend spec (package kernel grammar, e.g.
+	// "blocked" or "parallel:workers=4") selecting how the daemon executes
+	// the dense primitives of the request's evaluation plans. "" selects
+	// the scalar default. The daemon canonicalizes the spec before
+	// recording it, but — unlike every other axis — Kernel is EXCLUDED from
+	// the canonical key: backends are bit-identical by contract, so two
+	// requests differing only in kernel are the same computation and share
+	// a cache entry.
+	Kernel string `json:"kernel,omitempty"`
 	// Seed is the Monte-Carlo master seed shared by every cell.
 	Seed uint64 `json:"seed,omitempty"`
 	// Trials is the Monte-Carlo trial count per cell.
@@ -79,7 +88,7 @@ type RequestRecord struct {
 // fields.
 var knownRequestFields = []string{
 	"version", "kind", "workload", "sigmas", "policies", "nwcs",
-	"scenarios", "cost", "times", "seed", "trials", "eval_batch",
+	"scenarios", "cost", "kernel", "times", "seed", "trials", "eval_batch",
 }
 
 // MarshalJSON emits the known fields plus any preserved unknown ones.
@@ -120,6 +129,10 @@ func (r *RequestRecord) CanonicalKey() (string, error) {
 	if err := json.Unmarshal(raw, &m); err != nil {
 		return "", fmt.Errorf("serialize: canonical key: %w", err)
 	}
+	// The kernel backend never changes results (bit-identical contract), so
+	// it is excluded from the key: a request served with "blocked" hits the
+	// cache entry a "scalar" request populated, and vice versa.
+	delete(m, "kernel")
 	// encoding/json marshals maps in sorted-key order, which canonicalizes
 	// the top level; array order below it is semantic and kept as-is.
 	canon, err := json.Marshal(m)

@@ -84,6 +84,46 @@ func TestCanonicalKey(t *testing.T) {
 	}
 }
 
+// TestCanonicalKeyIgnoresKernel pins the one deliberate exception to
+// "every field hashes": backends are bit-identical, so the kernel axis is
+// recorded in the request yet excluded from the cache key — a request served
+// with "blocked" hits the entry a "scalar" request populated.
+func TestCanonicalKeyIgnoresKernel(t *testing.T) {
+	a := &RequestRecord{Version: 1, Kind: KindSweep, Workload: "lenet", Seed: 5, Trials: 4}
+	b := &RequestRecord{Version: 1, Kind: KindSweep, Workload: "lenet", Seed: 5, Trials: 4,
+		Kernel: "parallel:workers=4"}
+	ka, err := a.CanonicalKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb, err := b.CanonicalKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ka != kb {
+		t.Fatalf("kernel axis changed the canonical key: %s vs %s", ka, kb)
+	}
+	// The axis still round-trips on the wire: excluded from the hash, not
+	// from the record.
+	raw, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"kernel":"parallel:workers=4"`) {
+		t.Fatalf("kernel axis missing from the encoded request: %s", raw)
+	}
+	got, err := DecodeRequest(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kernel != b.Kernel {
+		t.Fatalf("kernel axis mangled in round trip: %q", got.Kernel)
+	}
+	if len(got.Extra) != 0 {
+		t.Fatalf("kernel treated as an unknown field: %v", got.Extra)
+	}
+}
+
 func TestEnvelopeRoundTrip(t *testing.T) {
 	env := &ResultEnvelope{Cells: []CellRecord{{
 		Workload: "lenet", Sigma: 1, Scenario: "none", Policy: "swim",

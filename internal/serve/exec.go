@@ -8,6 +8,7 @@ import (
 
 	"swim/internal/cost"
 	"swim/internal/experiments"
+	"swim/internal/kernel"
 	"swim/internal/mc"
 	"swim/internal/program"
 	"swim/internal/serialize"
@@ -139,6 +140,25 @@ func (s *Server) normalize(req *serialize.RequestRecord) (*serialize.RequestReco
 		}
 		n.Cost = m.Spec()
 	}
+	// Canonicalize the kernel axis: an empty request inherits the daemon
+	// default, then "" and "scalar" collapse to the empty (default) form
+	// and anything else re-renders through the registry. The spec is
+	// recorded in the job's request for observability, but it never enters
+	// the canonical key — backends are bit-identical, so requests differing
+	// only here share a cache entry (see RequestRecord.Kernel).
+	if strings.TrimSpace(n.Kernel) == "" {
+		n.Kernel = s.cfg.Kernel
+	}
+	switch k := strings.TrimSpace(n.Kernel); k {
+	case "", "scalar":
+		n.Kernel = ""
+	default:
+		kb, err := kernel.Parse(k)
+		if err != nil {
+			return nil, err
+		}
+		n.Kernel = kb.Spec()
+	}
 	return &n, nil
 }
 
@@ -178,6 +198,7 @@ func (s *Server) execute(ctx context.Context, req *serialize.RequestRecord, gate
 		Seed:      req.Seed,
 		EvalBatch: req.EvalBatch,
 		Cost:      req.Cost,
+		Kernel:    req.Kernel,
 	}
 	env := &serialize.ResultEnvelope{}
 	for _, sigma := range req.Sigmas {

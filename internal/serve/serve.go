@@ -114,6 +114,11 @@ type Config struct {
 	// resumes from its checkpoint instead of recomputing; unfinished
 	// journalled jobs found at startup are re-enqueued automatically.
 	StateDir string
+	// Kernel is the daemon-default kernel-backend spec applied to requests
+	// that leave their kernel axis empty ("" = scalar). Backends are
+	// bit-identical and the axis is excluded from canonical keys, so the
+	// default changes throughput only — never results or cache identity.
+	Kernel string
 }
 
 // DefaultWorkloads returns the standard registry workload set served by

@@ -128,6 +128,7 @@ func (s *Server) executeShard(ctx context.Context, req *serialize.RequestRecord,
 		Seed:      req.Seed,
 		EvalBatch: req.EvalBatch,
 		Cost:      req.Cost,
+		Kernel:    req.Kernel,
 	}
 	rec := &serialize.ShardRecord{
 		Version: serialize.ShardVersion,
