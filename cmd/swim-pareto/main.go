@@ -11,11 +11,16 @@
 //	swim-pareto [-workload lenet|convnet|resnet|tiny]
 //	            [-cost rram] [-nwcs 0,0.1,0.3]
 //	            [-policies swim,magnitude,noverify]
+//	            [-calib gainoffset|pertile[:probes=N]]
 //	            [-sigma 1.0] [-trials N] [-workers N]
 //	            [-json path] [-state dir]
 //
 // -cost selects the hardware cost model ("list" prints the registered
-// presets; parameters attach as name:key=value). -json additionally writes
+// presets; parameters attach as name:key=value). -calib enables the
+// closed-loop calibration tier; its probe-read pass is priced through the
+// cost model and added to every cell's programming energy, so the frontier
+// becomes accuracy versus TOTAL energy — a calibrated cell must buy back
+// its probe reads in accuracy to stay Pareto-optimal. -json additionally writes
 // the costed sweep as a serialized result envelope — byte-identical to what
 // the swim-serve daemon's result endpoint returns for the equivalent
 // cost-bearing sweep request (CI diffs the two). -state restores/persists
@@ -33,6 +38,7 @@ import (
 	"strconv"
 	"strings"
 
+	"swim/internal/calib"
 	"swim/internal/cost"
 	"swim/internal/experiments"
 	"swim/internal/kernel"
@@ -103,6 +109,8 @@ func main() {
 	workers := flag.Int("workers", 0, "Monte-Carlo worker goroutines (0 = SWIM_WORKERS or all CPUs)")
 	kernelFlag := flag.String("kernel", "",
 		"kernel backend for the eval plans' dense primitives (bit-identical to scalar; 'list' prints registered backends)")
+	calibFlag := flag.String("calib", "",
+		"calibration model fitting a digital read-out correction, e.g. gainoffset or pertile:probes=16; the probe pass is priced into the frontier ('list' prints registered models)")
 	stateFlag := flag.String("state", "",
 		"directory of serialized workload states: restore instead of retraining, persist after training (see swim-train -state)")
 	flag.Parse()
@@ -136,12 +144,23 @@ func main() {
 		fmt.Println(klisting)
 		return
 	}
+	cm, cok, clisting, err := calib.FromFlag(*calibFlag)
+	if err != nil {
+		fatal(2, err)
+	}
+	if clisting != "" {
+		fmt.Println(clisting)
+		return
+	}
 
 	cfg := experiments.DefaultScenarioConfig()
 	cfg.Times = []float64{0} // the frontier is a programming-time question
 	cfg.Cost = model.Spec()
 	if *kernelFlag != "" {
 		cfg.Kernel = kern.Spec()
+	}
+	if cok {
+		cfg.Calib = cm.Spec()
 	}
 	if *trials > 0 {
 		cfg.Trials = *trials
@@ -194,11 +213,23 @@ func main() {
 		if sr.Result.Cost == nil {
 			fatal(1, fmt.Errorf("policy %s returned no cost report", sr.Policy))
 		}
+		// Calibration is a fixed per-programming-pass surcharge: shifting a
+		// Welford aggregate by a constant is exact (same n and m2, mean + c),
+		// so the frontier ranks total energy — programming plus probe pass —
+		// without touching the per-trial aggregates.
+		calibUJ := 0.0
+		if cc := sr.Result.Cost.Calibration; cc != nil {
+			calibUJ = cc.EnergyNJ * 1e-3
+		}
 		// Cost.Points and Points share the NWC-target grid index for index.
 		for i, cp := range sr.Result.Cost.Points {
+			energy := cp.EnergyUJ
+			if calibUJ != 0 {
+				energy = stat.FromMoments(energy.N(), energy.Mean()+calibUJ, energy.M2())
+			}
 			pts = append(pts, paretoPoint{
 				policy: sr.Policy, target: cp.Target, acc: sr.Result.Points[i].Accuracy,
-				energyUJ: cp.EnergyUJ, timeMS: cp.TimeMS,
+				energyUJ: energy, timeMS: cp.TimeMS,
 			})
 		}
 	}
@@ -207,9 +238,14 @@ func main() {
 	fmt.Fprintf(human, "\nAccuracy vs programming energy on %s (clean %.2f%%, sigma=%.2f, %d MC trials)\n",
 		w.Name, w.CleanAcc, *sigma, cfg.Trials)
 	fmt.Fprintf(human, "cost model: %s\n", rep.Model)
-	fmt.Fprintf(human, "array: %d tiles (%d×%d), %.3f mm²; inference: %.1f nJ + %.2f µs per sample\n\n",
+	fmt.Fprintf(human, "array: %d tiles (%d×%d), %.3f mm²; inference: %.1f nJ + %.2f µs per sample\n",
 		rep.Geometry.Tiles, rep.Geometry.TileRows, rep.Geometry.TileCols,
 		rep.AreaMM2, rep.InferenceEnergyNJ, rep.InferenceLatencyUS)
+	if cc := rep.Calibration; cc != nil {
+		fmt.Fprintf(human, "calibration: %s — %d probe MatVecs, %.1f nJ + %.2f µs per pass (added to every cell's energy)\n",
+			cc.Model, cc.Ops.MatVecs, cc.EnergyNJ, cc.LatencyUS)
+	}
+	fmt.Fprintln(human)
 	fmt.Fprintf(human, "%-10s %6s %16s %18s %14s  %s\n", "policy", "nwc", "accuracy (%)", "energy (µJ)", "time (ms)", "pareto")
 	for _, p := range pts {
 		mark := ""

@@ -13,6 +13,7 @@
 //	              [-policies swim,magnitude,noverify]
 //	              [-sigma 1.0] [-trials N] [-workers N]
 //	              [-kernel scalar|blocked|parallel[:workers=N]]
+//	              [-calib gainoffset|pertile[:probes=N]]
 //	              [-json path] [-state dir]
 //
 // -json additionally writes the sweep as a serialized result envelope —
@@ -35,6 +36,7 @@ import (
 	"strconv"
 	"strings"
 
+	"swim/internal/calib"
 	"swim/internal/experiments"
 	"swim/internal/kernel"
 	"swim/internal/mc"
@@ -73,6 +75,8 @@ func main() {
 	workers := flag.Int("workers", 0, "Monte-Carlo worker goroutines (0 = SWIM_WORKERS or all CPUs)")
 	kernelFlag := flag.String("kernel", "",
 		"kernel backend for the eval plans' dense primitives (bit-identical to scalar; 'list' prints registered backends)")
+	calibFlag := flag.String("calib", "",
+		"calibration model fitting a digital read-out correction per cell, e.g. gainoffset or pertile:probes=16 ('list' prints registered models)")
 	stateFlag := flag.String("state", "",
 		"directory of serialized workload states: restore instead of retraining, persist after training (see swim-train -state)")
 	flag.Parse()
@@ -130,6 +134,17 @@ func main() {
 	}
 	if *kernelFlag != "" {
 		cfg.Kernel = kern.Spec()
+	}
+	cm, cok, clisting, err := calib.FromFlag(*calibFlag)
+	if err != nil {
+		fatal(2, err)
+	}
+	if clisting != "" {
+		fmt.Println(clisting)
+		return
+	}
+	if cok {
+		cfg.Calib = cm.Spec()
 	}
 
 	// With -json - the envelope owns stdout; route the human-readable run

@@ -21,6 +21,7 @@ import (
 	"strconv"
 	"strings"
 
+	"swim/internal/calib"
 	"swim/internal/experiments"
 	"swim/internal/kernel"
 	"swim/internal/mc"
@@ -39,6 +40,8 @@ func main() {
 	readTime := flag.Float64("readtime", 0, "read time in seconds after programming for -nonideal")
 	kernelFlag := flag.String("kernel", "",
 		"kernel backend for the eval plans' dense primitives (bit-identical to scalar; 'list' prints registered backends)")
+	calibFlag := flag.String("calib", "",
+		"calibration model fitting a digital read-out correction, e.g. gainoffset or pertile:probes=16 ('list' prints registered models)")
 	stateFlag := flag.String("state", "",
 		"directory of serialized workload states: restore instead of retraining, persist after training (see swim-train -state)")
 	flag.Parse()
@@ -67,10 +70,22 @@ func main() {
 		fmt.Println(klisting)
 		return
 	}
+	cm, cok, clisting, err := calib.FromFlag(*calibFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "swim-table1:", err)
+		os.Exit(2)
+	}
+	if clisting != "" {
+		fmt.Println(clisting)
+		return
+	}
 	cfg := experiments.DefaultSweep()
 	cfg.Scenario = experiments.ReadScenario{Models: scenario, ReadTime: *readTime}
 	if *kernelFlag != "" {
 		cfg.Kernel = kern.Spec()
+	}
+	if cok {
+		cfg.Calib = cm.Spec()
 	}
 	if *trials > 0 {
 		cfg.Trials = *trials

@@ -168,6 +168,43 @@ type Report struct {
 	// AreaMM2 is the total array area in square millimetres: per tile, a
 	// full complement of row DACs and column ADCs plus the cell matrix.
 	AreaMM2 float64
+	// Calibration prices the run's calibration probe pass (package calib);
+	// nil when the run had no calibration model.
+	Calibration *CalibCost
+}
+
+// ProbeOps counts the hardware operations of one calibration probe pass over
+// the mapped network: per matrix, each probe drives one word line (one DAC
+// conversion), activates the tile band holding that input row, and converts
+// every output bit line. Like Geometry it is pure data, derived
+// deterministically from the network topology and the probe budget, and
+// travels with shard records so distributed merges price calibration
+// identically to local runs.
+type ProbeOps struct {
+	// MatVecs is the number of tile read activations in one probe pass.
+	MatVecs int `json:"matvecs"`
+	// DACs is the number of word-line input conversions in one probe pass.
+	DACs int `json:"dacs"`
+	// ADCs is the number of bit-line output conversions in one probe pass.
+	ADCs int `json:"adcs"`
+}
+
+// CalibCost is the priced calibration block of a Report: the probe-read
+// operations of one calibration pass and their energy/latency under the
+// report's converter costs. One pass runs per trial (after programming), so
+// the energy adds to each trial's programming energy when comparing total
+// budgets — the accuracy-vs-total-energy frontier swim-pareto traces.
+type CalibCost struct {
+	// Model is the canonical calibration-model spec that was priced.
+	Model string
+	// Ops counts the probe pass's hardware operations.
+	Ops ProbeOps
+	// EnergyNJ is the energy of one calibration pass, in nanojoules:
+	// per-probe DAC + tile read + ADC operations.
+	EnergyNJ float64
+	// LatencyUS is the latency of one calibration pass with serialized tile
+	// activations, in microseconds.
+	LatencyUS float64
 }
 
 // CycleEnergyPJ returns the energy of one write-verify cycle (one write
@@ -200,6 +237,23 @@ func (m Model) AreaUM2(g Geometry) float64 {
 		float64(g.TileCols)*m.ADC.AreaUM2 +
 		float64(g.TileRows)*float64(g.TileCols)*m.CellAreaUM2
 	return float64(g.Tiles) * perTile
+}
+
+// CalibrationCost prices one calibration probe pass under the model's
+// converter and read costs: spec is the calibration model's canonical spec
+// (recorded for observability), ops the pass's operation counts. Like
+// Report, the call is a pure function of its inputs.
+func (m Model) CalibrationCost(spec string, ops ProbeOps) *CalibCost {
+	energyPJ := float64(ops.DACs)*m.DAC.EnergyPJ +
+		float64(ops.MatVecs)*m.Read.EnergyPJ +
+		float64(ops.ADCs)*m.ADC.EnergyPJ
+	latencyNS := float64(ops.MatVecs) * (m.DAC.LatencyNS + m.Read.LatencyNS + m.ADC.LatencyNS)
+	return &CalibCost{
+		Model:     spec,
+		Ops:       ops,
+		EnergyNJ:  energyPJ * 1e-3,
+		LatencyUS: latencyNS * 1e-3,
+	}
 }
 
 // scaled derives the Welford moments of k·X from the folded moments of X —

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 
+	"swim/internal/calib"
 	"swim/internal/device"
 	"swim/internal/nonideal"
 	"swim/internal/quant"
@@ -72,6 +73,14 @@ type Array struct {
 	inst     nonideal.Instance
 	readTime float64
 	eff      [][]float64
+
+	// Calibration state (SetCalibration): corrW holds the digitally
+	// corrected aggregate weights (bit-slices summed with their 2^(d·K)
+	// significance) the calibrated MatVec path reads instead of the
+	// per-slice view; calDes/calRaw are fit scratch.
+	cal            *calib.Calibrator
+	corrW          []float64
+	calDes, calRaw []float64
 }
 
 // NewArray programs weight matrix w ([out, in]) onto the fabric with
@@ -127,6 +136,57 @@ func (a *Array) SetNonideal(inst nonideal.Instance, readTime float64) {
 			a.refreshEff(d, i)
 		}
 	}
+	a.recalibrate()
+}
+
+// SetCalibration installs a per-trial calibration instance (package calib):
+// every subsequent MatVec reads digitally corrected aggregate weights — the
+// calibrator's affine fit of the degraded read-out against the programmed
+// (write-time ground truth) conductances, the pairs a hardware probe read at
+// t = 0 versus the current read time reveals. The correction refits after
+// SetNonideal and after every WriteVerify, so it always reflects the current
+// device state. A nil c restores raw reads.
+func (a *Array) SetCalibration(c *calib.Calibrator) {
+	a.cal = c
+	if c == nil {
+		a.corrW = nil
+		return
+	}
+	a.recalibrate()
+}
+
+// recalibrate refits the correction from the current read view and rebuilds
+// the corrected aggregate weights. A no-op without SetCalibration.
+func (a *Array) recalibrate() {
+	if a.cal == nil {
+		return
+	}
+	n := a.out * a.in
+	if a.corrW == nil {
+		a.corrW = make([]float64, n)
+		a.calDes = make([]float64, n)
+		a.calRaw = make([]float64, n)
+	}
+	read := a.conduct
+	if a.eff != nil {
+		read = a.eff
+	}
+	for i := 0; i < n; i++ {
+		a.calDes[i], a.calRaw[i] = 0, 0
+	}
+	for d := range a.conduct {
+		weight := math.Pow(2, float64(d*a.cfg.Device.DeviceBits))
+		for i, g := range a.conduct[d] {
+			a.calDes[i] += weight * g
+		}
+		for i, g := range read[d] {
+			a.calRaw[i] += weight * g
+		}
+	}
+	corr := a.cal.Fit(0, a.calDes, a.calRaw, a.out, a.in)
+	for i, v := range a.calRaw {
+		a.corrW[i] = corr.Apply(i, v)
+	}
 }
 
 // refreshEff recomputes the degraded view of one device from its programmed
@@ -168,6 +228,7 @@ func (a *Array) WriteVerify(row, col int, r *rng.Source) int {
 		}
 		total += cycles
 	}
+	a.recalibrate()
 	return total
 }
 
@@ -194,6 +255,21 @@ func (a *Array) MatVecInto(y, x, xq []float64) {
 	a.dacInto(xq, x)
 	for o := range y {
 		y[o] = 0
+	}
+	if a.corrW != nil {
+		// Calibrated read: the digital correction operates on the ADC-side
+		// aggregate, so the calibrated path sums the corrected weights in one
+		// pass instead of per bit-slice.
+		for o := 0; o < a.out; o++ {
+			row := a.corrW[o*a.in : (o+1)*a.in]
+			s := 0.0
+			for i, v := range xq {
+				s += row[i] * v
+			}
+			y[o] = s * a.scale
+		}
+		a.adc(y)
+		return
 	}
 	slices := a.conduct
 	if a.eff != nil {

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseScenarios drives the swim-scenario list grammar (models join
+// with '+', scenarios separate with ';') with arbitrary input: no input
+// may panic, and any accepted list must canonicalize — rejoining the
+// parsed Specs with ';' reparses to the identical Spec sequence.
+func FuzzParseScenarios(f *testing.F) {
+	f.Add("")
+	f.Add("none")
+	f.Add("none;drift")
+	f.Add("drift:nu=0.05,nustd=0.005;drift:nu=0.05+stuckat:p=0.01")
+	f.Add("quantlevels+d2d:spread=0.1;retention:t0=10")
+	f.Add(";")
+	f.Add("drift;;stuckat")
+	f.Add("drift:nu=abc")
+	f.Fuzz(func(t *testing.T, list string) {
+		scenarios, err := ParseScenarios(list)
+		if err != nil {
+			return
+		}
+		specs := make([]string, len(scenarios))
+		for i, sc := range scenarios {
+			specs[i] = sc.Spec
+		}
+		again, err := ParseScenarios(strings.Join(specs, ";"))
+		if err != nil {
+			t.Fatalf("canonical list %q (of %q) rejected: %v", strings.Join(specs, ";"), list, err)
+		}
+		if len(again) != len(scenarios) {
+			t.Fatalf("canonical list reparsed to %d scenarios, want %d", len(again), len(scenarios))
+		}
+		for i, sc := range again {
+			if sc.Spec != specs[i] {
+				t.Fatalf("scenario %d not a fixed point: %q reparsed to %q", i, specs[i], sc.Spec)
+			}
+		}
+	})
+}

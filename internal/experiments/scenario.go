@@ -6,6 +6,7 @@ import (
 	"io"
 	"strings"
 
+	"swim/internal/calib"
 	"swim/internal/cost"
 	"swim/internal/data"
 	"swim/internal/kernel"
@@ -112,6 +113,13 @@ type ScenarioConfig struct {
 	// accounting (the default — cost is an opt-in axis so legacy requests
 	// hash and serialize unchanged).
 	Cost string
+	// Calib is a calibration-model spec (package calib grammar); every
+	// cell's pipeline then fits a digital read-out correction from a probe
+	// pass and applies it before accuracy evaluation. Empty disables
+	// calibration (the default). Unlike Kernel, calibration changes
+	// results — corrected read-outs are a different computation — so the
+	// serving tier includes it in cache keys like the cost axis.
+	Calib string
 	// Kernel is a kernel-backend spec (package kernel grammar) selecting
 	// how every cell's compiled evaluation plans execute their dense
 	// primitives. Empty selects the scalar default. Backends are
@@ -261,6 +269,13 @@ func scenarioCells(w *Workload, sigma float64, scenarios []Scenario, cfg Scenari
 			return err
 		}
 		costOpts = []program.Option{program.WithCostModel(m)}
+	}
+	if cfg.Calib != "" {
+		cm, err := calib.Parse(cfg.Calib)
+		if err != nil {
+			return err
+		}
+		costOpts = append(costOpts, program.WithCalibrationModel(cm))
 	}
 	if cfg.Kernel != "" {
 		k, err := kernel.Parse(cfg.Kernel)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"swim/internal/calib"
 	"swim/internal/data"
 	"swim/internal/kernel"
 	"swim/internal/mc"
@@ -45,6 +46,11 @@ type SweepConfig struct {
 	// sweep's compiled evaluation plans; "" = scalar. Bit-identical across
 	// backends — a throughput knob, never a results axis.
 	Kernel string
+	// Calib is a calibration-model spec (package calib grammar); every cell
+	// then fits a digital read-out correction from a probe pass and applies
+	// it before accuracy evaluation. "" = no calibration. Unlike Kernel this
+	// IS a results axis — corrected read-outs are a different computation.
+	Calib string
 }
 
 // DefaultNWCs is the paper's Table 1 NWC grid.
@@ -98,6 +104,13 @@ func SweepPolicy(w *Workload, sigma float64, pol program.Policy, cfg SweepConfig
 			return nil, fmt.Errorf("sweep %s/%s at sigma=%.2f: %w", w.Name, pol.Name(), sigma, err)
 		}
 		opts = append(opts, program.WithKernelBackend(k))
+	}
+	if cfg.Calib != "" {
+		cm, err := calib.Parse(cfg.Calib)
+		if err != nil {
+			return nil, fmt.Errorf("sweep %s/%s at sigma=%.2f: %w", w.Name, pol.Name(), sigma, err)
+		}
+		opts = append(opts, program.WithCalibrationModel(cm))
 	}
 	p, err := program.New(w.Net, pol, program.GridBudget(cfg.NWCs...),
 		append(opts,

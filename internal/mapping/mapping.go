@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 
+	"swim/internal/calib"
 	"swim/internal/data"
 	"swim/internal/device"
 	"swim/internal/eval"
@@ -72,6 +73,16 @@ type Mapped struct {
 	// cost — Algorithm 1 re-measures accuracy after every granule.
 	dirty    []int
 	needFull bool
+
+	// Calibration state (SetCalibration): when cal is set, SyncRead lands
+	// the raw (uncorrected) read-out of every weight in rawRead instead of
+	// the network, refits one correction per mapped parameter from the
+	// calibrator's probe budget, and writes the corrected values into the
+	// network — the digital gain/offset stage sitting after the analog
+	// nonideality and before evaluation.
+	cal     *calib.Calibrator
+	rawRead []float64
+	corr    []calib.Correction
 
 	// Compiled-evaluation state: Accuracy routes through an eval.Evaluator
 	// (zero steady-state allocations; see package eval) compiled lazily on
@@ -155,8 +166,13 @@ func (mp *Mapped) ProgramAll(r *rng.Source) {
 		mp.Verified[i] = false
 		mp.trackCond(i, 0)
 	}
-	mp.needFull = mp.inst != nil
+	mp.needFull = mp.tracking()
 }
+
+// tracking reports whether read-out must be recomputed from the tracked
+// conductances — because a nonideality degrades it, a calibration corrects
+// it, or both.
+func (mp *Mapped) tracking() bool { return mp.inst != nil || mp.cal != nil }
 
 // trackCond records weight i's per-device conductances after a programming
 // operation: bit-slice target plus the per-device error just written to
@@ -191,13 +207,14 @@ func (mp *Mapped) ProgramAllSpatial(r *rng.Source, field *device.SpatialField) {
 		mp.Verified[i] = false
 		mp.trackCond(i, f)
 	}
-	mp.needFull = mp.inst != nil
+	mp.needFull = mp.tracking()
 }
 
 // markDirty queues weight i for the next incremental SyncRead. A no-op
-// without an active nonideality or when a full sync is already pending.
+// without an active nonideality or calibration, or when a full sync is
+// already pending.
 func (mp *Mapped) markDirty(i int) {
-	if mp.inst != nil && !mp.needFull {
+	if mp.tracking() && !mp.needFull {
 		mp.dirty = append(mp.dirty, i)
 	}
 }
@@ -272,7 +289,7 @@ func (mp *Mapped) IncrementAt(i int, delta float64, r *rng.Source) {
 	p, off, scale := mp.locate(i)
 	levels := float64(int(1)<<mp.Model.WeightBits - 1)
 	cur := p.Data.Data[off]
-	if mp.inst != nil {
+	if mp.tracking() {
 		cur = 0
 		base := i * len(mp.pow2)
 		for d := range mp.pow2 {
@@ -342,10 +359,34 @@ func (mp *Mapped) NWC() float64 {
 func (mp *Mapped) SetNonideal(inst nonideal.Instance, readTime float64) {
 	mp.inst, mp.readTime = inst, readTime
 	mp.dirty = mp.dirty[:0]
-	if inst != nil {
+	if mp.tracking() {
 		mp.needFull = true
 		mp.SyncRead()
 	}
+}
+
+// SetCalibration installs a per-trial calibration instance (package calib):
+// from now on every SyncRead recomputes the raw read-out of the tracked
+// conductances — degraded by the active nonideality when one is installed,
+// the true stored values otherwise — refits the calibrator's per-parameter
+// correction from its probe budget, and writes the corrected weights into
+// the network. Calibration sits strictly after nonideality application:
+// the fit sees exactly what a probe read at the configured read time would
+// measure. A nil c removes the stage; the weights keep their last-synced
+// values until the next programming operation or SetNonideal rewrites them.
+func (mp *Mapped) SetCalibration(c *calib.Calibrator) {
+	mp.cal = c
+	mp.dirty = mp.dirty[:0]
+	if c == nil {
+		mp.rawRead, mp.corr = nil, nil
+		return
+	}
+	if mp.rawRead == nil {
+		mp.rawRead = make([]float64, mp.total)
+		mp.corr = make([]calib.Correction, len(mp.loc.params))
+	}
+	mp.needFull = true
+	mp.SyncRead()
 }
 
 // SyncRead recomputes mapped weights as the nonideal read-out of their
@@ -357,9 +398,10 @@ func (mp *Mapped) SetNonideal(inst nonideal.Instance, readTime float64) {
 // weights re-sync to identical values); the first sync after SetNonideal
 // or a whole-network reprogram covers everything.
 func (mp *Mapped) SyncRead() {
-	if mp.inst == nil {
+	if !mp.tracking() {
 		return
 	}
+	changed := mp.needFull || len(mp.dirty) > 0
 	if mp.needFull {
 		for i := 0; i < mp.total; i++ {
 			mp.syncWeight(i)
@@ -371,23 +413,66 @@ func (mp *Mapped) SyncRead() {
 		}
 	}
 	mp.dirty = mp.dirty[:0]
+	if mp.cal != nil && changed {
+		mp.recalibrate()
+	}
 }
 
-// syncWeight writes weight i's degraded read-out into the network.
+// syncWeight recomputes weight i's read-out from its tracked conductances —
+// degraded through the nonideality instance when one is installed — and
+// lands it in the network, or in the raw buffer when a calibration stage
+// will correct it first.
 func (mp *Mapped) syncWeight(i int) {
 	p, off, scale := mp.locate(i)
 	nd := len(mp.pow2)
 	base := i * nd
 	eff := 0.0
-	for d := 0; d < nd; d++ {
-		g, sign := mp.cond[base+d], 1.0
-		if g < 0 {
-			sign, g = -1, -g
+	if mp.inst == nil {
+		for d := 0; d < nd; d++ {
+			eff += mp.pow2[d] * mp.cond[base+d]
 		}
-		eff += mp.pow2[d] * sign * mp.inst.Apply(base+d, g, mp.readTime)
+	} else {
+		for d := 0; d < nd; d++ {
+			g, sign := mp.cond[base+d], 1.0
+			if g < 0 {
+				sign, g = -1, -g
+			}
+			eff += mp.pow2[d] * sign * mp.inst.Apply(base+d, g, mp.readTime)
+		}
 	}
-	p.Data.Data[off] = eff * scale
+	v := eff * scale
+	if mp.cal != nil {
+		mp.rawRead[i] = v
+		return
+	}
+	p.Data.Data[off] = v
 }
+
+// recalibrate refits every mapped parameter's correction from the current
+// raw read-out and writes the corrected weights into the network. The fit
+// treats each parameter as a [rows × cols] matrix with rows = Shape[0] (the
+// output dimension — the crossbar's bit lines), matching the im2col mapping
+// the cost tier's geometry uses. Fit is pure in (trial key, parameter,
+// data), so recalibrating after every programming change keeps results
+// independent of how the trial's budget walk is scheduled.
+func (mp *Mapped) recalibrate() {
+	for pi, p := range mp.loc.params {
+		base := mp.loc.offsets[pi]
+		n := p.Size()
+		rows := p.Data.Shape[0]
+		cols := n / rows
+		mp.corr[pi] = mp.cal.Fit(pi, mp.desired[base:base+n], mp.rawRead[base:base+n], rows, cols)
+		c := &mp.corr[pi]
+		out := p.Data.Data
+		for j, v := range mp.rawRead[base : base+n] {
+			out[j] = c.Apply(j, v)
+		}
+	}
+}
+
+// Corrections returns the last fitted per-parameter corrections (nil without
+// SetCalibration), for diagnostics and tests.
+func (mp *Mapped) Corrections() []calib.Correction { return mp.corr }
 
 // SetEvalArena shares a scratch arena with the compiled evaluation engine,
 // so successive trials handled by the same Monte-Carlo worker reuse one

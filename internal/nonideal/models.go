@@ -3,6 +3,8 @@ package nonideal
 import (
 	"fmt"
 	"math"
+	"strconv"
+	"strings"
 
 	"swim/internal/device"
 	"swim/internal/rng"
@@ -25,12 +27,20 @@ type Drift struct {
 	T0 float64
 }
 
+// fnum renders a spec parameter value. It is %g with one amendment: the
+// '+' that %g writes into large exponents ("1e+06") is dropped ("1e06"),
+// because '+' is the stack separator in ParseStack's grammar and a
+// canonical spec must re-parse to itself.
+func fnum(v float64) string {
+	return strings.ReplaceAll(strconv.FormatFloat(v, 'g', -1, 64), "e+", "e")
+}
+
 // Name implements Nonideality.
 func (d Drift) Name() string { return "drift" }
 
 // String implements Nonideality.
 func (d Drift) String() string {
-	return fmt.Sprintf("drift:nu=%g,nustd=%g,t0=%g", d.Nu, d.NuStd, d.T0)
+	return fmt.Sprintf("drift:nu=%s,nustd=%s,t0=%s", fnum(d.Nu), fnum(d.NuStd), fnum(d.T0))
 }
 
 // NewTrial implements Nonideality: one key draw, per-device ν by hashing.
@@ -72,7 +82,7 @@ func (d Retention) Name() string { return "retention" }
 
 // String implements Nonideality.
 func (d Retention) String() string {
-	return fmt.Sprintf("retention:tau=%g,spread=%g", d.Tau, d.Spread)
+	return fmt.Sprintf("retention:tau=%s,spread=%s", fnum(d.Tau), fnum(d.Spread))
 }
 
 // NewTrial implements Nonideality.
@@ -111,7 +121,7 @@ type StuckAt struct {
 func (d StuckAt) Name() string { return "stuckat" }
 
 // String implements Nonideality.
-func (d StuckAt) String() string { return fmt.Sprintf("stuckat:p=%g,high=%g", d.P, d.High) }
+func (d StuckAt) String() string { return fmt.Sprintf("stuckat:p=%s,high=%s", fnum(d.P), fnum(d.High)) }
 
 // NewTrial implements Nonideality.
 func (d StuckAt) NewTrial(m device.Model, r *rng.Source) Instance {
@@ -150,7 +160,7 @@ type D2D struct {
 func (d D2D) Name() string { return "d2d" }
 
 // String implements Nonideality.
-func (d D2D) String() string { return fmt.Sprintf("d2d:spread=%g", d.Spread) }
+func (d D2D) String() string { return fmt.Sprintf("d2d:spread=%s", fnum(d.Spread)) }
 
 // NewTrial implements Nonideality.
 func (d D2D) NewTrial(m device.Model, r *rng.Source) Instance {

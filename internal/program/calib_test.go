@@ -1,0 +1,212 @@
+package program
+
+import (
+	"context"
+	"runtime"
+	"strings"
+	"testing"
+
+	"swim/internal/calib"
+	"swim/internal/nonideal"
+)
+
+func gainoffsetModel(t *testing.T, spec string) calib.Model {
+	t.Helper()
+	m, err := calib.Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// calibPipeline builds a small grid pipeline with a drift scenario and the
+// calibration tier attached — the configuration every property test here
+// exercises.
+func calibPipeline(t *testing.T, w *testWorkload, spec string, trials int, opts ...Option) *Pipeline {
+	t.Helper()
+	base := []Option{
+		WithCalibrationModel(gainoffsetModel(t, spec)),
+		WithNonidealities(scenarioStack(t)...),
+		WithReadTime(86400),
+	}
+	return shardPipeline(t, w, trials, append(base, opts...)...)
+}
+
+// The acceptance bar for the calibration tier: results are bit-for-bit
+// reproducible across worker counts, with the probe-budget RNG drawn from
+// the per-trial stream.
+func TestCalibrationWorkerInvariance(t *testing.T) {
+	w := workload(t)
+	for _, spec := range []string{"gainoffset:probes=4", "pertile:probes=4,tilerows=64,tilecols=64"} {
+		run := func(workers int) *Result {
+			res, err := calibPipeline(t, w, spec, 4, WithWorkers(workers)).Run(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		serial, parallel := run(1), run(runtime.NumCPU())
+		if resultKey(serial) != resultKey(parallel) {
+			t.Fatalf("spec %s: workers=1 and workers=%d results differ:\n%s\n%s",
+				spec, runtime.NumCPU(), resultKey(serial), resultKey(parallel))
+		}
+		canon := gainoffsetModel(t, spec).Spec()
+		if serial.Calibration != canon {
+			t.Fatalf("Result.Calibration = %q, want %q", serial.Calibration, canon)
+		}
+	}
+}
+
+// Trial-range shards of a calibrated run must merge bit-identically to the
+// single-node run: the probe choices derive from per-trial keys, never from
+// the shard bounds.
+func TestCalibrationShardMergeBitIdentity(t *testing.T) {
+	const trials = 5
+	w := workload(t)
+	full, err := calibPipeline(t, w, "gainoffset:probes=4", trials, WithWorkers(1)).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shards []*Shard
+	for _, r := range [][2]int{{0, 2}, {2, 3}, {3, 5}} {
+		workers := 1 + len(shards)%runtime.NumCPU()
+		p := calibPipeline(t, w, "gainoffset:probes=4", trials,
+			WithWorkers(workers), WithTrialRange(r[0], r[1]))
+		sh, err := p.RunShard(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sh.Calib == "" {
+			t.Fatal("shard does not carry the calibration spec")
+		}
+		shards = append(shards, sh)
+	}
+	merged, err := MergeShards(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resultKey(merged) != resultKey(full) {
+		t.Fatalf("calibrated shard merge differs from single-node:\nmerged: %s\nsingle: %s",
+			resultKey(merged), resultKey(full))
+	}
+	if merged.Calibration != full.Calibration {
+		t.Fatalf("merged Calibration %q != %q", merged.Calibration, full.Calibration)
+	}
+}
+
+// Shards calibrated under different models are observations of different
+// experiments; the merge must refuse to fold them.
+func TestMergeShardsRejectsMixedCalib(t *testing.T) {
+	w := workload(t)
+	a, err := calibPipeline(t, w, "gainoffset:probes=4", 4, WithTrialRange(0, 2)).RunShard(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := calibPipeline(t, w, "gainoffset:probes=4", 4, WithTrialRange(2, 4)).RunShard(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed := *b
+	mixed.Calib = "gainoffset:probes=16"
+	if _, err := MergeShards([]*Shard{a, &mixed}); err == nil || !strings.Contains(err.Error(), "calibration") {
+		t.Fatalf("mixed calibration bases merged: %v", err)
+	}
+}
+
+// With both a cost model and calibration configured, the Result's cost
+// report must price the probe pass — nonzero operation counts and energy —
+// and the shard path must reproduce the identical calibration block.
+func TestCalibrationCostPriced(t *testing.T) {
+	w := workload(t)
+	p := calibPipeline(t, w, "gainoffset:probes=4", 2, WithCostModel(rramModel(t)))
+	res, err := p.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := res.Cost.Calibration
+	if cc == nil {
+		t.Fatal("cost report carries no calibration block")
+	}
+	if cc.Ops.MatVecs <= 0 || cc.Ops.DACs <= 0 || cc.Ops.ADCs <= 0 {
+		t.Fatalf("degenerate probe ops %+v", cc.Ops)
+	}
+	if cc.EnergyNJ <= 0 || cc.LatencyUS <= 0 {
+		t.Fatalf("degenerate probe cost %+v", cc)
+	}
+
+	sh, err := calibPipeline(t, w, "gainoffset:probes=4", 2, WithCostModel(rramModel(t))).RunShard(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.Probes == nil || *sh.Probes != cc.Ops {
+		t.Fatalf("shard probe ops %+v != run's %+v", sh.Probes, cc.Ops)
+	}
+	merged, err := MergeShards([]*Shard{sh})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := merged.Cost.Calibration
+	if mc == nil || *mc != *cc {
+		t.Fatalf("merged calibration cost %+v != single-node %+v", mc, cc)
+	}
+}
+
+// Calibration must recover accuracy under a day of pure conductance drift
+// at a fixed NWC budget — the systematic, affine-shaped degradation the
+// gainoffset fit exists to undo. (Under non-affine damage like stuck
+// devices the R²-shrunk fit approaches a no-op instead; that guarantee is
+// pinned at the mapping layer.)
+func TestCalibrationRecoversDriftAccuracy(t *testing.T) {
+	w := workload(t)
+	drift, err := nonideal.Parse("drift:nu=0.15,nustd=0.01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(opts ...Option) *Result {
+		all := append([]Option{
+			WithNonidealities(drift),
+			WithReadTime(86400),
+		}, opts...)
+		res, err := shardPipeline(t, w, 4, all...).Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain := run()
+	calibrated := run(WithCalibrationModel(gainoffsetModel(t, "gainoffset:probes=16")))
+	last := len(plain.Points) - 1
+	if got, want := calibrated.Points[last].Accuracy.Mean(), plain.Points[last].Accuracy.Mean(); got < want {
+		t.Fatalf("gainoffset did not recover drift accuracy at fixed NWC: %.3f < %.3f", got, want)
+	}
+}
+
+// swim+calib must resolve through the registry and run end to end under the
+// calibrated drift scenario.
+func TestResidualPolicyRuns(t *testing.T) {
+	pol := mustLookup(t, "swim+calib")
+	w := workload(t)
+	all := append(w.options(),
+		WithSeed(404),
+		WithTrials(2),
+		WithEvalBatch(64),
+		WithCalibrationModel(gainoffsetModel(t, "gainoffset:probes=4")),
+		WithNonidealities(scenarioStack(t)...),
+		WithReadTime(86400))
+	p, err := New(w.net, pol, GridBudget(0, 0.2), all...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Policy != "swim+calib" || len(res.Points) != 2 {
+		t.Fatalf("unexpected result: policy %q, %d points", res.Policy, len(res.Points))
+	}
+	for _, pt := range res.Points {
+		if pt.Accuracy.N() != 2 {
+			t.Fatalf("point %g aggregated %d trials, want 2", pt.Target, pt.Accuracy.N())
+		}
+	}
+}

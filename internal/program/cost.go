@@ -61,9 +61,10 @@ func costGeometry(net *nn.Network, dev device.Model) cost.Geometry {
 }
 
 // applyCost composes the model over a grid Result's folded cycle
-// aggregates. Shared by runGrid and MergeShards so the local and the
-// distributed path run the identical composition.
-func applyCost(res *Result, m cost.Model, geom cost.Geometry) {
+// aggregates, pricing the calibration probe pass when one is configured
+// (calibSpec and probes both set). Shared by runGrid and MergeShards so the
+// local and the distributed path run the identical composition.
+func applyCost(res *Result, m cost.Model, geom cost.Geometry, calibSpec string, probes *cost.ProbeOps) {
 	targets := make([]float64, len(res.Points))
 	cycles := make([]*stat.Welford, len(res.Points))
 	for i, pt := range res.Points {
@@ -71,4 +72,7 @@ func applyCost(res *Result, m cost.Model, geom cost.Geometry) {
 		cycles[i] = pt.Cycles
 	}
 	res.Cost = m.Report(geom, targets, cycles)
+	if calibSpec != "" && probes != nil {
+		res.Cost.Calibration = m.CalibrationCost(calibSpec, *probes)
+	}
 }

@@ -51,6 +51,7 @@ import (
 	"math"
 	"sync"
 
+	"swim/internal/calib"
 	"swim/internal/cost"
 	"swim/internal/device"
 	"swim/internal/kernel"
@@ -99,6 +100,7 @@ type Pipeline struct {
 	readTime      float64
 	selectorSplit bool
 	costModel     *cost.Model
+	calibModel    *calib.Model
 	kern          kernel.Backend
 	baseCtx       context.Context
 
@@ -526,6 +528,12 @@ func (p *Pipeline) setupTrial(env *Env, table []float64, r *rng.Source) (mp *map
 		// the device-programming randomness of a later trial phase.
 		mp.SetNonideal(nonideal.NewTrials(p.nonideal, env.Device, r.Split()), p.readTime)
 	}
+	if p.calibModel != nil {
+		// The calibration split comes after the nonideality split and is
+		// consumed only when a model is configured, so calibration-off runs
+		// keep the legacy trial-stream consumption bit for bit.
+		mp.SetCalibration(p.calibModel.NewTrial(r.Split()))
+	}
 	arena, _ := p.arenas.Get().(*tensor.Arena)
 	if arena == nil {
 		arena = tensor.NewArena()
@@ -582,6 +590,7 @@ func (p *Pipeline) runGrid(ctx context.Context, env *Env, table []float64, b NWC
 	res := &Result{
 		Policy: p.policy.Name(), Budget: p.budget, Trials: trials,
 		Nonidealities: nonideal.Names(p.nonideal), ReadTime: p.readTime,
+		Calibration: p.calibSpec(),
 	}
 	for i, target := range b.Targets {
 		res.Points = append(res.Points, Point{
@@ -589,7 +598,7 @@ func (p *Pipeline) runGrid(ctx context.Context, env *Env, table []float64, b NWC
 		})
 	}
 	if p.costModel != nil {
-		applyCost(res, *p.costModel, costGeometry(env.Net, env.Device))
+		applyCost(res, *p.costModel, costGeometry(env.Net, env.Device), p.calibSpec(), p.calibProbes(env))
 	}
 	return res, nil
 }
@@ -665,7 +674,8 @@ func (p *Pipeline) runDrop(ctx context.Context, env *Env, table []float64, b Dro
 	res := &Result{
 		Policy: p.policy.Name(), Budget: p.budget, Trials: p.trials,
 		Nonidealities: nonideal.Names(p.nonideal), ReadTime: p.readTime,
-		NWC: &stat.Welford{}, Evals: &stat.Welford{},
+		Calibration: p.calibSpec(),
+		NWC:         &stat.Welford{}, Evals: &stat.Welford{},
 	}
 	// Fold per-trial singleton accumulators in trial order — the same
 	// schedule-independent reduction the mc engine uses, so aggregates are

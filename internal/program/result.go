@@ -24,6 +24,9 @@ type Result struct {
 	// ReadTime is when accuracy was measured, in seconds after programming
 	// (WithReadTime; 0 for an immediate read).
 	ReadTime float64
+	// Calibration records the canonical calibration-model spec the run was
+	// configured with (WithCalibrationModel); empty for an uncalibrated run.
+	Calibration string
 
 	// Points is the per-grid-point outcome (NWCGrid budgets only).
 	Points []Point

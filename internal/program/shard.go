@@ -52,6 +52,14 @@ type Shard struct {
 	// Geom is the mapping geometry the cost report composes over; nil when
 	// cost accounting is off.
 	Geom *cost.Geometry
+	// Calib is the canonical calibration-model spec the run was configured
+	// with (WithCalibrationModel), empty when calibration is off. Shards of
+	// one merge must agree on it — trials calibrated under different models
+	// are observations of different experiments.
+	Calib string
+	// Probes is the probe-pass operation count calibration pricing composes
+	// over; nil when calibration or cost accounting is off.
+	Probes *cost.ProbeOps
 }
 
 // RunShard executes the pipeline's configured trial range (WithTrialRange;
@@ -90,10 +98,12 @@ func (p *Pipeline) RunShard(ctx context.Context) (*Shard, error) {
 		Lo:            lo,
 		Hi:            hi,
 		Rows:          rows,
+		Calib:         p.calibSpec(),
 	}
 	if p.costModel != nil {
 		geom := costGeometry(env.Net, env.Device)
 		sh.Cost, sh.Geom = p.costModel.Spec(), &geom
+		sh.Probes = p.calibProbes(&env)
 	}
 	return sh, nil
 }
@@ -146,6 +156,7 @@ func MergeShards(shards []*Shard) (*Result, error) {
 	res := &Result{
 		Policy: first.Policy, Budget: GridBudget(first.Targets...), Trials: first.Trials,
 		Nonidealities: append([]string(nil), first.Nonidealities...), ReadTime: first.ReadTime,
+		Calibration: first.Calib,
 	}
 	for i, target := range first.Targets {
 		res.Points = append(res.Points, Point{
@@ -160,7 +171,7 @@ func MergeShards(shards []*Shard) (*Result, error) {
 		if first.Geom == nil {
 			return nil, fmt.Errorf("program: shard carries cost spec %q but no geometry", first.Cost)
 		}
-		applyCost(res, m, *first.Geom)
+		applyCost(res, m, *first.Geom, first.Calib, first.Probes)
 	}
 	return res, nil
 }
@@ -177,6 +188,12 @@ func compatibleShards(a, b *Shard) error {
 	}
 	if (a.Geom == nil) != (b.Geom == nil) || (a.Geom != nil && *a.Geom != *b.Geom) {
 		return fmt.Errorf("program: shards disagree on cost geometry")
+	}
+	if a.Calib != b.Calib {
+		return fmt.Errorf("program: shards disagree on calibration model: %q vs %q", a.Calib, b.Calib)
+	}
+	if (a.Probes == nil) != (b.Probes == nil) || (a.Probes != nil && *a.Probes != *b.Probes) {
+		return fmt.Errorf("program: shards disagree on calibration probe ops")
 	}
 	for i := range a.Targets {
 		if a.Targets[i] != b.Targets[i] {

@@ -63,6 +63,13 @@ type RequestRecord struct {
 	// the cost axis participates in the canonical key like every other
 	// field.
 	Cost string `json:"cost,omitempty"`
+	// Calib names a calibration-model spec (package calib grammar, e.g.
+	// "gainoffset" or "pertile:probes=16"); "" and "none" disable the
+	// calibration stage. The daemon canonicalizes the spec before hashing.
+	// Unlike the kernel axis, Calib changes results — corrected read-outs
+	// are a different computation — so it participates in the canonical key
+	// like the cost axis does.
+	Calib string `json:"calib,omitempty"`
 	// Kernel names a kernel-backend spec (package kernel grammar, e.g.
 	// "blocked" or "parallel:workers=4") selecting how the daemon executes
 	// the dense primitives of the request's evaluation plans. "" selects
@@ -88,7 +95,7 @@ type RequestRecord struct {
 // fields.
 var knownRequestFields = []string{
 	"version", "kind", "workload", "sigmas", "policies", "nwcs",
-	"scenarios", "cost", "kernel", "times", "seed", "trials", "eval_batch",
+	"scenarios", "cost", "calib", "kernel", "times", "seed", "trials", "eval_batch",
 }
 
 // MarshalJSON emits the known fields plus any preserved unknown ones.

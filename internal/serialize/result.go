@@ -88,6 +88,14 @@ type CostPointRecord struct {
 	TimeMS   *WelfordRecord `json:"time_ms"`
 }
 
+// CalibCostRecord serializes the priced calibration block of a cost report.
+type CalibCostRecord struct {
+	Model     string        `json:"model"`
+	Ops       cost.ProbeOps `json:"ops"`
+	EnergyNJ  float64       `json:"energy_nj"`
+	LatencyUS float64       `json:"latency_us"`
+}
+
 // CostRecord is the versioned serialized form of a cost.Report. Like the
 // enclosing ResultRecord it preserves unknown fields across a decode →
 // encode round trip, so cost blocks written by a newer version survive
@@ -100,6 +108,7 @@ type CostRecord struct {
 	InferenceEnergyNJ  float64           `json:"inference_energy_nj"`
 	InferenceLatencyUS float64           `json:"inference_latency_us"`
 	AreaMM2            float64           `json:"area_mm2"`
+	Calibration        *CalibCostRecord  `json:"calibration,omitempty"`
 
 	// Extra holds fields written by a newer version, preserved verbatim.
 	Extra map[string]json.RawMessage `json:"-"`
@@ -109,7 +118,7 @@ type CostRecord struct {
 // fields.
 var knownCostFields = []string{
 	"version", "model", "geometry", "points",
-	"inference_energy_nj", "inference_latency_us", "area_mm2",
+	"inference_energy_nj", "inference_latency_us", "area_mm2", "calibration",
 }
 
 // MarshalJSON emits the known fields plus any preserved unknown ones.
@@ -153,6 +162,11 @@ func captureCost(rep *cost.Report) *CostRecord {
 			Target: p.Target, EnergyUJ: welfordRecord(p.EnergyUJ), TimeMS: welfordRecord(p.TimeMS),
 		})
 	}
+	if c := rep.Calibration; c != nil {
+		rec.Calibration = &CalibCostRecord{
+			Model: c.Model, Ops: c.Ops, EnergyNJ: c.EnergyNJ, LatencyUS: c.LatencyUS,
+		}
+	}
 	return rec
 }
 
@@ -173,6 +187,11 @@ func restoreCost(rec *CostRecord) *cost.Report {
 			Target: p.Target, EnergyUJ: p.EnergyUJ.welford(), TimeMS: p.TimeMS.welford(),
 		})
 	}
+	if c := rec.Calibration; c != nil {
+		rep.Calibration = &cost.CalibCost{
+			Model: c.Model, Ops: c.Ops, EnergyNJ: c.EnergyNJ, LatencyUS: c.LatencyUS,
+		}
+	}
 	return rep
 }
 
@@ -186,6 +205,7 @@ type ResultRecord struct {
 	Budget        *BudgetRecord  `json:"budget,omitempty"`
 	Nonidealities []string       `json:"nonidealities,omitempty"`
 	ReadTime      float64        `json:"read_time,omitempty"`
+	Calibration   string         `json:"calibration,omitempty"`
 	Points        []PointRecord  `json:"points,omitempty"`
 	Cost          *CostRecord    `json:"cost,omitempty"`
 	Trace         []TraceRecord  `json:"trace,omitempty"`
@@ -202,7 +222,7 @@ type ResultRecord struct {
 // fields (the compat test round-trips a synthetic future record).
 var knownResultFields = []string{
 	"version", "policy", "trials", "budget", "nonidealities", "read_time",
-	"points", "cost", "trace", "nwc", "evals", "achieved",
+	"calibration", "points", "cost", "trace", "nwc", "evals", "achieved",
 }
 
 // MarshalJSON emits the known fields plus any preserved unknown ones.
@@ -236,6 +256,7 @@ func CaptureResult(res *program.Result) *ResultRecord {
 		Trials:        res.Trials,
 		Nonidealities: append([]string(nil), res.Nonidealities...),
 		ReadTime:      res.ReadTime,
+		Calibration:   res.Calibration,
 		NWC:           welfordRecord(res.NWC),
 		Evals:         welfordRecord(res.Evals),
 		Achieved:      res.Achieved,
@@ -270,6 +291,7 @@ func RestoreResult(rec *ResultRecord) *program.Result {
 		Trials:        rec.Trials,
 		Nonidealities: append([]string(nil), rec.Nonidealities...),
 		ReadTime:      rec.ReadTime,
+		Calibration:   rec.Calibration,
 		NWC:           rec.NWC.welford(),
 		Evals:         rec.Evals.welford(),
 		Achieved:      rec.Achieved,

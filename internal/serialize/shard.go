@@ -70,6 +70,13 @@ type ShardCell struct {
 	// cost bases.
 	Cost     string         `json:"cost,omitempty"`
 	Geometry *cost.Geometry `json:"geometry,omitempty"`
+	// Calib is the canonical calibration-model spec the cell ran under (""
+	// when calibration is off), and Probes the probe-pass operation counts
+	// its cost pricing composes over. The merge checks agreement exactly
+	// like the cost base — trial rows calibrated under different models are
+	// observations of different experiments and must never fold together.
+	Calib  string         `json:"calib,omitempty"`
+	Probes *cost.ProbeOps `json:"probes,omitempty"`
 	// Rows are the per-trial observations in trial order.
 	Rows [][]float64 `json:"rows"`
 }
@@ -178,6 +185,10 @@ func MergeShards(trials int, shards []*ShardRecord) (*ResultEnvelope, error) {
 				return nil, fmt.Errorf("serialize: shard [%d,%d) cell %d ran cost model %q, want %q",
 					sh.Lo, sh.Hi, c, cell.Cost, first.Cost)
 			}
+			if cell.Calib != first.Calib {
+				return nil, fmt.Errorf("serialize: shard [%d,%d) cell %d ran calibration model %q, want %q",
+					sh.Lo, sh.Hi, c, cell.Calib, first.Calib)
+			}
 			parts = append(parts, &program.Shard{
 				Policy:        cell.Policy,
 				Targets:       cell.Targets,
@@ -189,6 +200,8 @@ func MergeShards(trials int, shards []*ShardRecord) (*ResultEnvelope, error) {
 				Rows:          cell.Rows,
 				Cost:          cell.Cost,
 				Geom:          cell.Geometry,
+				Calib:         cell.Calib,
+				Probes:        cell.Probes,
 			})
 		}
 		res, err := program.MergeShards(parts)

@@ -106,6 +106,29 @@ func TestMergeShardsRejectsBadPartitions(t *testing.T) {
 	}
 }
 
+// A heterogeneous fleet must never fold trial rows computed under different
+// cost or calibration bases — both axes change what the rows mean.
+func TestMergeShardsRejectsMixedBases(t *testing.T) {
+	mk := func() (*ShardRecord, *ShardRecord) {
+		return testShard("k", 0, 3, 6), testShard("k", 3, 6, 6)
+	}
+	a, b := mk()
+	b.Cells[0].Cost = "rram:par=32"
+	if _, err := MergeShards(6, []*ShardRecord{a, b}); err == nil || !strings.Contains(err.Error(), "cost") {
+		t.Errorf("mixed cost bases merged: %v", err)
+	}
+	a, b = mk()
+	b.Cells[0].Calib = "gainoffset:probes=8"
+	if _, err := MergeShards(6, []*ShardRecord{a, b}); err == nil || !strings.Contains(err.Error(), "calibration") {
+		t.Errorf("mixed calibration bases merged: %v", err)
+	}
+	a, b = mk()
+	a.Cells[0].Calib, b.Cells[0].Calib = "gainoffset:probes=8", "gainoffset:probes=8"
+	if _, err := MergeShards(6, []*ShardRecord{a, b}); err != nil {
+		t.Errorf("agreeing calibration bases rejected: %v", err)
+	}
+}
+
 func TestMergeShardsFoldsCompletePartition(t *testing.T) {
 	env, err := MergeShards(6, []*ShardRecord{testShard("k", 3, 6, 6), testShard("k", 0, 3, 6)})
 	if err != nil {

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 
+	"swim/internal/calib"
 	"swim/internal/cost"
 	"swim/internal/experiments"
 	"swim/internal/kernel"
@@ -140,6 +141,20 @@ func (s *Server) normalize(req *serialize.RequestRecord) (*serialize.RequestReco
 		}
 		n.Cost = m.Spec()
 	}
+	// Canonicalize the calibration axis like the cost axis: "none" collapses
+	// to the empty (disabled) form, anything else re-renders fully spelled
+	// out. Unlike kernel, calib DOES enter the canonical key — corrected
+	// read-outs are a different computation.
+	switch c := strings.TrimSpace(n.Calib); c {
+	case "", "none":
+		n.Calib = ""
+	default:
+		m, err := calib.Parse(c)
+		if err != nil {
+			return nil, err
+		}
+		n.Calib = m.Spec()
+	}
 	// Canonicalize the kernel axis: an empty request inherits the daemon
 	// default, then "" and "scalar" collapse to the empty (default) form
 	// and anything else re-renders through the registry. The spec is
@@ -198,6 +213,7 @@ func (s *Server) execute(ctx context.Context, req *serialize.RequestRecord, gate
 		Seed:      req.Seed,
 		EvalBatch: req.EvalBatch,
 		Cost:      req.Cost,
+		Calib:     req.Calib,
 		Kernel:    req.Kernel,
 	}
 	env := &serialize.ResultEnvelope{}

@@ -141,7 +141,7 @@ func referenceEnvelope(t *testing.T, req *serialize.RequestRecord) []byte {
 	cfg := experiments.ScenarioConfig{
 		NWCs: req.NWCs, Times: req.Times, Policies: req.Policies,
 		Trials: req.Trials, Seed: req.Seed, EvalBatch: req.EvalBatch,
-		Cost: req.Cost,
+		Cost: req.Cost, Calib: req.Calib,
 	}
 	env := &serialize.ResultEnvelope{}
 	for _, sigma := range req.Sigmas {

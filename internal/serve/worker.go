@@ -128,6 +128,7 @@ func (s *Server) executeShard(ctx context.Context, req *serialize.RequestRecord,
 		Seed:      req.Seed,
 		EvalBatch: req.EvalBatch,
 		Cost:      req.Cost,
+		Calib:     req.Calib,
 		Kernel:    req.Kernel,
 	}
 	rec := &serialize.ShardRecord{
@@ -155,6 +156,8 @@ func (s *Server) executeShard(ctx context.Context, req *serialize.RequestRecord,
 				Nonidealities: ss.Shard.Nonidealities,
 				Cost:          ss.Shard.Cost,
 				Geometry:      ss.Shard.Geom,
+				Calib:         ss.Shard.Calib,
+				Probes:        ss.Shard.Probes,
 				Rows:          ss.Shard.Rows,
 			})
 		}

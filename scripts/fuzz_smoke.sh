@@ -1,0 +1,27 @@
+#!/bin/sh
+# Fuzz smoke: run every Fuzz* target in the module for a short burst of
+# coverage-guided input generation (committed seed corpora under each
+# package's testdata/fuzz/ are always included). `go test -fuzz` accepts
+# only one target per invocation, so this walks packages and targets.
+#
+#   FUZZTIME=10s ./scripts/fuzz_smoke.sh
+#
+# Any crasher the burst finds is written to the package's testdata/fuzz/
+# directory by the Go tooling and fails the run.
+set -eu
+
+FUZZTIME="${FUZZTIME:-10s}"
+
+fail=0
+for pkg in $(go list ./...); do
+    targets=$(go test "$pkg" -list '^Fuzz' 2>/dev/null | grep '^Fuzz' || true)
+    [ -z "$targets" ] && continue
+    for tgt in $targets; do
+        echo "fuzzing $pkg $tgt ($FUZZTIME)"
+        if ! go test "$pkg" -run '^$' -fuzz "^${tgt}\$" -fuzztime "$FUZZTIME"; then
+            echo "FUZZ FAILURE: $pkg $tgt" >&2
+            fail=1
+        fi
+    done
+done
+exit "$fail"
