@@ -36,6 +36,7 @@ import (
 	"swim/internal/mc"
 	"swim/internal/models"
 	"swim/internal/nn"
+	"swim/internal/obs"
 	"swim/internal/program"
 	"swim/internal/rng"
 	"swim/internal/tensor"
@@ -307,6 +308,29 @@ func BenchmarkForwardLeNet(b *testing.B) {
 // pins its steady state at 0 allocs/op. BenchmarkEvalLegacy* is the same
 // workload on the allocating per-layer Forward path, kept for comparison.
 
+// obsPlanObserver mirrors the serving daemon's metrics wiring: per-backend
+// compiled-plan latency observed into an obs histogram vector.
+type obsPlanObserver struct{ vec *obs.HistogramVec }
+
+func (o *obsPlanObserver) ObservePlan(backend string, seconds float64) {
+	o.vec.With(backend).Observe(seconds)
+}
+
+// instrumentEvalPlan installs an obs-backed plan observer for the duration of
+// one benchmark, so the BenchmarkEvalPlan* family measures the hot path the
+// way swim-serve actually runs it — observability on. The 0 allocs/op CI gate
+// therefore also pins the instrumentation itself (warm-up before the timed
+// loop creates each backend's child histogram; steady-state observation must
+// never allocate).
+func instrumentEvalPlan(b *testing.B) {
+	b.Helper()
+	reg := obs.NewRegistry()
+	eval.SetPlanObserver(&obsPlanObserver{
+		vec: reg.HistogramVec("bench_eval_plan_seconds", "compiled-plan batch seconds by backend", "backend", nil),
+	})
+	b.Cleanup(func() { eval.SetPlanObserver(nil) })
+}
+
 // evalWorkload builds a (network, eval set) pair for the eval benchmarks.
 func evalWorkload(model string) (*nn.Network, *tensor.Tensor, []int) {
 	switch model {
@@ -321,6 +345,7 @@ func evalWorkload(model string) (*nn.Network, *tensor.Tensor, []int) {
 }
 
 func benchEvalPlan(b *testing.B, model string) {
+	instrumentEvalPlan(b)
 	net, x, y := evalWorkload(model)
 	ev := eval.NewEvaluator(net, nil)
 	if _, err := ev.Accuracy(x, y, 32); err != nil { // compile + warm up plans
@@ -357,6 +382,7 @@ func BenchmarkEvalPlanResNet(b *testing.B) { benchEvalPlan(b, "resnet") }
 // blocked-vs-scalar speedup in CI, and the BenchmarkEvalPlan prefix keeps
 // every backend under the 0 allocs/op gate.
 func BenchmarkEvalPlanKernels(b *testing.B) {
+	instrumentEvalPlan(b)
 	for _, model := range []string{"lenet", "resnet"} {
 		net, x, y := evalWorkload(model)
 		for _, spec := range []string{"scalar", "blocked", "parallel"} {
@@ -391,6 +417,7 @@ var costAccountingSink float64
 // cost.Report. It shares the BenchmarkEvalPlan* 0 allocs/op CI gate: cost
 // accounting must never put allocations back on the hot path.
 func BenchmarkEvalPlanCostAccounting(b *testing.B) {
+	instrumentEvalPlan(b)
 	ds := data.MNISTLike(64, 64, 42)
 	net := models.LeNet(10, 4, rng.New(1))
 	dm := device.Default(4, 0.5)

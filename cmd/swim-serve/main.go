@@ -10,8 +10,9 @@
 //
 //	swim-serve [-addr 127.0.0.1:8080] [-jobs 2] [-queue 64] [-workers N]
 //	           [-state dir] [-drain 30s] [-portfile path] [-job-ttl 1h]
-//	           [-coordinator url1,url2,...] [-shard-trials N]
+//	           [-coordinator url1,url2,...] [-shard-trials N] [-shard-target 1s]
 //	           [-kernel scalar|blocked|parallel[:workers=N]]
+//	           [-cache-max-entries N] [-cache-max-bytes N] [-debug-addr addr]
 //
 // With -coordinator, the daemon computes nothing locally: each job's trial
 // space is split into ranges dispatched as POST /v1/shards calls across the
@@ -19,6 +20,14 @@
 // retried on surviving workers, and the merged envelope is byte-identical
 // to single-node execution. Completed shards are journalled under
 // -state/coord so a killed coordinator resumes instead of recomputing.
+// Shard sizes autotune toward -shard-target per round trip unless
+// -shard-trials pins them (negative -shard-target disables tuning).
+//
+// Observability: GET /v1/metrics serves the flat JSON snapshot by default
+// and the Prometheus text exposition under Accept: text/plain (or
+// ?format=prometheus); GET /v1/jobs/{id}/events streams job progress as
+// Server-Sent Events. -debug-addr exposes net/http/pprof on a separate
+// listener (off by default, never mounted on the API mux).
 //
 // Submit work as JSON request records:
 //
@@ -43,6 +52,8 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -67,9 +78,15 @@ func main() {
 	coordinator := flag.String("coordinator", "",
 		"comma-separated worker base URLs: run as a coordinator, sharding jobs across them instead of computing locally")
 	shardTrials := flag.Int("shard-trials", 0, "trials per dispatched shard in coordinator mode (0 = auto)")
+	shardTarget := flag.Duration("shard-target", 0,
+		"coordinator shard-size autotuning target duration per shard (0 = 1s default, negative = disable tuning)")
 	jobTTL := flag.Duration("job-ttl", 0, "evict finished jobs from listings after this long (0 = 1h, negative = never)")
 	kernelFlag := flag.String("kernel", "",
 		"daemon-default kernel backend for requests that leave the axis empty (bit-identical to scalar; 'list' prints registered backends)")
+	cacheEntries := flag.Int("cache-max-entries", 0, "LRU bound on result-cache entries (0 = unbounded)")
+	cacheBytes := flag.Int64("cache-max-bytes", 0, "LRU bound on encoded result-cache bytes (0 = unbounded)")
+	debugAddr := flag.String("debug-addr", "",
+		"serve net/http/pprof on this separate address (empty = off; never exposed on the API listener)")
 	flag.Parse()
 
 	kern, klisting, err := kernel.FromFlag(*kernelFlag)
@@ -102,16 +119,37 @@ func main() {
 	}
 
 	s := serve.New(serve.Config{
-		MaxConcurrent: *jobs,
-		QueueDepth:    *queue,
-		TotalWorkers:  total,
-		DrainTimeout:  *drain,
-		WorkerURLs:    workerURLs,
-		ShardTrials:   *shardTrials,
-		JobTTL:        *jobTTL,
-		StateDir:      *stateFlag,
-		Kernel:        kernelSpec,
+		MaxConcurrent:   *jobs,
+		QueueDepth:      *queue,
+		TotalWorkers:    total,
+		DrainTimeout:    *drain,
+		WorkerURLs:      workerURLs,
+		ShardTrials:     *shardTrials,
+		ShardTarget:     *shardTarget,
+		JobTTL:          *jobTTL,
+		StateDir:        *stateFlag,
+		Kernel:          kernelSpec,
+		CacheMaxEntries: *cacheEntries,
+		CacheMaxBytes:   *cacheBytes,
 	})
+
+	if *debugAddr != "" {
+		// Profiling stays on its own mux and listener: the API surface never
+		// gains the pprof routes, and the debug port can stay firewalled.
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dl, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "swim-serve:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("swim-serve pprof on %s\n", dl.Addr())
+		go func() { _ = http.Serve(dl, dmux) }()
+	}
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -2,11 +2,44 @@ package eval
 
 import (
 	"fmt"
+	"sync/atomic"
+	"time"
 
 	"swim/internal/kernel"
 	"swim/internal/nn"
 	"swim/internal/tensor"
 )
+
+// PlanObserver receives the wall-clock latency of each compiled-plan batch
+// execution, labeled with the kernel backend that ran it. Implementations
+// must be safe for concurrent use (evaluators run on many Monte-Carlo
+// workers) and allocation-free — the observation happens inside the
+// evaluation hot path that the repo's benchmarks pin at 0 allocs/op.
+type PlanObserver interface {
+	// ObservePlan records one plan execution of the named backend taking the
+	// given wall-clock seconds.
+	ObservePlan(backend string, seconds float64)
+}
+
+// planObsBox wraps the observer interface so the package-global hook is a
+// single atomic pointer load on the hot path (no interface-header tearing,
+// no lock).
+type planObsBox struct{ o PlanObserver }
+
+var planObs atomic.Pointer[planObsBox]
+
+// SetPlanObserver installs o as the process-global plan-execution observer
+// (nil uninstalls). Uninstrumented processes never pay more than one atomic
+// load and nil check per batch. The hook is process-global because
+// evaluators are created deep inside worker loops where threading a handle
+// through would touch every layer for a strictly observe-only concern.
+func SetPlanObserver(o PlanObserver) {
+	if o == nil {
+		planObs.Store(nil)
+		return
+	}
+	planObs.Store(&planObsBox{o: o})
+}
 
 // Evaluator measures dataset-level accuracy through compiled plans. It owns
 // (or shares) one scratch arena and caches one Plan per batch size — for the
@@ -19,6 +52,7 @@ type Evaluator struct {
 	scratch *tensor.Arena
 	plans   map[int]*Plan
 	kern    kernel.Backend
+	backend string        // precomputed backend label for PlanObserver reports
 	view    tensor.Tensor // reusable batch-view header over the eval set
 }
 
@@ -38,7 +72,11 @@ func NewEvaluatorKernel(net *nn.Network, arena *tensor.Arena, k kernel.Backend) 
 	if arena == nil {
 		arena = tensor.NewArena()
 	}
-	return &Evaluator{net: net, scratch: arena, plans: make(map[int]*Plan), kern: k}
+	backend := "scalar"
+	if k != nil {
+		backend = k.Name()
+	}
+	return &Evaluator{net: net, scratch: arena, plans: make(map[int]*Plan), kern: k, backend: backend}
 }
 
 // Plan returns the compiled plan for the given batched input shape,
@@ -74,6 +112,10 @@ func (e *Evaluator) CountCorrect(x *tensor.Tensor, y []int, batch int) (int, err
 	}
 	sample := x.Size() / n
 	correct := 0
+	// Load the observer hook once per evaluation: one atomic load, then a nil
+	// check per batch. With no observer installed this path is exactly as
+	// allocation-free as before (pinned by BenchmarkEvalPlan*).
+	box := planObs.Load()
 	for start := 0; start < n; start += batch {
 		end := start + batch
 		if end > n {
@@ -86,7 +128,13 @@ func (e *Evaluator) CountCorrect(x *tensor.Tensor, y []int, batch int) (int, err
 		if err != nil {
 			return 0, err
 		}
+		if box == nil {
+			correct += pl.CountCorrect(&e.view, y[start:end])
+			continue
+		}
+		t0 := time.Now()
 		correct += pl.CountCorrect(&e.view, y[start:end])
+		box.o.ObservePlan(e.backend, time.Since(t0).Seconds())
 	}
 	return correct, nil
 }

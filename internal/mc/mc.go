@@ -110,11 +110,37 @@ type Gate interface {
 	Limit() (int, <-chan struct{})
 }
 
+// Observer is an optional extension of Gate: a gate that also implements
+// Observer receives out-of-band engine events. All methods are observe-only —
+// the engine calls them after the fact and ignores any effect they might
+// have, so an Observer can never perturb trial order, RNG streams, or
+// results. Implementations must be safe for concurrent use and should be
+// cheap (atomic counter updates); they run on worker goroutines.
+type Observer interface {
+	// TrialDone reports that trial t (absolute index within the run's trial
+	// space) completed successfully. Calls may arrive out of trial order, but
+	// all of them happen before the run returns.
+	TrialDone(t int)
+	// WorkerParked reports that a worker goroutine started blocking on the
+	// gate (its index reached the admission limit).
+	WorkerParked()
+	// WorkerWoke reports that a previously parked worker resumed (admitted,
+	// drained, or cancelled). Parks and wakes are balanced per run.
+	WorkerWoke()
+}
+
 // awaitGate blocks worker w until the gate admits it (w < Limit), the feed
 // channel is drained (parked workers must not deadlock run teardown — they
 // proceed to observe the closed channel and exit), or the run context is
-// cancelled. It reports whether the worker should proceed to the feed.
-func awaitGate(ctx context.Context, w int, gate Gate, drained <-chan struct{}) bool {
+// cancelled. It reports whether the worker should proceed to the feed. A
+// non-nil obsv is notified when the worker parks and again when it wakes.
+func awaitGate(ctx context.Context, w int, gate Gate, drained <-chan struct{}, obsv Observer) bool {
+	parked := false
+	defer func() {
+		if parked && obsv != nil {
+			obsv.WorkerWoke()
+		}
+	}()
 	for {
 		limit, changed := gate.Limit()
 		if limit < 1 {
@@ -122,6 +148,10 @@ func awaitGate(ctx context.Context, w int, gate Gate, drained <-chan struct{}) b
 		}
 		if w < limit {
 			return true
+		}
+		if !parked && obsv != nil {
+			parked = true
+			obsv.WorkerParked()
 		}
 		select {
 		case <-changed:
@@ -198,6 +228,11 @@ func runTrialRange(ctx context.Context, seed uint64, trials, lo, hi, points, wor
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	// A gate that also implements Observer receives per-trial completion and
+	// park/wake events. Strictly observe-only: the engine never reads anything
+	// back, so results stay bit-identical with or without an observer.
+	obsv, _ := gate.(Observer)
+
 	next := make(chan int)
 	drained := make(chan struct{})
 	var wg sync.WaitGroup
@@ -209,7 +244,7 @@ func runTrialRange(ctx context.Context, seed uint64, trials, lo, hi, points, wor
 				// Re-check admission before every trial: a fair-share gate
 				// shrinks when other jobs arrive, and surplus workers must
 				// yield the CPU between trials, not mid-trial.
-				if gate != nil && !awaitGate(runCtx, w, gate, drained) {
+				if gate != nil && !awaitGate(runCtx, w, gate, drained, obsv) {
 					return
 				}
 				t, ok := <-next
@@ -226,6 +261,9 @@ func runTrialRange(ctx context.Context, seed uint64, trials, lo, hi, points, wor
 					return
 				}
 				perTrial[t-lo] = agg
+				if obsv != nil {
+					obsv.TrialDone(t)
+				}
 			}
 		}(w)
 	}

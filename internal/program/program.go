@@ -94,6 +94,7 @@ type Pipeline struct {
 	ranged        bool
 	workers       int
 	gate          mc.Gate
+	progress      ProgressFunc
 	cycleTable    []float64
 	spatial       *device.SpatialConfig
 	nonideal      []nonideal.Nonideality
@@ -575,18 +576,22 @@ func (p *Pipeline) runGrid(ctx context.Context, env *Env, table []float64, b NWC
 	var err error
 	trials := p.trials
 	if p.ranged {
+		trials = p.rangeHi - p.rangeLo
+	}
+	gate, ps := p.wrapGate(trials)
+	if p.ranged {
 		var rows [][]float64
-		rows, err = mc.RunSeriesShard(ctx, p.seed, p.trials, p.rangeLo, p.rangeHi, 3*points, p.workers, p.gate, p.gridTrial(env, table, b))
+		rows, err = mc.RunSeriesShard(ctx, p.seed, p.trials, p.rangeLo, p.rangeHi, 3*points, p.workers, gate, p.gridTrial(env, table, b))
 		if err == nil {
 			agg, err = mc.FoldSeriesRows(3*points, rows)
 		}
-		trials = p.rangeHi - p.rangeLo
 	} else {
-		agg, err = mc.RunSeriesGate(ctx, p.seed, p.trials, 3*points, p.workers, p.gate, p.gridTrial(env, table, b))
+		agg, err = mc.RunSeriesGate(ctx, p.seed, p.trials, 3*points, p.workers, gate, p.gridTrial(env, table, b))
 	}
 	if err != nil {
 		return nil, fmt.Errorf("program: policy %q: %w", p.policy.Name(), err)
 	}
+	ps.complete()
 	res := &Result{
 		Policy: p.policy.Name(), Budget: p.budget, Trials: trials,
 		Nonidealities: nonideal.Names(p.nonideal), ReadTime: p.readTime,
@@ -616,7 +621,8 @@ type dropOut struct {
 // from the budget's base is within MaxDrop, the policy is exhausted, or the
 // MaxNWC cap is hit.
 func (p *Pipeline) runDrop(ctx context.Context, env *Env, table []float64, b DropTarget) (*Result, error) {
-	outs, err := mc.MapGate(ctx, p.seed, p.trials, p.workers, p.gate, func(_ int, r *rng.Source) dropOut {
+	gate, ps := p.wrapGate(p.trials)
+	outs, err := mc.MapGate(ctx, p.seed, p.trials, p.workers, gate, func(_ int, r *rng.Source) dropOut {
 		mp, trial, release := p.setupTrial(env, table, r)
 		defer release()
 		n := mp.TotalWeights()
@@ -670,6 +676,7 @@ func (p *Pipeline) runDrop(ctx context.Context, env *Env, table []float64, b Dro
 	if err != nil {
 		return nil, fmt.Errorf("program: policy %q: %w", p.policy.Name(), err)
 	}
+	ps.complete()
 
 	res := &Result{
 		Policy: p.policy.Name(), Budget: p.budget, Trials: p.trials,

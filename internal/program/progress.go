@@ -1,0 +1,126 @@
+package program
+
+import (
+	"sync/atomic"
+
+	"swim/internal/mc"
+)
+
+// Progress is one out-of-band progress event emitted by a running Pipeline.
+// Events carry run-relative trial counts: a serving layer that executes many
+// pipeline runs per job (scenario grids, sigma sweeps) composes them into
+// job-level granule accounting by counting Complete events.
+type Progress struct {
+	// TrialsDone is how many trials of this run have completed when the
+	// event was emitted. Events from concurrent workers may be delivered out
+	// of order; each value is a valid count, so consumers wanting a monotone
+	// series keep the running maximum.
+	TrialsDone int
+	// TrialsTotal is the number of trials this run will execute (the shard
+	// width for a ranged run, the full trial count otherwise).
+	TrialsTotal int
+	// TrialDone marks an event reporting one more completed trial.
+	TrialDone bool
+	// Complete marks the single final event of a run, emitted strictly after
+	// every TrialDone event, once the Monte-Carlo engine has returned. It is
+	// only emitted for runs that succeed.
+	Complete bool
+}
+
+// ProgressFunc receives Progress events. It is called from Monte-Carlo
+// worker goroutines and must be safe for concurrent use and cheap; it must
+// not block. The contract is strictly observe-only: the pipeline ignores
+// everything about the callback (it sees no return value and no RNG), so
+// progress reporting can never alter trial order, streams, or results.
+type ProgressFunc func(Progress)
+
+// WithProgress installs fn as the pipeline's progress observer. One event is
+// delivered per completed trial plus one final Complete event per successful
+// run; see ProgressFunc for the threading and determinism contract.
+func WithProgress(fn ProgressFunc) Option {
+	return func(p *Pipeline) error {
+		p.progress = fn
+		return nil
+	}
+}
+
+// progressState is the per-run counter behind a pipeline's ProgressFunc. A
+// nil *progressState is inert, so call sites need no branching.
+type progressState struct {
+	fn    ProgressFunc
+	total int
+	done  atomic.Int64
+}
+
+// trialDone records one completed trial and emits its event.
+func (ps *progressState) trialDone() {
+	if ps == nil {
+		return
+	}
+	d := ps.done.Add(1)
+	ps.fn(Progress{TrialsDone: int(d), TrialsTotal: ps.total, TrialDone: true})
+}
+
+// complete emits the run's final event. Call after the engine has returned
+// successfully — every trialDone has happened by then.
+func (ps *progressState) complete() {
+	if ps == nil {
+		return
+	}
+	ps.fn(Progress{TrialsDone: int(ps.done.Load()), TrialsTotal: ps.total, Complete: true})
+}
+
+// progressGate adapts the run's worker gate so the mc engine's Observer
+// events also feed the pipeline's progress counter. It forwards Limit (and
+// any Observer the inner gate implements itself, e.g. the serving layer's
+// fair-share budgeter) unchanged.
+type progressGate struct {
+	inner    mc.Gate
+	innerObs mc.Observer
+	ps       *progressState
+}
+
+// Limit delegates to the wrapped gate; with no inner gate it admits every
+// worker and never signals a change.
+func (g *progressGate) Limit() (int, <-chan struct{}) {
+	if g.inner == nil {
+		return int(^uint(0) >> 1), nil
+	}
+	return g.inner.Limit()
+}
+
+// TrialDone forwards the engine event to the inner observer and the
+// progress counter.
+func (g *progressGate) TrialDone(t int) {
+	if g.innerObs != nil {
+		g.innerObs.TrialDone(t)
+	}
+	g.ps.trialDone()
+}
+
+// WorkerParked forwards to the inner observer.
+func (g *progressGate) WorkerParked() {
+	if g.innerObs != nil {
+		g.innerObs.WorkerParked()
+	}
+}
+
+// WorkerWoke forwards to the inner observer.
+func (g *progressGate) WorkerWoke() {
+	if g.innerObs != nil {
+		g.innerObs.WorkerWoke()
+	}
+}
+
+// wrapGate returns the gate the engine should run behind plus the run's
+// progress state. Without WithProgress it is the configured gate untouched
+// (zero overhead); with it, a progressGate carrying a counter over total
+// trials.
+func (p *Pipeline) wrapGate(total int) (mc.Gate, *progressState) {
+	if p.progress == nil {
+		return p.gate, nil
+	}
+	ps := &progressState{fn: p.progress, total: total}
+	innerObs, _ := p.gate.(mc.Observer)
+	return &progressGate{inner: p.gate, innerObs: innerObs, ps: ps}, ps
+}

@@ -1,0 +1,150 @@
+package program
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// collectProgress is a concurrency-safe ProgressFunc recorder.
+type collectProgress struct {
+	mu     sync.Mutex
+	events []Progress
+}
+
+func (c *collectProgress) fn(p Progress) {
+	c.mu.Lock()
+	c.events = append(c.events, p)
+	c.mu.Unlock()
+}
+
+func (c *collectProgress) snapshot() []Progress {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Progress(nil), c.events...)
+}
+
+func runGridPipeline(t *testing.T, w *testWorkload, workers int, extra ...Option) *Result {
+	t.Helper()
+	opts := append(w.options(),
+		WithTrials(4), WithSeed(9), WithWorkers(workers))
+	opts = append(opts, extra...)
+	p, err := New(w.net, mustLookup(t, "swim"), GridBudget(0.1, 0.3), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func requireSameResult(t *testing.T, a, b *Result) {
+	t.Helper()
+	if len(a.Points) != len(b.Points) {
+		t.Fatalf("point counts differ: %d vs %d", len(a.Points), len(b.Points))
+	}
+	for i := range a.Points {
+		pa, pb := a.Points[i], b.Points[i]
+		if pa.Accuracy.Mean() != pb.Accuracy.Mean() || pa.Accuracy.Std() != pb.Accuracy.Std() ||
+			pa.NWC.Mean() != pb.NWC.Mean() {
+			t.Fatalf("point %d diverged with progress enabled", i)
+		}
+	}
+}
+
+// TestProgressObserveOnly pins the WithProgress determinism contract: the
+// instrumented run's aggregates are bit-identical to the plain run, across
+// worker counts.
+func TestProgressObserveOnly(t *testing.T) {
+	w := workload(t)
+	plain := runGridPipeline(t, w, 1)
+	rec := &collectProgress{}
+	observed := runGridPipeline(t, w, 4, WithProgress(rec.fn))
+	requireSameResult(t, plain, observed)
+}
+
+// TestProgressEventStream checks the event contract on a grid run: exactly
+// one TrialDone per trial carrying counter values {1..trials}, then a single
+// final Complete event after all of them.
+func TestProgressEventStream(t *testing.T) {
+	w := workload(t)
+	rec := &collectProgress{}
+	runGridPipeline(t, w, 4, WithProgress(rec.fn))
+	events := rec.snapshot()
+	if len(events) != 5 { // 4 trials + 1 complete
+		t.Fatalf("got %d events, want 5: %+v", len(events), events)
+	}
+	last := events[len(events)-1]
+	if !last.Complete || last.TrialDone {
+		t.Fatalf("final event is not the Complete marker: %+v", last)
+	}
+	if last.TrialsDone != 4 || last.TrialsTotal != 4 {
+		t.Fatalf("Complete event counters = %d/%d, want 4/4", last.TrialsDone, last.TrialsTotal)
+	}
+	var counts []int
+	for _, e := range events[:len(events)-1] {
+		if !e.TrialDone || e.Complete {
+			t.Fatalf("non-terminal event is not a TrialDone: %+v", e)
+		}
+		if e.TrialsTotal != 4 {
+			t.Fatalf("TrialsTotal = %d, want 4", e.TrialsTotal)
+		}
+		counts = append(counts, e.TrialsDone)
+	}
+	sort.Ints(counts)
+	for i, c := range counts {
+		if c != i+1 {
+			t.Fatalf("TrialDone counter values %v, want 1..4", counts)
+		}
+	}
+}
+
+// TestProgressDropBudget: drop-budget runs emit the same event shape.
+func TestProgressDropBudget(t *testing.T) {
+	w := workload(t)
+	rec := &collectProgress{}
+	p, err := New(w.net, mustLookup(t, "swim"), DropBudget(w.clean, 50),
+		append(w.options(), WithGranularity(0.5), WithTrials(3), WithSeed(5),
+			WithProgress(rec.fn))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	events := rec.snapshot()
+	if len(events) != 4 {
+		t.Fatalf("got %d events, want 4 (3 trials + complete)", len(events))
+	}
+	if !events[len(events)-1].Complete {
+		t.Fatalf("drop run did not end with Complete: %+v", events)
+	}
+}
+
+// TestProgressShard: RunShard reports shard-relative totals (hi-lo), so a
+// coordinator worker's progress weights match its share of the trial space.
+func TestProgressShard(t *testing.T) {
+	w := workload(t)
+	rec := &collectProgress{}
+	p, err := New(w.net, mustLookup(t, "swim"), GridBudget(0.2),
+		append(w.options(), WithTrials(6), WithSeed(4), WithTrialRange(2, 5),
+			WithProgress(rec.fn))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.RunShard(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	events := rec.snapshot()
+	if len(events) != 4 { // 3 shard trials + complete
+		t.Fatalf("got %d events, want 4: %+v", len(events), events)
+	}
+	for _, e := range events {
+		if e.TrialsTotal != 3 {
+			t.Fatalf("shard TrialsTotal = %d, want 3 (hi-lo)", e.TrialsTotal)
+		}
+	}
+}

@@ -85,10 +85,12 @@ func (p *Pipeline) RunShard(ctx context.Context) (*Shard, error) {
 		return nil, err
 	}
 	points := len(b.Targets)
-	rows, err := mc.RunSeriesShard(ctx, p.seed, p.trials, lo, hi, 3*points, p.workers, p.gate, p.gridTrial(&env, table, b))
+	gate, ps := p.wrapGate(hi - lo)
+	rows, err := mc.RunSeriesShard(ctx, p.seed, p.trials, lo, hi, 3*points, p.workers, gate, p.gridTrial(&env, table, b))
 	if err != nil {
 		return nil, fmt.Errorf("program: policy %q: %w", p.policy.Name(), err)
 	}
+	ps.complete()
 	sh := &Shard{
 		Policy:        p.policy.Name(),
 		Targets:       append([]float64(nil), b.Targets...),

@@ -1,0 +1,51 @@
+package serialize
+
+// ProgressRecord is a point-in-time view of a running job's advancement, in
+// trial-execution units: TrialsTotal counts every trial the job will run
+// across all of its cells (scenario × time × policy × sigma combinations,
+// each multiplying the request's trial count), and Granule counts completed
+// cells in standalone mode or completed shards under a coordinator. It
+// appears in JobRecord and is the payload of every SSE progress event.
+type ProgressRecord struct {
+	// TrialsDone is how many trial executions have completed job-wide.
+	TrialsDone int `json:"trials_done"`
+	// TrialsTotal is how many trial executions the whole job comprises.
+	TrialsTotal int `json:"trials_total"`
+	// Granule is the number of completed granules (cells or shards).
+	Granule int `json:"granule"`
+	// GranulesTotal is the job's total granule count.
+	GranulesTotal int `json:"granules_total"`
+}
+
+// Event types carried by ProgressEvent and the SSE job-event stream.
+const (
+	// EventProgress reports trial-level advancement within the current
+	// granule.
+	EventProgress = "progress"
+	// EventGranule reports the completion of one granule (cell or shard).
+	EventGranule = "granule"
+	// EventDone is the stream's single terminal event; Status carries the
+	// job's final state ("done", "failed", or "cancelled").
+	EventDone = "done"
+)
+
+// ProgressEvent is one entry in a job's event log, streamed over SSE by
+// GET /v1/jobs/{id}/events. Seq numbers events from 0 within one job so late
+// subscribers can confirm a full replay; counters snapshot the job-wide
+// ProgressRecord state at emission time.
+type ProgressEvent struct {
+	// Seq is the event's position in the job's event log, starting at 0.
+	Seq int `json:"seq"`
+	// Type is one of EventProgress, EventGranule, EventDone.
+	Type string `json:"type"`
+	// Status is the job's terminal status; set only on EventDone.
+	Status string `json:"status,omitempty"`
+	// TrialsDone mirrors ProgressRecord.TrialsDone at emission time.
+	TrialsDone int `json:"trials_done"`
+	// TrialsTotal mirrors ProgressRecord.TrialsTotal.
+	TrialsTotal int `json:"trials_total"`
+	// Granule mirrors ProgressRecord.Granule.
+	Granule int `json:"granule"`
+	// GranulesTotal mirrors ProgressRecord.GranulesTotal.
+	GranulesTotal int `json:"granules_total"`
+}

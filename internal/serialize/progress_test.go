@@ -1,0 +1,57 @@
+package serialize
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestJobRecordProgressRoundTrip(t *testing.T) {
+	rec := JobRecord{
+		ID: "j1", Status: "running",
+		Progress: &ProgressRecord{TrialsDone: 7, TrialsTotal: 24, Granule: 1, GranulesTotal: 4},
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"trials_done":7`, `"trials_total":24`, `"granule":1`, `"granules_total":4`} {
+		if !strings.Contains(string(b), key) {
+			t.Fatalf("encoded job record lacks %s: %s", key, b)
+		}
+	}
+	var back JobRecord
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Progress == nil || *back.Progress != *rec.Progress {
+		t.Fatalf("progress round trip: got %+v", back.Progress)
+	}
+
+	// Progress is omitted entirely until a job starts.
+	b, err = json.Marshal(JobRecord{ID: "j2", Status: "queued"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), "progress") {
+		t.Fatalf("queued job record should omit progress: %s", b)
+	}
+}
+
+func TestProgressEventEncoding(t *testing.T) {
+	ev := ProgressEvent{Seq: 3, Type: EventDone, Status: "done", TrialsDone: 24, TrialsTotal: 24, Granule: 4, GranulesTotal: 4}
+	b, err := json.Marshal(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"seq":3`, `"type":"done"`, `"status":"done"`, `"trials_done":24`} {
+		if !strings.Contains(string(b), key) {
+			t.Fatalf("encoded event lacks %s: %s", key, b)
+		}
+	}
+	// Non-terminal events omit status.
+	b, _ = json.Marshal(ProgressEvent{Seq: 0, Type: EventProgress})
+	if strings.Contains(string(b), "status") {
+		t.Fatalf("progress event should omit status: %s", b)
+	}
+}

@@ -221,4 +221,7 @@ type JobRecord struct {
 	Submitted int64          `json:"submitted_ms,omitempty"`
 	Started   int64          `json:"started_ms,omitempty"`
 	Finished  int64          `json:"finished_ms,omitempty"`
+	// Progress reports how far a running job has advanced (omitted until the
+	// job starts executing); see ProgressRecord.
+	Progress *ProgressRecord `json:"progress,omitempty"`
 }

@@ -222,7 +222,7 @@ func TestSubmitCoalescing(t *testing.T) {
 	if b1, b2 := fetchResult(t, ts, first.ID), fetchResult(t, ts, second.ID); !bytes.Equal(b1, b2) {
 		t.Fatal("coalesced results differ")
 	}
-	if n := s.executed.Load(); n != 2 { // first + other; the follower rode along
+	if n := s.met.executed.Load(); n != 2 { // first + other; the follower rode along
 		t.Fatalf("executed = %d, want 2 (coalesced submit recomputed)", n)
 	}
 }

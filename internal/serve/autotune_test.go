@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"swim/internal/obs"
+)
+
+func testTuner(target time.Duration, workers int) *coordinator {
+	urls := make([]string, workers)
+	for i := range urls {
+		urls[i] = "http://worker"
+	}
+	reg := obs.NewRegistry()
+	return &coordinator{
+		urls:     urls,
+		target:   target,
+		perTrial: reg.Histogram("test_shard_trial_seconds", "test", nil),
+	}
+}
+
+func TestRangeSizeFallbackBeforeObservations(t *testing.T) {
+	c := testTuner(time.Second, 2)
+	if got := c.rangeSize(60); got != 10 { // 60 ÷ (3 waves × 2 workers)
+		t.Fatalf("cold rangeSize = %d, want static heuristic 10", got)
+	}
+	c.perTrial.Observe(0.05)
+	c.perTrial.Observe(0.05)
+	if got := c.rangeSize(60); got != 10 {
+		t.Fatalf("rangeSize with %d observations = %d, want heuristic until %d seen",
+			c.perTrial.Count(), got, autotuneMinObs)
+	}
+}
+
+func TestRangeSizeAutotunes(t *testing.T) {
+	c := testTuner(time.Second, 2)
+	for i := 0; i < 10; i++ {
+		c.perTrial.Observe(0.05) // ≈20 trials per 1s shard
+	}
+	med := c.perTrial.Quantile(0.5)
+	if med <= 0 {
+		t.Fatalf("median = %g", med)
+	}
+	want := int(c.target.Seconds() / med)
+	got := c.rangeSize(1000)
+	if got != want {
+		t.Fatalf("tuned rangeSize = %d, want target/median = %d", got, want)
+	}
+	// Bucket interpolation is coarse, but the answer must land near the
+	// ideal 20 and far from the static heuristic 166.
+	if got < 5 || got > 80 {
+		t.Fatalf("tuned rangeSize = %d, implausible for 0.05 s/trial at a 1s target", got)
+	}
+
+	// Small jobs clamp so every worker still receives work.
+	if got := c.rangeSize(10); got != 5 {
+		t.Fatalf("clamped rangeSize = %d, want trials ÷ workers = 5", got)
+	}
+}
+
+func TestRangeSizePinnedAndDisabled(t *testing.T) {
+	c := testTuner(time.Second, 2)
+	for i := 0; i < 10; i++ {
+		c.perTrial.Observe(0.05)
+	}
+	c.shardTrials = 7
+	if got := c.rangeSize(1000); got != 7 {
+		t.Fatalf("pinned rangeSize = %d, want ShardTrials 7", got)
+	}
+	c.shardTrials = 0
+	c.target = 0 // Config.ShardTarget < 0 resolves to disabled
+	if got := c.rangeSize(60); got != 10 {
+		t.Fatalf("disabled rangeSize = %d, want static heuristic 10", got)
+	}
+}
+
+func TestNewCoordinatorTargetResolution(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	cases := []struct {
+		in   time.Duration
+		want time.Duration
+	}{
+		{0, defaultShardTarget},
+		{-1, 0},
+		{250 * time.Millisecond, 250 * time.Millisecond},
+	}
+	for _, tc := range cases {
+		c := newCoordinator(s, Config{WorkerURLs: []string{"http://w"}, ShardTarget: tc.in})
+		if c.target != tc.want {
+			t.Fatalf("ShardTarget %v resolved to %v, want %v", tc.in, c.target, tc.want)
+		}
+		if c.perTrial == nil {
+			t.Fatal("coordinator missing its autotuner histogram")
+		}
+	}
+}

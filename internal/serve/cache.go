@@ -1,0 +1,129 @@
+package serve
+
+// resultCache is the canonical-key result cache with optional LRU bounds
+// (ROADMAP: "size-bound the result cache"). Unbounded by default for
+// back-compat; -cache-max-entries / -cache-max-bytes cap it, with evictions
+// and held bytes reported through the metrics registry.
+
+import (
+	"container/list"
+	"io"
+
+	"swim/internal/serialize"
+)
+
+// cacheEntry is one cached result and its encoded size.
+type cacheEntry struct {
+	key  string
+	env  *serialize.ResultEnvelope
+	size int64
+}
+
+// resultCache is an LRU map from canonical request keys to result
+// envelopes. It is NOT internally synchronized — every method must run
+// under the server mutex, like the plain map it replaced.
+type resultCache struct {
+	maxEntries int
+	maxBytes   int64
+	bytes      int64
+	ll         *list.List // front = most recently used; values are *cacheEntry
+	items      map[string]*list.Element
+	met        *serverMetrics
+}
+
+// newResultCache builds a cache bounded to maxEntries entries and maxBytes
+// encoded bytes (either 0 disables that bound).
+func newResultCache(maxEntries int, maxBytes int64, met *serverMetrics) *resultCache {
+	return &resultCache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		ll:         list.New(),
+		items:      make(map[string]*list.Element),
+		met:        met,
+	}
+}
+
+// get returns the cached envelope for key and refreshes its recency.
+func (c *resultCache) get(key string) (*serialize.ResultEnvelope, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).env, true
+}
+
+// countingWriter measures an envelope's encoded size without materializing
+// the bytes.
+type countingWriter struct{ n int64 }
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.n += int64(len(p))
+	return len(p), nil
+}
+
+var _ io.Writer = (*countingWriter)(nil)
+
+// envelopeSize returns env's encoded JSON size in bytes (0 if encoding
+// fails; the entry is then effectively unbounded by the byte cap, which only
+// ever under-evicts).
+func envelopeSize(env *serialize.ResultEnvelope) int64 {
+	var w countingWriter
+	if err := serialize.EncodeEnvelope(&w, env); err != nil {
+		return 0
+	}
+	return w.n
+}
+
+// put inserts (or refreshes) key's envelope and evicts least-recently-used
+// entries until the configured bounds hold. The newest entry is always
+// retained, even when it alone exceeds maxBytes — evicting the result that
+// was just computed would make the cache useless for exactly the requests
+// big enough to be worth caching.
+func (c *resultCache) put(key string, env *serialize.ResultEnvelope) {
+	if el, ok := c.items[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		c.bytes += -ent.size
+		ent.env = env
+		ent.size = envelopeSize(env)
+		c.bytes += ent.size
+		c.ll.MoveToFront(el)
+		c.updateGauge()
+		return
+	}
+	ent := &cacheEntry{key: key, env: env, size: envelopeSize(env)}
+	c.items[key] = c.ll.PushFront(ent)
+	c.bytes += ent.size
+	for c.overLimit() && c.ll.Len() > 1 {
+		oldest := c.ll.Back()
+		old := oldest.Value.(*cacheEntry)
+		c.ll.Remove(oldest)
+		delete(c.items, old.key)
+		c.bytes -= old.size
+		if c.met != nil {
+			c.met.cacheEvictions.Inc()
+		}
+	}
+	c.updateGauge()
+}
+
+// overLimit reports whether either configured bound is exceeded.
+func (c *resultCache) overLimit() bool {
+	if c.maxEntries > 0 && c.ll.Len() > c.maxEntries {
+		return true
+	}
+	if c.maxBytes > 0 && c.bytes > c.maxBytes {
+		return true
+	}
+	return false
+}
+
+// updateGauge publishes the held-bytes gauge.
+func (c *resultCache) updateGauge() {
+	if c.met != nil {
+		c.met.cacheBytes.Set(c.bytes)
+	}
+}
+
+// len returns the entry count.
+func (c *resultCache) len() int { return c.ll.Len() }

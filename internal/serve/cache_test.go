@@ -1,0 +1,135 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"swim/internal/serialize"
+)
+
+func cacheEnv(workload string) *serialize.ResultEnvelope {
+	return &serialize.ResultEnvelope{
+		Cells: []serialize.CellRecord{{Workload: workload}},
+	}
+}
+
+func TestCacheEntryBound(t *testing.T) {
+	c := newResultCache(2, 0, nil)
+	c.put("a", cacheEnv("a"))
+	c.put("b", cacheEnv("b"))
+	c.put("c", cacheEnv("c"))
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+	if _, ok := c.get("a"); ok {
+		t.Fatal("oldest entry survived past the entry bound")
+	}
+	for _, k := range []string{"b", "c"} {
+		if _, ok := c.get(k); !ok {
+			t.Fatalf("entry %q evicted unexpectedly", k)
+		}
+	}
+}
+
+func TestCacheRecency(t *testing.T) {
+	c := newResultCache(2, 0, nil)
+	c.put("a", cacheEnv("a"))
+	c.put("b", cacheEnv("b"))
+	if _, ok := c.get("a"); !ok { // refresh a: b becomes LRU
+		t.Fatal("get failed")
+	}
+	c.put("c", cacheEnv("c"))
+	if _, ok := c.get("b"); ok {
+		t.Fatal("least-recently-used entry b survived")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("recently-used entry a was evicted")
+	}
+}
+
+func TestCacheByteBoundRetainsNewest(t *testing.T) {
+	c := newResultCache(0, 1, nil) // 1 byte: every envelope exceeds it
+	c.put("a", cacheEnv("a"))
+	if c.len() != 1 {
+		t.Fatalf("len = %d, want 1 (newest entry must be retained over the byte cap)", c.len())
+	}
+	c.put("b", cacheEnv("b"))
+	if c.len() != 1 {
+		t.Fatalf("len = %d after second put, want 1", c.len())
+	}
+	if _, ok := c.get("b"); !ok {
+		t.Fatal("newest entry missing")
+	}
+	if _, ok := c.get("a"); ok {
+		t.Fatal("old entry survived the byte bound")
+	}
+}
+
+func TestCacheSizeAccounting(t *testing.T) {
+	c := newResultCache(0, 0, nil)
+	env := cacheEnv("a")
+	want := envelopeSize(env)
+	if want <= 0 {
+		t.Fatalf("envelopeSize = %d, want > 0", want)
+	}
+	c.put("a", env)
+	if c.bytes != want {
+		t.Fatalf("bytes = %d, want %d", c.bytes, want)
+	}
+	c.put("a", env) // refresh must not double-count
+	if c.bytes != want {
+		t.Fatalf("bytes after refresh = %d, want %d", c.bytes, want)
+	}
+}
+
+// TestCacheBoundsEndToEnd runs two distinct jobs through a daemon capped at
+// one cache entry: the first result is evicted, the eviction shows up in the
+// JSON metrics, and resubmitting the first request recomputes (a miss).
+func TestCacheBoundsEndToEnd(t *testing.T) {
+	s, ts := newTestServer(t, Config{CacheMaxEntries: 1})
+	r1, r2 := testRequest(41, ""), testRequest(42, "")
+	rec1, _ := submit(t, ts, r1)
+	if got := await(t, ts, rec1.ID).Status; got != serialize.JobDone {
+		t.Fatalf("job 1 finished %s", got)
+	}
+	rec2, _ := submit(t, ts, r2)
+	if got := await(t, ts, rec2.ID).Status; got != serialize.JobDone {
+		t.Fatalf("job 2 finished %s", got)
+	}
+	if got := s.met.cacheEvictions.Load(); got != 1 {
+		t.Fatalf("cache_evictions = %d, want 1", got)
+	}
+	if got := s.met.cacheBytes.Load(); got <= 0 {
+		t.Fatalf("cache_bytes gauge = %d, want > 0", got)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := m["cache_evictions"].(float64); !ok || got != 1 {
+		t.Fatalf("metrics cache_evictions = %v", m["cache_evictions"])
+	}
+	if got, ok := m["cache_entries"].(float64); !ok || got != 1 {
+		t.Fatalf("metrics cache_entries = %v", m["cache_entries"])
+	}
+
+	// The evicted request recomputes: misses grow, hits stay.
+	hits := s.met.cacheHits.Load()
+	rec3, code := submit(t, ts, r1)
+	if code != http.StatusAccepted || rec3.Cached {
+		t.Fatalf("evicted request resubmit: code %d cached %v, want fresh job", code, rec3.Cached)
+	}
+	if got := await(t, ts, rec3.ID).Status; got != serialize.JobDone {
+		t.Fatalf("job 3 finished %s", got)
+	}
+	if s.met.cacheHits.Load() != hits {
+		t.Fatal("evicted request counted as a cache hit")
+	}
+}

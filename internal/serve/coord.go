@@ -27,12 +27,23 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"swim/internal/obs"
 	"swim/internal/serialize"
 )
 
 // maxWorkerFails is how many consecutive shard failures abandon a worker.
 const maxWorkerFails = 3
+
+// autotuneMinObs is how many shard round trips the autotuner wants before
+// trusting the latency median; earlier jobs fall back to the static
+// heuristic.
+const autotuneMinObs = 3
+
+// defaultShardTarget is the autotuner's target shard duration when
+// Config.ShardTarget is unset.
+const defaultShardTarget = time.Second
 
 // trialRange is one half-open slice [lo, hi) of a job's trial space.
 type trialRange struct{ lo, hi int }
@@ -50,7 +61,9 @@ type coordinator struct {
 	s           *Server
 	urls        []string
 	shardTrials int
-	dir         string // journal root ("" disables checkpointing)
+	target      time.Duration  // autotuner shard-duration target (0 = disabled)
+	perTrial    *obs.Histogram // observed per-trial shard seconds (autotuner input)
+	dir         string         // journal root ("" disables checkpointing)
 	client      *http.Client
 }
 
@@ -63,7 +76,18 @@ func newCoordinator(s *Server, cfg Config) *coordinator {
 	if cfg.StateDir != "" {
 		dir = filepath.Join(cfg.StateDir, "coord")
 	}
-	return &coordinator{s: s, urls: urls, shardTrials: cfg.ShardTrials, dir: dir, client: &http.Client{}}
+	target := cfg.ShardTarget
+	switch {
+	case target == 0:
+		target = defaultShardTarget
+	case target < 0:
+		target = 0 // explicit opt-out
+	}
+	return &coordinator{
+		s: s, urls: urls, shardTrials: cfg.ShardTrials,
+		target: target, perTrial: s.met.shardTrialSecs,
+		dir: dir, client: &http.Client{},
+	}
 }
 
 // workerURLs lists the configured worker endpoints (for healthz).
@@ -71,12 +95,31 @@ func (c *coordinator) workerURLs() []string {
 	return append([]string(nil), c.urls...)
 }
 
-// rangeSize resolves the shard size for a job: the configured ShardTrials,
-// or about three dispatch waves per worker so a lost worker costs at most a
-// third of one worker's share.
+// rangeSize resolves the shard size for a job. Precedence: the configured
+// ShardTrials pin wins outright; otherwise, once the autotuner has seen
+// enough shard round trips, the size targets Config.ShardTarget per shard
+// using the running median per-trial latency (clamped to [1, trials ÷
+// workers] so every worker still gets work); before that — or with
+// autotuning disabled — the static heuristic of about three dispatch waves
+// per worker applies, so a lost worker costs at most a third of one
+// worker's share. Shard size never affects result bytes: heterogeneous
+// shards merge bit-identically, and journalled shards from a differently
+// sized earlier run remain valid checkpoints.
 func (c *coordinator) rangeSize(trials int) int {
 	if c.shardTrials > 0 {
 		return c.shardTrials
+	}
+	if c.target > 0 && c.perTrial.Count() >= autotuneMinObs {
+		if med := c.perTrial.Quantile(0.5); med > 0 {
+			size := int(c.target.Seconds() / med)
+			if size < 1 {
+				size = 1
+			}
+			if cap := trials / len(c.urls); cap >= 1 && size > cap {
+				size = cap
+			}
+			return size
+		}
 	}
 	size := trials / (3 * len(c.urls))
 	if size < 1 {
@@ -101,8 +144,10 @@ func splitRange(lo, hi, size int) []trialRange {
 
 // run executes one job by sharding its trial space across the worker pool
 // and merging the rows back together. key is the job's canonical request
-// hash; the journalled checkpoint lives under it.
-func (c *coordinator) run(ctx context.Context, key string, req *serialize.RequestRecord) (*serialize.ResultEnvelope, error) {
+// hash; the journalled checkpoint lives under it. A non-nil feed is
+// re-planned in shard units — one granule per shard, journalled shards
+// counted up front — and advanced as shards land.
+func (c *coordinator) run(ctx context.Context, key string, req *serialize.RequestRecord, feed *progressFeed) (*serialize.ResultEnvelope, error) {
 	done, err := c.loadJournal(key, req)
 	if err != nil {
 		return nil, err
@@ -110,8 +155,14 @@ func (c *coordinator) run(ctx context.Context, key string, req *serialize.Reques
 	c.journalRequest(key, req)
 
 	todo := c.missingRanges(req.Trials, done)
+	cells := cellCount(req)
+	covered := 0
+	for _, sh := range done {
+		covered += sh.Hi - sh.Lo
+	}
+	feed.setPlan(len(done), len(done)+len(todo), covered*cells)
 	if len(todo) > 0 {
-		fresh, err := c.dispatch(ctx, key, req, todo)
+		fresh, err := c.dispatch(ctx, key, req, todo, feed, cells)
 		if err != nil {
 			return nil, err
 		}
@@ -154,7 +205,7 @@ func (c *coordinator) missingRanges(trials int, done []*serialize.ShardRecord) [
 // for surviving workers, and a worker is abandoned after maxWorkerFails
 // consecutive failures. It returns once every range has a shard record, or
 // fails when the whole pool is lost or ctx is cancelled.
-func (c *coordinator) dispatch(ctx context.Context, key string, req *serialize.RequestRecord, todo []trialRange) ([]*serialize.ShardRecord, error) {
+func (c *coordinator) dispatch(ctx context.Context, key string, req *serialize.RequestRecord, todo []trialRange, feed *progressFeed, cells int) ([]*serialize.ShardRecord, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -191,25 +242,30 @@ func (c *coordinator) dispatch(ctx context.Context, key string, req *serialize.R
 				case <-ctx.Done():
 					return
 				}
-				c.s.shardsDispatched.Add(1)
+				c.s.met.shardsDispatched.Inc()
+				t0 := time.Now()
 				rec, err := c.callShard(ctx, cw.url, key, req, r)
 				if err != nil {
 					work <- r // hand the range to a surviving worker
 					if ctx.Err() != nil {
 						return
 					}
-					c.s.shardRetries.Add(1)
+					c.s.met.shardRetries.Inc()
 					lastErr.Store(fmt.Errorf("worker %s shard [%d,%d): %w", cw.url, r.lo, r.hi, err))
 					cw.fails++
 					if cw.fails >= maxWorkerFails {
 						if aliveN.Add(-1) == 0 {
 							cancel() // whole pool lost: fail the job
 						}
-						c.s.workersEvicted.Add(1)
+						c.s.met.workersEvicted.Inc()
 						return
 					}
 					continue
 				}
+				sec := time.Since(t0).Seconds()
+				c.s.met.shardLatency.Observe(sec)
+				c.s.met.workerShardLat.With(cw.url).Observe(sec)
+				c.perTrial.Observe(sec / float64(r.hi-r.lo))
 				cw.fails = 0
 				mu.Lock()
 				if err := c.journalShard(key, rec); err != nil && journErr == nil {
@@ -221,6 +277,7 @@ func (c *coordinator) dispatch(ctx context.Context, key string, req *serialize.R
 					close(work) // all ranges computed: release the pool
 				}
 				mu.Unlock()
+				feed.advance((r.hi - r.lo) * cells)
 			}
 		}(&coordWorker{url: u})
 	}
@@ -420,7 +477,7 @@ func (s *Server) enqueueResume(key string, req *serialize.RequestRecord) {
 	if s.draining || s.inflight[key] != nil {
 		return
 	}
-	if _, ok := s.cache[key]; ok {
+	if _, ok := s.cache.get(key); ok {
 		return
 	}
 	s.nextSeq++
@@ -431,6 +488,7 @@ func (s *Server) enqueueResume(key string, req *serialize.RequestRecord) {
 		req:       req,
 		status:    serialize.JobQueued,
 		submitted: nowMS(),
+		feed:      newFeedFor(req),
 		done:      make(chan struct{}),
 	}
 	select {

@@ -194,9 +194,12 @@ func defaultStrings(v, def []string) []string {
 // execute runs one normalized request to completion: the workload is built
 // (or restored) once and cached, then every σ-slice of the request grid runs
 // through experiments.ScenarioResults with the job's fair-share worker gate.
-// The resulting envelope is bit-identical to the equivalent CLI invocation
-// at any worker split, by the mc determinism contract.
-func (s *Server) execute(ctx context.Context, req *serialize.RequestRecord, gate mc.Gate) (*serialize.ResultEnvelope, error) {
+// A non-nil feed observes per-trial and per-cell progress out-of-band via
+// program.WithProgress. The resulting envelope is bit-identical to the
+// equivalent CLI invocation at any worker split, by the mc determinism
+// contract — progress observation cannot perturb it (see
+// program.ProgressFunc).
+func (s *Server) execute(ctx context.Context, req *serialize.RequestRecord, gate mc.Gate, feed *progressFeed) (*serialize.ResultEnvelope, error) {
 	w, err := s.workload(req.Workload)
 	if err != nil {
 		return nil, err
@@ -216,11 +219,16 @@ func (s *Server) execute(ctx context.Context, req *serialize.RequestRecord, gate
 		Calib:     req.Calib,
 		Kernel:    req.Kernel,
 	}
+	opts := []program.Option{
+		program.WithWorkers(s.cfg.TotalWorkers),
+		program.WithWorkerGate(gate),
+	}
+	if feed != nil {
+		opts = append(opts, program.WithProgress(feed.observe))
+	}
 	env := &serialize.ResultEnvelope{}
 	for _, sigma := range req.Sigmas {
-		results, err := experiments.ScenarioResults(ctx, w, sigma, scenarios, cfg,
-			program.WithWorkers(s.cfg.TotalWorkers),
-			program.WithWorkerGate(gate))
+		results, err := experiments.ScenarioResults(ctx, w, sigma, scenarios, cfg, opts...)
 		if err != nil {
 			return nil, err
 		}

@@ -15,17 +15,18 @@ import "sync"
 // determinism contract makes any admission schedule bit-identical.
 type fairShare struct {
 	total int
+	met   *serverMetrics // engine-event sink; nil in bare tests
 
 	mu      sync.Mutex
 	active  int
 	changed chan struct{}
 }
 
-func newFairShare(total int) *fairShare {
+func newFairShare(total int, met *serverMetrics) *fairShare {
 	if total < 1 {
 		total = 1
 	}
-	return &fairShare{total: total, changed: make(chan struct{})}
+	return &fairShare{total: total, met: met, changed: make(chan struct{})}
 }
 
 // notifyLocked wakes everything parked on the previous change channel.
@@ -77,4 +78,28 @@ func (s *Share) Limit() (int, <-chan struct{}) {
 		limit = 1
 	}
 	return limit, s.f.changed
+}
+
+// TrialDone implements mc.Observer: every trial the engine completes behind
+// this share bumps the process-wide trial counter. Observe-only — the
+// engine ignores the call entirely, so results stay bit-identical.
+func (s *Share) TrialDone(int) {
+	if s.f.met != nil {
+		s.f.met.trials.Inc()
+	}
+}
+
+// WorkerParked implements mc.Observer: an engine worker started blocking on
+// this share's admission limit.
+func (s *Share) WorkerParked() {
+	if s.f.met != nil {
+		s.f.met.parks.Inc()
+	}
+}
+
+// WorkerWoke implements mc.Observer: a parked engine worker resumed.
+func (s *Share) WorkerWoke() {
+	if s.f.met != nil {
+		s.f.met.wakes.Inc()
+	}
 }

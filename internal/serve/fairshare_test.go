@@ -3,7 +3,7 @@ package serve
 import "testing"
 
 func TestFairShareSplitsEvenly(t *testing.T) {
-	fs := newFairShare(8)
+	fs := newFairShare(8, nil)
 	a := fs.acquire()
 	if limit, _ := a.Limit(); limit != 8 {
 		t.Fatalf("lone job limit = %d, want 8", limit)
@@ -27,7 +27,7 @@ func TestFairShareSplitsEvenly(t *testing.T) {
 }
 
 func TestFairShareNeverBelowOne(t *testing.T) {
-	fs := newFairShare(1)
+	fs := newFairShare(1, nil)
 	a := fs.acquire()
 	b := fs.acquire()
 	defer a.release()
@@ -38,7 +38,7 @@ func TestFairShareNeverBelowOne(t *testing.T) {
 }
 
 func TestFairShareChangeNotification(t *testing.T) {
-	fs := newFairShare(4)
+	fs := newFairShare(4, nil)
 	a := fs.acquire()
 	_, changed := a.Limit()
 	select {
@@ -57,7 +57,7 @@ func TestFairShareChangeNotification(t *testing.T) {
 }
 
 func TestFairShareReleaseIdempotent(t *testing.T) {
-	fs := newFairShare(4)
+	fs := newFairShare(4, nil)
 	a := fs.acquire()
 	b := fs.acquire()
 	b.release()

@@ -28,6 +28,7 @@ type job struct {
 	cancel    context.CancelFunc // non-nil once running
 	result    *serialize.ResultEnvelope
 	followers []*job // coalesced jobs riding this job's execution
+	feed      *progressFeed
 	done      chan struct{}
 }
 
@@ -43,21 +44,27 @@ func (j *job) terminal() bool {
 	return false
 }
 
-// finishLocked moves the job to a terminal status and wakes the ?wait=1
-// long-polls. Call under the server mutex, at most once per job.
+// finishLocked moves the job to a terminal status, seals its progress feed
+// (ending any SSE streams with the terminal event) and wakes the ?wait=1
+// long-polls. Call under the server mutex, at most once per job. Coalesced
+// followers share their primary's feed; the first finisher seals it and the
+// rest are no-ops (finish is idempotent).
 func (j *job) finishLocked(status string, env *serialize.ResultEnvelope, errMsg string) {
 	j.status = status
 	j.result = env
 	j.errMsg = errMsg
 	j.finished = nowMS()
+	j.feed.finish(status)
 	close(j.done)
 }
 
 // record snapshots the job as its wire envelope. The result payload stays
 // out — clients fetch it from the result endpoint, keeping job listings
-// cheap. Call under the server mutex.
+// cheap — but the progress block rides along once the job has started, so
+// polling clients track advancement without SSE. Call under the server
+// mutex.
 func (j *job) record() *serialize.JobRecord {
-	return &serialize.JobRecord{
+	rec := &serialize.JobRecord{
 		ID:        j.id,
 		Status:    j.status,
 		Cached:    j.cached,
@@ -68,6 +75,10 @@ func (j *job) record() *serialize.JobRecord {
 		Started:   j.started,
 		Finished:  j.finished,
 	}
+	if j.started > 0 {
+		rec.Progress = j.feed.snapshot()
+	}
+	return rec
 }
 
 // dispatch is one job-runner goroutine: it drains the queue until the
@@ -99,13 +110,15 @@ func (s *Server) runJob(j *job) {
 
 	var env *serialize.ResultEnvelope
 	var err error
+	sp := s.met.jobStage.Start()
 	if s.coord != nil {
-		env, err = s.coord.run(ctx, j.key, j.req)
+		env, err = s.coord.run(ctx, j.key, j.req, j.feed)
 	} else {
 		share := s.budget.acquire()
-		env, err = s.execute(ctx, j.req, share)
+		env, err = s.execute(ctx, j.req, share, j.feed)
 		share.release()
 	}
+	sp.End()
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -120,8 +133,8 @@ func (s *Server) runJob(j *job) {
 			status = serialize.JobFailed
 		}
 	} else {
-		s.executed.Add(1)
-		s.cache[j.key] = env
+		s.met.executed.Inc()
+		s.cache.put(j.key, env)
 	}
 	j.finishLocked(status, env, errMsg)
 	for _, f := range j.followers {

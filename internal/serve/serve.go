@@ -41,9 +41,10 @@
 //	GET  /v1/jobs              list job envelopes (?status=, ?limit=, ?page_token=)
 //	GET  /v1/jobs/{id}         one job envelope (?wait=1 long-polls until terminal)
 //	GET  /v1/jobs/{id}/result  completed job's result envelope
+//	GET  /v1/jobs/{id}/events  SSE stream of the job's progress events (replay + live)
 //	POST /v1/jobs/{id}/cancel  cancel a queued or running job
 //	POST /v1/shards            compute one trial-range shard (worker API)
-//	GET  /v1/metrics           operational counters snapshot (queue, cache, shard dispatch)
+//	GET  /v1/metrics           metrics: flat JSON snapshot, or Prometheus text via content negotiation
 //	GET  /healthz              liveness + queue/cache statistics
 //
 // Every non-2xx response carries the uniform /v1 error envelope
@@ -65,9 +66,9 @@ import (
 	"sort"
 	"strconv"
 	"sync"
-	"sync/atomic"
 	"time"
 
+	"swim/internal/eval"
 	"swim/internal/experiments"
 	"swim/internal/serialize"
 )
@@ -119,6 +120,24 @@ type Config struct {
 	// bit-identical and the axis is excluded from canonical keys, so the
 	// default changes throughput only — never results or cache identity.
 	Kernel string
+	// CacheMaxEntries bounds the canonical-key result cache's entry count
+	// (0 = unbounded). Least-recently-used entries are evicted first; the
+	// newest result is always retained.
+	CacheMaxEntries int
+	// CacheMaxBytes bounds the result cache's total encoded size in bytes
+	// (0 = unbounded), with the same LRU policy.
+	CacheMaxBytes int64
+	// ShardTarget steers the coordinator's latency-driven shard autotuner:
+	// once enough shard round trips have been observed, shard sizes are
+	// chosen so one shard takes about this long (default 1s; negative
+	// disables autotuning; Config.ShardTrials overrides it entirely). Shard
+	// size never affects result bytes — heterogeneous shards merge
+	// identically — so tuning is journal-compatible and invisible to
+	// clients.
+	ShardTarget time.Duration
+	// SSEHeartbeat is the idle-comment interval on /v1/jobs/{id}/events
+	// streams (default 15s).
+	SSEHeartbeat time.Duration
 }
 
 // DefaultWorkloads returns the standard registry workload set served by
@@ -159,23 +178,17 @@ type Server struct {
 	order    []string // submission order, for listing and pagination
 	queued   chan *job
 	draining bool
-	cache    map[string]*serialize.ResultEnvelope
+	cache    *resultCache
 	inflight map[string]*job // canonical key → primary queued/running job
 	nextSeq  int64           // job sequence; assigned under mu for stable order
 
 	shardMu    sync.Mutex
 	shardCalls map[string]*shardCall // shard key → in-flight shard execution
 
-	executed    atomic.Int64 // jobs actually computed (cache misses that ran)
-	shards      atomic.Int64 // trial-range shards computed by this worker
-	cacheHits   atomic.Int64 // submissions answered straight from the cache
-	cacheMisses atomic.Int64 // submissions that enqueued a fresh computation
-	jobsEvicted atomic.Int64 // terminal jobs dropped by the TTL sweep
-	// Coordinator-mode dispatch counters (zero in standalone mode).
-	shardsDispatched atomic.Int64   // shard calls attempted against workers
-	shardRetries     atomic.Int64   // failed shard calls requeued elsewhere
-	workersEvicted   atomic.Int64   // workers abandoned after repeated failures
-	wg               sync.WaitGroup // dispatcher goroutines
+	// met is the daemon's metrics registry; every operational counter the
+	// old ad-hoc atomic struct carried now lives here (see metrics.go).
+	met *serverMetrics
+	wg  sync.WaitGroup // dispatcher goroutines
 }
 
 // New builds a Server and starts its dispatcher pool. In coordinator mode
@@ -202,14 +215,20 @@ func New(cfg Config) *Server {
 	}
 	s := &Server{
 		cfg:        cfg,
-		budget:     newFairShare(cfg.TotalWorkers),
 		workloads:  make(map[string]*workloadEntry, len(cfg.Workloads)),
 		jobs:       make(map[string]*job),
 		queued:     make(chan *job, cfg.QueueDepth),
-		cache:      make(map[string]*serialize.ResultEnvelope),
 		inflight:   make(map[string]*job),
 		shardCalls: make(map[string]*shardCall),
 	}
+	s.met = newServerMetrics(s)
+	s.budget = newFairShare(cfg.TotalWorkers, s.met)
+	s.cache = newResultCache(cfg.CacheMaxEntries, cfg.CacheMaxBytes, s.met)
+	// The daemon owns the process, so it owns the process-global eval hook:
+	// per-backend compiled-plan latency flows into the registry. (Embedded
+	// test servers share the hook; the most recent daemon wins, which only
+	// redirects observability, never results.)
+	eval.SetPlanObserver(s.met)
 	s.baseCtx, s.cancelAll = context.WithCancel(context.Background())
 	for name, build := range cfg.Workloads {
 		s.workloads[name] = &workloadEntry{build: build}
@@ -222,6 +241,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
 	s.mux.HandleFunc("POST /v1/shards", s.handleShard)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
@@ -233,6 +253,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/jobs", methodNotAllowed("GET, POST"))
 	s.mux.HandleFunc("/v1/jobs/{id}", methodNotAllowed("GET"))
 	s.mux.HandleFunc("/v1/jobs/{id}/result", methodNotAllowed("GET"))
+	s.mux.HandleFunc("/v1/jobs/{id}/events", methodNotAllowed("GET"))
 	s.mux.HandleFunc("/v1/jobs/{id}/cancel", methodNotAllowed("POST"))
 	s.mux.HandleFunc("/v1/shards", methodNotAllowed("POST"))
 	s.mux.HandleFunc("/v1/metrics", methodNotAllowed("GET"))
@@ -343,7 +364,7 @@ func (s *Server) evictLocked(now int64) {
 		j := s.jobs[id]
 		if j.terminal() && j.finished > 0 && j.finished <= cutoff {
 			delete(s.jobs, id)
-			s.jobsEvicted.Add(1)
+			s.met.jobsEvicted.Inc()
 			continue
 		}
 		keep = append(keep, id)
@@ -419,12 +440,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		submitted: nowMS(),
 		done:      make(chan struct{}),
 	}
-	if env, ok := s.cache[key]; ok {
-		s.cacheHits.Add(1)
+	if env, ok := s.cache.get(key); ok {
+		s.met.cacheHits.Inc()
 		j.status = serialize.JobDone
 		j.cached = true
 		j.result = env
 		j.started, j.finished = j.submitted, j.submitted
+		// A cached job's event stream is just the terminal replay.
+		j.feed = newFeedFor(norm)
+		j.feed.finish(serialize.JobDone)
 		close(j.done)
 		s.jobs[j.id] = j
 		s.order = append(s.order, j.id)
@@ -436,8 +460,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if p := s.inflight[key]; p != nil {
 		// Single-flight: attach to the identical in-flight job instead of
 		// computing the same answer twice; the primary's completion
-		// finishes every attached follower.
+		// finishes every attached follower. Followers share the primary's
+		// progress feed — it is the same execution.
 		j.coalesced = true
+		j.feed = p.feed
 		p.followers = append(p.followers, j)
 		s.jobs[j.id] = j
 		s.order = append(s.order, j.id)
@@ -446,6 +472,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusAccepted, rec)
 		return
 	}
+	j.feed = newFeedFor(norm)
 	select {
 	case s.queued <- j:
 	default:
@@ -454,7 +481,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, serialize.ErrUnavailable, "queue full (%d queued)", s.cfg.QueueDepth)
 		return
 	}
-	s.cacheMisses.Add(1)
+	s.met.cacheMisses.Inc()
 	s.inflight[key] = j
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
@@ -631,9 +658,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"jobs_total":      len(s.jobs),
 		"jobs_queued":     queued,
 		"jobs_running":    running,
-		"executed":        s.executed.Load(),
-		"shards_executed": s.shards.Load(),
-		"cache_entries":   len(s.cache),
+		"executed":        s.met.executed.Load(),
+		"shards_executed": s.met.shards.Load(),
+		"cache_entries":   s.cache.len(),
 		"workers_total":   s.cfg.TotalWorkers,
 		"workloads":       s.workloadNames(),
 	}
@@ -645,12 +672,20 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, stats)
 }
 
-// handleMetrics reports a point-in-time JSON snapshot of the daemon's
-// operational counters: queue depth and job states, canonical-cache
-// hit/miss/entry counts, and the distributed tier's shard dispatch, retry
-// and worker-eviction totals (zero in standalone mode). Counters are
-// monotonic over the process lifetime; gauges are instantaneous.
+// handleMetrics reports the daemon's operational metrics. The default
+// representation is the original flat JSON snapshot (unchanged keys, so
+// pre-existing clients keep parsing it); a client preferring text/plain or
+// OpenMetrics — or asking with ?format=prometheus — gets the full registry
+// in the Prometheus text exposition format, histograms included. Counters
+// are monotonic over the process lifetime; gauges are instantaneous.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if wantsPrometheus(r) {
+		// The registry's live gauges take the server mutex themselves; no
+		// lock may be held here.
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = s.met.reg.WritePrometheus(w) // write error means the client went away
+		return
+	}
 	s.mu.Lock()
 	s.evictLocked(nowMS())
 	status := "ok"
@@ -669,7 +704,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	queueDepth := len(s.queued)
 	jobsTotal := len(s.jobs)
 	inflight := len(s.inflight)
-	cacheEntries := len(s.cache)
+	cacheEntries := s.cache.len()
+	cacheBytes := s.cache.bytes
 	s.mu.Unlock()
 	s.shardMu.Lock()
 	shardsInflight := len(s.shardCalls)
@@ -681,16 +717,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"jobs_queued":       queued,
 		"jobs_running":      running,
 		"jobs_inflight":     inflight,
-		"jobs_evicted":      s.jobsEvicted.Load(),
-		"executed":          s.executed.Load(),
-		"cache_hits":        s.cacheHits.Load(),
-		"cache_misses":      s.cacheMisses.Load(),
+		"jobs_evicted":      s.met.jobsEvicted.Load(),
+		"executed":          s.met.executed.Load(),
+		"cache_hits":        s.met.cacheHits.Load(),
+		"cache_misses":      s.met.cacheMisses.Load(),
 		"cache_entries":     cacheEntries,
-		"shards_executed":   s.shards.Load(),
+		"cache_evictions":   s.met.cacheEvictions.Load(),
+		"cache_bytes":       cacheBytes,
+		"shards_executed":   s.met.shards.Load(),
 		"shards_inflight":   shardsInflight,
-		"shards_dispatched": s.shardsDispatched.Load(),
-		"shard_retries":     s.shardRetries.Load(),
-		"workers_evicted":   s.workersEvicted.Load(),
+		"shards_dispatched": s.met.shardsDispatched.Load(),
+		"shard_retries":     s.met.shardRetries.Load(),
+		"workers_evicted":   s.met.workersEvicted.Load(),
 		"workers_total":     s.cfg.TotalWorkers,
 	})
 }

@@ -199,7 +199,7 @@ func TestServeCacheHit(t *testing.T) {
 		t.Fatalf("first job %s: %s", rec.Status, rec.Error)
 	}
 	b1 := fetchResult(t, ts, first.ID)
-	if n := s.executed.Load(); n != 1 {
+	if n := s.met.executed.Load(); n != 1 {
 		t.Fatalf("executed = %d after one job", n)
 	}
 
@@ -210,7 +210,7 @@ func TestServeCacheHit(t *testing.T) {
 	if b2 := fetchResult(t, ts, second.ID); !bytes.Equal(b1, b2) {
 		t.Fatal("cached result differs from the computed one")
 	}
-	if n := s.executed.Load(); n != 1 {
+	if n := s.met.executed.Load(); n != 1 {
 		t.Fatalf("cache hit recomputed: executed = %d", n)
 	}
 }

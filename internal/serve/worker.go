@@ -162,6 +162,6 @@ func (s *Server) executeShard(ctx context.Context, req *serialize.RequestRecord,
 			})
 		}
 	}
-	s.shards.Add(1)
+	s.met.shards.Inc()
 	return rec, nil
 }

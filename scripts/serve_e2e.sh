@@ -16,6 +16,11 @@
 #      the daemon's answer for the equivalent cost-bearing sweep request —
 #      the cost axis must serve byte-identically too — and probe the
 #      /v1/metrics snapshot for the operational counters.
+#   E. Observability: stream a sharded job's SSE events from the
+#      coordinator (trials_done must advance monotonically to a terminal
+#      done event, and a post-completion subscription must replay the sealed
+#      log), then scrape /v1/metrics in the Prometheus text format and check
+#      the shard-latency histogram recorded the dispatches.
 #
 # All processes train the same workload from the same seeds (or restore it
 # from the shared -state directory), so the only moving part is the serving
@@ -222,9 +227,60 @@ await_job "$coord_addr" "$job_id"
 curl -sf "http://$coord_addr/v1/jobs/$job_id/result" >"$workdir/coord12.json"
 diff -u "$workdir/cli12.json" "$workdir/coord12.json"
 
+echo "=== part E: SSE job-progress stream + Prometheus metrics ==="
+job_id="$(submit_job "$coord_addr" '{
+  "kind": "scenario",
+  "workload": "lenet",
+  "scenarios": "none",
+  "times": [0],
+  "nwcs": [0, 0.1],
+  "policies": ["swim"],
+  "trials": 8,
+  "seed": 4001
+}')"
+test -n "$job_id"
+# The stream follows the job live and closes itself after the terminal done
+# event, so curl exits on its own once the job finishes.
+curl -sN --max-time 120 "http://$coord_addr/v1/jobs/$job_id/events" \
+  >"$workdir/sse.txt" &
+sse_pid=$!
+await_job "$coord_addr" "$job_id"
+wait "$sse_pid"
+
+grep -q '^event: done$' "$workdir/sse.txt" || {
+  echo "SSE stream carried no terminal done event:" >&2
+  cat "$workdir/sse.txt" >&2; exit 1; }
+sed -n 's/.*"trials_done": \([0-9]*\).*/\1/p' "$workdir/sse.txt" \
+  | awk 'NR > 1 && $1 < prev { exit 1 } { prev = $1 }' || {
+  echo "SSE trials_done regressed:" >&2
+  cat "$workdir/sse.txt" >&2; exit 1; }
+grep -q '"status":"done"' "$workdir/sse.txt" || {
+  echo "SSE done event lacks the job status:" >&2
+  cat "$workdir/sse.txt" >&2; exit 1; }
+
+echo "=== SSE replay of the sealed log after completion"
+curl -sN --max-time 30 "http://$coord_addr/v1/jobs/$job_id/events" \
+  >"$workdir/sse_replay.txt"
+grep -q '^event: done$' "$workdir/sse_replay.txt" || {
+  echo "post-completion SSE replay carried no done event" >&2; exit 1; }
+
+echo "=== scraping /v1/metrics in the Prometheus text format"
+prom="$(curl -sf -H 'Accept: text/plain' "http://$coord_addr/v1/metrics")"
+for series in swim_shard_latency_seconds_bucket swim_shards_dispatched_total \
+              swim_jobs_executed_total swim_queue_depth; do
+  echo "$prom" | grep -q "^$series" || {
+    echo "Prometheus exposition lacks $series" >&2
+    echo "$prom" >&2; exit 1; }
+done
+echo "$prom" | grep '^swim_shard_latency_seconds_count' | grep -vq ' 0$' || {
+  echo "shard-latency histogram recorded no observations" >&2; exit 1; }
+# Content negotiation must leave the default JSON snapshot untouched.
+curl -sf "http://$coord_addr/v1/metrics" | grep -q '"queue_depth"' || {
+  echo "default /v1/metrics is no longer the JSON snapshot" >&2; exit 1; }
+
 echo "=== draining the distributed topology"
 kill -TERM "$coord_pid" "$w2_pid"
 await_exit "$coord_pid" "$w2_pid"
 pids=""
 
-echo "serve e2e smoke: OK (single + sharded + costed results bit-identical to CLI, cache hit, metrics snapshot, worker-loss resilience, clean drains)"
+echo "serve e2e smoke: OK (single + sharded + costed results bit-identical to CLI, cache hit, metrics snapshot, worker-loss resilience, SSE progress stream, Prometheus exposition, clean drains)"
